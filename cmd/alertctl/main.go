@@ -1,0 +1,122 @@
+// Command alertctl runs the ALERT scheduler over one simulated deployment
+// scenario and prints either a per-input trace or a summary — the quickest
+// way to watch the controller adapt.
+//
+// Usage:
+//
+//	alertctl -platform CPU1 -task image -contention memory \
+//	         -objective energy -deadline-factor 1.25 -accuracy 0.93 -trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/alert-project/alert"
+)
+
+func main() {
+	platName := flag.String("platform", "CPU1", "Embedded | CPU1 | CPU2 | GPU")
+	task := flag.String("task", "image", "image | sentence")
+	cont := flag.String("contention", "none", "none | compute | memory")
+	objective := flag.String("objective", "energy", "energy (minimize energy) | error (minimize error)")
+	deadlineFactor := flag.Float64("deadline-factor", 1.25, "deadline as a multiple of the largest model's latency")
+	accuracy := flag.Float64("accuracy", 0.92, "accuracy goal (energy objective)")
+	budgetW := flag.Float64("budget-watts", 0, "energy budget as avg watts over the deadline window (error objective; 0 = platform default cap)")
+	inputs := flag.Int("inputs", 200, "number of inputs")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	trace := flag.Bool("trace", false, "print a per-input trace")
+	flag.Parse()
+
+	plat, err := findPlatform(*platName)
+	if err != nil {
+		fatal(err)
+	}
+	models := alert.ImageCandidates()
+	if strings.HasPrefix(strings.ToLower(*task), "sent") {
+		models = alert.SentenceCandidates()
+	}
+
+	// The deadline yardstick is the slowest candidate at the top cap.
+	slowest := 0.0
+	for _, m := range models {
+		if lat := m.RefLatency / plat.Speed(plat.PMax); lat > slowest {
+			slowest = lat
+		}
+	}
+	deadline := *deadlineFactor * slowest
+
+	spec := alert.Spec{Deadline: deadline}
+	switch strings.ToLower(*objective) {
+	case "energy":
+		spec.Objective = alert.MinimizeEnergy
+		spec.AccuracyGoal = *accuracy
+	case "error":
+		spec.Objective = alert.MaximizeAccuracy
+		w := *budgetW
+		if w <= 0 {
+			w = plat.DefaultCap
+		}
+		spec.EnergyBudget = w * deadline
+	default:
+		fatal(fmt.Errorf("unknown objective %q", *objective))
+	}
+
+	scenario := alert.NoContention
+	switch strings.ToLower(*cont) {
+	case "none", "default":
+	case "compute":
+		scenario = alert.ComputeContention
+	case "memory":
+		scenario = alert.MemoryContention
+	default:
+		fatal(fmt.Errorf("unknown contention %q", *cont))
+	}
+
+	cfg := alert.SimConfig{
+		Platform:   plat,
+		Models:     models,
+		Spec:       spec,
+		Contention: scenario,
+		Inputs:     *inputs,
+		Seed:       *seed,
+	}
+	if *trace {
+		fmt.Printf("%-6s %-16s %7s %9s %8s %8s %5s\n",
+			"input", "model", "cap(W)", "latency", "quality", "xi", "cont")
+		cfg.Trace = func(s alert.TraceSample) {
+			mark := ""
+			if s.Contention {
+				mark = "*"
+			}
+			fmt.Printf("%-6d %-16s %7.1f %9.4f %8.4f %8.3f %5s\n",
+				s.Input, s.ModelName, s.Decision.CapW, s.Latency, s.Quality, s.TrueXi, mark)
+		}
+	}
+
+	rep, err := alert.Simulate(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nplatform=%s task=%s contention=%s objective=%s deadline=%.4fs\n",
+		plat.Name, *task, *cont, *objective, deadline)
+	fmt.Printf("inputs=%d avg_latency=%.4fs avg_energy=%.3fJ avg_quality=%.4f violations=%.1f%% misses=%.1f%%\n",
+		rep.Inputs, rep.AvgLatency, rep.AvgEnergy, rep.AvgQuality,
+		100*rep.ViolationRate, 100*rep.DeadlineMissRate)
+}
+
+func findPlatform(name string) (*alert.Platform, error) {
+	for _, p := range alert.Platforms() {
+		if strings.EqualFold(p.Name, name) {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown platform %q", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "alertctl:", err)
+	os.Exit(1)
+}

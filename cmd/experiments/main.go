@@ -1,0 +1,116 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation. Each experiment prints its result as an aligned text table
+// whose rows/series mirror the published artifact; DESIGN.md maps every
+// experiment ID to the modules that implement it.
+//
+// Usage:
+//
+//	experiments -exp all            # everything, full scale (minutes)
+//	experiments -exp fig3,fig9      # a subset
+//	experiments -exp table4 -quick  # reduced grid for a fast look
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/alert-project/alert/internal/contention"
+	"github.com/alert-project/alert/internal/experiment"
+	"github.com/alert-project/alert/internal/export"
+)
+
+func main() {
+	exps := flag.String("exp", "all", "comma-separated experiment ids: fig2,fig3,fig4,fig5,fig6,fig7,fig8,fig9,fig10,fig11,table4,table5 or all")
+	quick := flag.Bool("quick", false, "use the reduced grid (faster, noisier)")
+	seed := flag.Int64("seed", 42, "experiment seed")
+	csvDir := flag.String("csv", "", "also export CSV files into this directory")
+	flag.Parse()
+
+	sc := experiment.FullScale()
+	if *quick {
+		sc = experiment.QuickScale()
+	}
+	sc.Seed = *seed
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*exps, ",") {
+		want[strings.TrimSpace(strings.ToLower(id))] = true
+	}
+	all := want["all"]
+	selected := func(id string) bool { return all || want[id] }
+
+	run := func(id string, fn func() (fmt.Stringer, error)) {
+		if !selected(id) {
+			return
+		}
+		start := time.Now()
+		res, err := fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("==== %s (%.1fs) ====\n%s\n", id, time.Since(start).Seconds(), res)
+	}
+
+	run("fig2", func() (fmt.Stringer, error) { return wrap(experiment.RunFig2(sc)) })
+	run("fig3", func() (fmt.Stringer, error) { return wrap(experiment.RunFig3(sc)) })
+	run("fig4", func() (fmt.Stringer, error) { return wrap(experiment.RunFigVariance(false, sc)) })
+	run("fig5", func() (fmt.Stringer, error) { return wrap(experiment.RunFigVariance(true, sc)) })
+	run("fig6", func() (fmt.Stringer, error) { return wrap(experiment.RunFig6(sc)) })
+
+	// Table 4 feeds Figure 7, so compute them together when either is
+	// requested.
+	if selected("table4") || selected("fig7") {
+		start := time.Now()
+		t4, err := experiment.RunTable4(sc, experiment.CellOptions{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "table4: %v\n", err)
+			os.Exit(1)
+		}
+		if selected("table4") {
+			fmt.Printf("==== table4 (%.1fs) ====\n%s\n", time.Since(start).Seconds(), t4.Render())
+		}
+		if selected("fig7") {
+			fmt.Printf("==== fig7 ====\n%s\n", experiment.Fig7(t4).Render())
+		}
+	}
+
+	run("table5", func() (fmt.Stringer, error) { return wrap(experiment.RunTable5(sc)) })
+	run("fig8", func() (fmt.Stringer, error) { return wrap(experiment.RunFig8(sc)) })
+	run("fig9", func() (fmt.Stringer, error) { return wrap(experiment.RunFig9(sc)) })
+	if selected("fig10") {
+		for _, scenario := range []contention.Scenario{contention.Default, contention.Memory} {
+			start := time.Now()
+			res, err := experiment.RunFig10(scenario, sc)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fig10: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("==== fig10/%s (%.1fs) ====\n%s\n", scenario, time.Since(start).Seconds(), res.Render())
+		}
+	}
+	run("fig11", func() (fmt.Stringer, error) { return wrap(experiment.RunFig11(sc)) })
+
+	if *csvDir != "" {
+		if err := export.WriteAll(*csvDir, sc); err != nil {
+			fmt.Fprintf(os.Stderr, "csv export: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("CSV artifacts written to %s\n", *csvDir)
+	}
+}
+
+// renderer adapts the experiment results' Render methods to fmt.Stringer.
+type renderer struct{ render func() string }
+
+func (r renderer) String() string { return r.render() }
+
+func wrap[T interface{ Render() string }](res T, err error) (fmt.Stringer, error) {
+	if err != nil {
+		return nil, err
+	}
+	return renderer{res.Render}, nil
+}

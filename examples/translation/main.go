@@ -1,0 +1,61 @@
+// Translation: simultaneous-interpretation-style sentence prediction (the
+// paper's §1 NLP workload). All words of a sentence share one sentence-wide
+// deadline, so a slow word steals budget from every word after it — the
+// goal-adjustment path of §3.2 step 2. ALERT compensates per word; a naive
+// fixed per-word deadline does not.
+//
+//	go run ./examples/translation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/alert-project/alert"
+)
+
+func main() {
+	plat := alert.CPU1()
+	models := alert.SentenceCandidates()
+
+	// Interpretation must keep up with speech: ~2-4 words/second budget
+	// (the paper cites 2-4 s per sentence). Per-word budget: 60 ms.
+	spec := alert.Spec{
+		Objective:    alert.MinimizeEnergy,
+		Deadline:     0.060,
+		AccuracyGoal: 0.66,
+	}
+
+	run := func(contention alert.Contention, label string) {
+		var slowWords, recovered int
+		rep, err := alert.Simulate(alert.SimConfig{
+			Platform:   plat,
+			Models:     models,
+			Spec:       spec,
+			Contention: contention,
+			Inputs:     2000, // ~95 sentences
+			Seed:       23,
+			Trace: func(s alert.TraceSample) {
+				// A "slow word" consumed over 1.5x its share; the next
+				// words run against a tightened goal.
+				if s.Latency > 1.5*spec.Deadline {
+					slowWords++
+				} else if s.DeadlineMet {
+					recovered++
+				}
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ppl := alert.PerplexityFromQuality(rep.AvgQuality)
+		fmt.Printf("%-8s: %d words, avg %.1fms/word, %.2fJ/word, perplexity %.0f, misses %.1f%%, slow words %d\n",
+			label, rep.Inputs, 1000*rep.AvgLatency, rep.AvgEnergy, ppl,
+			100*rep.DeadlineMissRate, slowWords)
+	}
+
+	fmt.Println("sentence prediction with shared per-sentence deadlines (60ms/word):")
+	run(alert.NoContention, "quiet")
+	run(alert.ComputeContention, "compute")
+	run(alert.MemoryContention, "memory")
+}

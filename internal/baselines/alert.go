@@ -1,0 +1,51 @@
+// Package baselines implements every scheduling scheme Table 3 evaluates
+// against ALERT: the two oracles (dynamic and static), the single-layer
+// adaptation baselines (App-only, Sys-only), the uncoordinated combination
+// (No-coord), and the ALERT variants (ALERT-Any, ALERT-Trad, and the
+// mean-only ablation ALERT*).
+package baselines
+
+import (
+	"github.com/alert-project/alert/internal/core"
+	"github.com/alert-project/alert/internal/dnn"
+	"github.com/alert-project/alert/internal/runner"
+	"github.com/alert-project/alert/internal/sim"
+	"github.com/alert-project/alert/internal/workload"
+)
+
+// Alert adapts the core controller to the runner's Scheduler interface.
+// The same wrapper serves the ALERT, ALERT-Any, ALERT-Trad and ALERT*
+// schemes — they differ only in candidate set and options, decided by the
+// profile table and options handed to the constructor.
+type Alert struct {
+	name string
+	ctl  *core.Controller
+	spec core.Spec
+}
+
+// NewAlert builds the scheme over an already-profiled candidate set.
+func NewAlert(name string, prof *dnn.ProfileTable, spec core.Spec, opts core.Options) *Alert {
+	return &Alert{name: name, ctl: core.New(prof, opts), spec: spec}
+}
+
+// Name implements runner.Scheduler.
+func (a *Alert) Name() string { return a.name }
+
+// Controller exposes the wrapped controller for trace instrumentation.
+func (a *Alert) Controller() *core.Controller { return a.ctl }
+
+// Decide implements runner.Scheduler: the nominal spec with the adjusted
+// per-input goal substituted in.
+func (a *Alert) Decide(_ *sim.Env, _ workload.Input, goal float64) sim.Decision {
+	s := a.spec
+	s.Deadline = goal
+	d, _ := a.ctl.Decide(s)
+	return d
+}
+
+// Observe implements runner.Scheduler.
+func (a *Alert) Observe(_ workload.Input, _ sim.Decision, out sim.Outcome) {
+	a.ctl.Observe(out)
+}
+
+var _ runner.Scheduler = (*Alert)(nil)

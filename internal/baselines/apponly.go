@@ -1,0 +1,58 @@
+package baselines
+
+import (
+	"github.com/alert-project/alert/internal/dnn"
+	"github.com/alert-project/alert/internal/runner"
+	"github.com/alert-project/alert/internal/sim"
+	"github.com/alert-project/alert/internal/workload"
+)
+
+// AppOnly is the system-oblivious baseline (§5.1): it runs the anytime DNN
+// at the system's default power setting (the uncapped maximum) and simply
+// delivers whatever output stage is ready when the deadline arrives — the
+// standard anytime-inference deployment of the paper's citation [5].
+//
+// The anytime ladder makes it robust to latency constraints (it meets every
+// deadline some output can fit), but it is blind to energy: the cap never
+// moves, so it burns the full budget regardless of need — the "60 % more
+// energy than Combined" pathology of §2.3.
+type AppOnly struct {
+	prof  *dnn.ProfileTable
+	model int
+}
+
+// NewAppOnly builds the baseline. The model is the first anytime candidate
+// (its companion schemes are given anytime-only candidate sets); an
+// all-traditional set falls back to the most accurate model, preserving the
+// "application adapts, system does not" structure.
+func NewAppOnly(prof *dnn.ProfileTable) *AppOnly {
+	idx := -1
+	for i, m := range prof.Models {
+		if m.IsAnytime() {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		idx = prof.ModelIndex(dnn.MostAccurate(prof.Models).Name)
+	}
+	return &AppOnly{prof: prof, model: idx}
+}
+
+// Name implements runner.Scheduler.
+func (a *AppOnly) Name() string { return "App-only" }
+
+// Decide implements runner.Scheduler: the system's default power setting,
+// run to the deadline.
+func (a *AppOnly) Decide(_ *sim.Env, _ workload.Input, goal float64) sim.Decision {
+	d := sim.Decision{Model: a.model, Cap: a.prof.CapIndex(a.prof.Platform.DefaultCap)}
+	if a.prof.Models[a.model].IsAnytime() {
+		d.PlannedStop = goal
+	}
+	return d
+}
+
+// Observe implements runner.Scheduler; the scheme is open-loop.
+func (a *AppOnly) Observe(workload.Input, sim.Decision, sim.Outcome) {}
+
+var _ runner.Scheduler = (*AppOnly)(nil)

@@ -1,0 +1,183 @@
+package baselines
+
+import (
+	"testing"
+
+	"github.com/alert-project/alert/internal/contention"
+	"github.com/alert-project/alert/internal/core"
+	"github.com/alert-project/alert/internal/dnn"
+	"github.com/alert-project/alert/internal/platform"
+	"github.com/alert-project/alert/internal/runner"
+)
+
+func imageConfig(t *testing.T, spec core.Spec, scenario contention.Scenario) runner.Config {
+	t.Helper()
+	prof, err := dnn.Profile(platform.CPU1(), dnn.ImageCandidates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return runner.Config{
+		Prof:      prof,
+		Scenario:  scenario,
+		Spec:      spec,
+		NumInputs: 200,
+		Seed:      5,
+	}
+}
+
+func TestOracleNeverViolatesFeasibleSettings(t *testing.T) {
+	spec := core.Spec{Objective: core.MinimizeEnergy, Deadline: 0.2, AccuracyGoal: 0.92}
+	cfg := imageConfig(t, spec, contention.Memory)
+	rec := runner.Run(cfg, NewOracle(spec), nil)
+	if rec.ViolationRate() > 0.01 {
+		t.Errorf("oracle violation rate %g on a feasible setting", rec.ViolationRate())
+	}
+}
+
+func TestOracleDominatesAlertOnEnergy(t *testing.T) {
+	spec := core.Spec{Objective: core.MinimizeEnergy, Deadline: 0.2, AccuracyGoal: 0.92}
+	cfg := imageConfig(t, spec, contention.Memory)
+	oracle := runner.Run(cfg, NewOracle(spec), nil)
+	alert := runner.Run(cfg, NewAlert("ALERT", cfg.Prof, spec, core.DefaultOptions()), nil)
+	if oracle.AvgEnergy() > alert.AvgEnergy()*1.02 {
+		t.Errorf("oracle energy %g exceeds ALERT %g — clairvoyance lost",
+			oracle.AvgEnergy(), alert.AvgEnergy())
+	}
+}
+
+func TestOracleDominatesAlertOnQuality(t *testing.T) {
+	spec := core.Spec{Objective: core.MaximizeAccuracy, Deadline: 0.2, EnergyBudget: 30 * 0.2}
+	cfg := imageConfig(t, spec, contention.Memory)
+	oracle := runner.Run(cfg, NewOracle(spec), nil)
+	alert := runner.Run(cfg, NewAlert("ALERT", cfg.Prof, spec, core.DefaultOptions()), nil)
+	if oracle.AvgQuality() < alert.AvgQuality()-0.002 {
+		t.Errorf("oracle quality %g below ALERT %g", oracle.AvgQuality(), alert.AvgQuality())
+	}
+}
+
+func TestOracleStaticPinsOneConfig(t *testing.T) {
+	spec := core.Spec{Objective: core.MinimizeEnergy, Deadline: 0.2, AccuracyGoal: 0.9}
+	cfg := imageConfig(t, spec, contention.Default)
+	res := OracleStatic(cfg)
+	for _, s := range res.Record.Samples {
+		if s.Model != res.Model {
+			t.Fatal("static record mixes models")
+		}
+	}
+	// Dynamic oracle must do at least as well as the best static config.
+	dyn := runner.Run(cfg, NewOracle(spec), nil)
+	if dyn.AvgEnergy() > res.Record.AvgEnergy()*1.02 {
+		t.Errorf("dynamic oracle (%g J) lost to static (%g J)",
+			dyn.AvgEnergy(), res.Record.AvgEnergy())
+	}
+}
+
+func TestSysOnlyPinsFastestTraditional(t *testing.T) {
+	spec := core.Spec{Objective: core.MinimizeEnergy, Deadline: 0.2, AccuracyGoal: 0.9}
+	cfg := imageConfig(t, spec, contention.Default)
+	s := NewSysOnly(cfg.Prof, spec)
+	rec := runner.Run(cfg, s, nil)
+	fastest := cfg.Prof.ModelIndex(dnn.Fastest(dnn.Traditional(cfg.Prof.Models)).Name)
+	for _, sample := range rec.Samples {
+		if sample.Model != fastest {
+			t.Fatal("Sys-only changed models")
+		}
+	}
+}
+
+func TestSysOnlyViolatesHighAccuracyGoals(t *testing.T) {
+	// The defining weakness (§5.2): pinned to the fastest model, Sys-only
+	// cannot reach goals above that model's accuracy.
+	spec := core.Spec{Objective: core.MinimizeEnergy, Deadline: 0.3, AccuracyGoal: 0.93}
+	cfg := imageConfig(t, spec, contention.Default)
+	rec := runner.Run(cfg, NewSysOnly(cfg.Prof, spec), nil)
+	if !rec.SettingViolated() {
+		t.Error("Sys-only met an accuracy goal above its pinned model's accuracy?")
+	}
+}
+
+func TestAppOnlyFixedPower(t *testing.T) {
+	spec := core.Spec{Objective: core.MinimizeEnergy, Deadline: 0.2, AccuracyGoal: 0.9}
+	cfg := imageConfig(t, spec, contention.Default)
+	prof, _ := dnn.Profile(platform.CPU1(), dnn.Anytime(dnn.ImageCandidates()))
+	cfg.Prof = prof
+	rec := runner.Run(cfg, NewAppOnly(prof), nil)
+	want := prof.Caps[prof.CapIndex(prof.Platform.DefaultCap)]
+	for _, s := range rec.Samples {
+		if s.Cap != want {
+			t.Fatalf("App-only moved the cap: %g != %g", s.Cap, want)
+		}
+	}
+}
+
+func TestAppOnlyWastesEnergyVersusAlert(t *testing.T) {
+	spec := core.Spec{Objective: core.MinimizeEnergy, Deadline: 0.25, AccuracyGoal: 0.9}
+	cfg := imageConfig(t, spec, contention.Default)
+	anyProf, _ := dnn.Profile(platform.CPU1(), dnn.Anytime(dnn.ImageCandidates()))
+	appCfg := cfg
+	appCfg.Prof = anyProf
+	app := runner.Run(appCfg, NewAppOnly(anyProf), nil)
+	alert := runner.Run(appCfg, NewAlert("ALERT-Any", anyProf, spec, core.DefaultOptions()), nil)
+	if app.AvgEnergy() < alert.AvgEnergy() {
+		t.Errorf("App-only (%g J) out-saved ALERT (%g J) — it has no energy awareness",
+			app.AvgEnergy(), alert.AvgEnergy())
+	}
+}
+
+func TestNoCoordWorseThanAlertAny(t *testing.T) {
+	spec := core.Spec{Objective: core.MinimizeEnergy, Deadline: 0.2, AccuracyGoal: 0.9}
+	cfg := imageConfig(t, spec, contention.Memory)
+	anyProf, _ := dnn.Profile(platform.CPU1(), dnn.Anytime(dnn.ImageCandidates()))
+	c := cfg
+	c.Prof = anyProf
+	nc := runner.Run(c, NewNoCoord(anyProf, spec), nil)
+	al := runner.Run(c, NewAlert("ALERT-Any", anyProf, spec, core.DefaultOptions()), nil)
+	// Cross-purpose adaptation must not beat coordinated adaptation.
+	if nc.AvgEnergy() < al.AvgEnergy()*0.98 {
+		t.Errorf("No-coord energy %g beat ALERT-Any %g", nc.AvgEnergy(), al.AvgEnergy())
+	}
+}
+
+func TestRestrictedOracles(t *testing.T) {
+	zoo := dnn.ImageNetZoo(1)
+	prof, err := dnn.Profile(platform.CPU1(), zoo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := core.Spec{Objective: core.MinimizeEnergy, Deadline: 0.4, AccuracyGoal: 0.9}
+	cfg := runner.Config{Prof: prof, Scenario: contention.Default, Spec: spec, NumInputs: 60, Seed: 2}
+
+	capIdx := prof.CapIndex(prof.Platform.DefaultCap)
+	app := runner.Run(cfg, NewAppOracle(spec, capIdx), nil)
+	for _, s := range app.Samples {
+		if s.Cap != prof.Caps[capIdx] {
+			t.Fatal("App-oracle moved the cap")
+		}
+	}
+
+	def := prof.ModelIndex(dnn.MostAccurate(zoo).Name)
+	sys := runner.Run(cfg, NewSysOracle(spec, def), nil)
+	for _, s := range sys.Samples {
+		if s.Model != def {
+			t.Fatal("Sys-oracle changed model")
+		}
+	}
+
+	combined := runner.Run(cfg, NewOracle(spec), nil)
+	if combined.AvgEnergy() > app.AvgEnergy()*1.02 || combined.AvgEnergy() > sys.AvgEnergy()*1.02 {
+		t.Errorf("combined oracle (%g) lost to a restricted oracle (app %g, sys %g)",
+			combined.AvgEnergy(), app.AvgEnergy(), sys.AvgEnergy())
+	}
+}
+
+func TestAlertSchedulerNameAndController(t *testing.T) {
+	prof, _ := dnn.Profile(platform.CPU1(), dnn.ImageCandidates())
+	spec := core.Spec{Objective: core.MinimizeEnergy, Deadline: 0.2, AccuracyGoal: 0.9}
+	a := NewAlert("ALERT-X", prof, spec, core.DefaultOptions())
+	if a.Name() != "ALERT-X" {
+		t.Error("name lost")
+	}
+	if a.Controller() == nil {
+		t.Error("controller not exposed")
+	}
+}

@@ -1,0 +1,544 @@
+// Package core implements the ALERT runtime controller — the paper's
+// primary contribution (§3). After every input it folds the measured
+// slowdown into an adaptive Kalman filter over the global slowdown factor
+// ξ (Eq. 5), then scores every DNN × power-cap × anytime-stop candidate by
+// its probability of meeting the deadline (Eq. 6), its expected quality
+// (Eq. 7 for traditional models, Eq. 13 for anytime ladders), and its
+// predicted energy (Eq. 9, or the Prth-quantile variant Eq. 12), and picks
+// the candidate that optimizes the user's objective subject to the
+// remaining constraints (Eq. 1/2, or 10/11 when a probability threshold is
+// set).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/alert-project/alert/internal/dnn"
+	"github.com/alert-project/alert/internal/kalman"
+	"github.com/alert-project/alert/internal/mathx"
+	"github.com/alert-project/alert/internal/sim"
+)
+
+// Objective selects which dimension is optimized while the other two are
+// constrained (§3.1). Minimizing latency is omitted, as in the paper.
+type Objective int
+
+const (
+	// MaximizeAccuracy solves Eq. 1 (Eq. 10 with a threshold): best quality
+	// under an energy budget and a deadline.
+	MaximizeAccuracy Objective = iota
+	// MinimizeEnergy solves Eq. 2 (Eq. 11): least energy under an accuracy
+	// goal and a deadline.
+	MinimizeEnergy
+)
+
+// String implements fmt.Stringer.
+func (o Objective) String() string {
+	switch o {
+	case MaximizeAccuracy:
+		return "MaximizeAccuracy"
+	case MinimizeEnergy:
+		return "MinimizeEnergy"
+	default:
+		return fmt.Sprintf("Objective(%d)", int(o))
+	}
+}
+
+// Spec is the user requirement for one input: the (possibly goal-adjusted)
+// deadline plus the two remaining constraint dimensions.
+type Spec struct {
+	Objective Objective
+	// Deadline is T_goal in seconds.
+	Deadline float64
+	// EnergyBudget is E_goal in joules per input window (MaximizeAccuracy).
+	EnergyBudget float64
+	// AccuracyGoal is Q_goal in [0,1] (MinimizeEnergy).
+	AccuracyGoal float64
+	// Prth, if positive, is the user's probabilistic threshold: candidates
+	// whose deadline probability falls below it are rejected (Eq. 10/11)
+	// and energy is estimated at the Prth-quantile latency (Eq. 12).
+	Prth float64
+}
+
+// Options tune the controller. The zero value is completed by
+// DefaultOptions.
+type Options struct {
+	// Xi parameterizes the global-slowdown Kalman filter (Eq. 5).
+	Xi kalman.XiParams
+	// Idle parameterizes the idle-power filter (Eq. 8).
+	Idle kalman.IdleParams
+	// UseVariance enables the probabilistic design (§3.3 Idea 2). Setting
+	// it false yields ALERT*, the mean-only ablation of Figure 10.
+	UseVariance bool
+	// StopQuantile is the ξ quantile used to plan anytime early stops: the
+	// stop is placed where the chosen stage completes with this
+	// probability. Defaults to 0.9; a positive Spec.Prth overrides it.
+	StopQuantile float64
+	// Confidence is the default chance-constraint level for the deadline
+	// and accuracy-goal constraints: a traditional candidate must meet the
+	// deadline — and, in the minimize-energy task, reach the accuracy
+	// goal — with at least this probability. (Anytime candidates are
+	// deadline-safe by construction: the runtime cuts them at the goal.)
+	// Defaults to 0.98; a positive Spec.Prth overrides it. The ALERT*
+	// ablation, having no variance estimate, degenerates to mean-latency
+	// feasibility here.
+	Confidence float64
+	// EnergyConfidence is the latency quantile used in the energy
+	// prediction (the Eq. 12 machinery) when the user sets no explicit
+	// Prth. Estimating energy at the mean latency admits configurations
+	// that exceed the budget on every above-average input — roughly half
+	// of them — so the default is a 0.9-quantile estimate; Spec.Prth
+	// overrides it.
+	EnergyConfidence float64
+	// OverheadFrac models the controller's own worst-case cost as a
+	// fraction of the profiled mean input latency; it is charged to the
+	// decision and pre-subtracted from the goal (§3.2 step 2, §4 measures
+	// 0.6–1.7 %).
+	OverheadFrac float64
+}
+
+// DefaultOptions returns the paper's configuration.
+func DefaultOptions() Options {
+	return Options{
+		Xi:               kalman.DefaultXiParams(),
+		Idle:             kalman.DefaultIdleParams(),
+		UseVariance:      true,
+		StopQuantile:     0.9,
+		Confidence:       0.98,
+		EnergyConfidence: 0.9,
+		OverheadFrac:     0.012,
+	}
+}
+
+// Candidate identifies one point of the joint configuration space: a model,
+// a power cap, and — for anytime models — the stage after which the runtime
+// plans to stop. RunToDeadline marks the candidate that lets the ladder run
+// until the goal itself (maximal quality, maximal energy); quantile-stopped
+// candidates trade tail quality for energy (§3.5).
+type Candidate struct {
+	Model, Cap, StopStage int
+	RunToDeadline         bool
+}
+
+// Estimate is the controller's prediction for one candidate, exposed for
+// tests, traces (Fig. 9), and the ablation study.
+type Estimate struct {
+	Candidate
+	// LatMean is the predicted mean latency µ·t_prof (of the executed
+	// portion, for early-stopped anytime candidates).
+	LatMean float64
+	// PrDeadline is Eq. 6: the probability the candidate's final output
+	// lands inside the deadline.
+	PrDeadline float64
+	// Quality is the expected quality q̂ (Eq. 7/13).
+	Quality float64
+	// PrQuality is the probability that the *realized* per-input quality
+	// reaches the spec's accuracy goal — the chance-constraint form of
+	// Eq. 2's q_{i,j} ≥ Q_goal. Expected quality alone is a trap here:
+	// when the goal falls between two anytime stages, a candidate can
+	// satisfy the goal in expectation while landing below it on most
+	// inputs. 1.0 when the spec has no accuracy goal.
+	PrQuality float64
+	// Energy is the predicted energy ê over the input window (Eq. 9/12).
+	Energy float64
+	// PlannedStop is the wall-clock budget handed to the executor for
+	// anytime candidates (0 for traditional).
+	PlannedStop float64
+}
+
+// Controller is the ALERT runtime for one task on one platform.
+type Controller struct {
+	prof *dnn.ProfileTable
+	opts Options
+
+	xi   *kalman.XiFilter
+	idle *kalman.IdlePowerFilter
+
+	// overhead is the precomputed per-decision cost in seconds.
+	overhead float64
+
+	// meanProfLat caches the candidate-set mean profiled latency at the
+	// top cap, the yardstick for the overhead model.
+	meanProfLat float64
+
+	decisions int
+}
+
+// New builds a controller over a profiled candidate set.
+func New(prof *dnn.ProfileTable, opts Options) *Controller {
+	if opts.StopQuantile <= 0 || opts.StopQuantile >= 1 {
+		opts.StopQuantile = 0.9
+	}
+	if opts.Confidence <= 0 || opts.Confidence >= 1 {
+		opts.Confidence = 0.98
+	}
+	if opts.EnergyConfidence <= 0 || opts.EnergyConfidence >= 1 {
+		opts.EnergyConfidence = 0.9
+	}
+	if opts.Xi == (kalman.XiParams{}) {
+		opts.Xi = kalman.DefaultXiParams()
+	}
+	if opts.Idle == (kalman.IdleParams{}) {
+		opts.Idle = kalman.DefaultIdleParams()
+	}
+	c := &Controller{
+		prof: prof,
+		opts: opts,
+		xi:   kalman.NewXiFilter(opts.Xi),
+		idle: kalman.NewIdlePowerFilter(opts.Idle),
+	}
+	top := prof.NumCaps() - 1
+	var sum float64
+	for i := 0; i < prof.NumModels(); i++ {
+		sum += prof.At(i, top)
+	}
+	c.meanProfLat = sum / float64(prof.NumModels())
+	c.overhead = opts.OverheadFrac * c.meanProfLat
+	return c
+}
+
+// Overhead returns the per-decision cost the controller charges itself.
+func (c *Controller) Overhead() float64 { return c.overhead }
+
+// XiMean returns the current posterior mean of ξ.
+func (c *Controller) XiMean() float64 { return c.xi.Mean() }
+
+// XiStd returns the current posterior standard deviation of ξ.
+func (c *Controller) XiStd() float64 { return c.xi.Std() }
+
+// IdleRatio returns the current idle-power ratio estimate φ.
+func (c *Controller) IdleRatio() float64 { return c.idle.Ratio() }
+
+// Decisions returns how many Decide calls have been served.
+func (c *Controller) Decisions() int { return c.decisions }
+
+// Observe feeds back the measurement of the input just executed (§3.2
+// step 1).
+func (c *Controller) Observe(out sim.Outcome) {
+	c.xi.Observe(out.ObservedXi)
+	if out.CapApplied > 0 {
+		c.idle.Observe(out.IdlePower / out.CapApplied)
+	}
+}
+
+// sigmaForPrediction returns the ξ standard deviation used in predictions:
+// the filter's predictive deviation for the next observation (posterior
+// variance of the mean plus measurement noise), or zero for the ALERT*
+// ablation. The posterior alone would under-margin every decision.
+func (c *Controller) sigmaForPrediction() float64 {
+	if !c.opts.UseVariance {
+		return 0
+	}
+	return c.xi.PredictiveStd()
+}
+
+// estimate scores a single candidate under the spec. goal is the adjusted
+// deadline (overhead already subtracted by the caller).
+func (c *Controller) estimate(cand Candidate, goal float64, spec Spec) Estimate {
+	m := c.prof.Models[cand.Model]
+	power := c.prof.PowerAt(cand.Model, cand.Cap)
+	tProf := c.prof.At(cand.Model, cand.Cap)
+	mu, sigma := c.xi.Mean(), c.sigmaForPrediction()
+
+	est := Estimate{Candidate: cand}
+
+	// Probability that a work chunk of nominal duration d completes within
+	// budget b: Pr[ξ·d ≤ b] (Eq. 6).
+	prWithin := func(d, b float64) float64 {
+		if d <= 0 {
+			return 1
+		}
+		return mathx.NormCDF(b/d, mu, sigma)
+	}
+
+	if !m.IsAnytime() {
+		est.LatMean = mu * tProf
+		est.PrDeadline = prWithin(tProf, goal)
+		// Eq. 7: expectation over the deadline step function.
+		est.Quality = est.PrDeadline*m.Accuracy + (1-est.PrDeadline)*m.QFail
+		switch {
+		case spec.AccuracyGoal <= 0 || m.QFail >= spec.AccuracyGoal:
+			est.PrQuality = 1
+		case m.Accuracy >= spec.AccuracyGoal:
+			est.PrQuality = est.PrDeadline
+		default:
+			est.PrQuality = 0
+		}
+		// Latency used for the energy estimate: the Eq. 12 quantile form,
+		// at Prth when the user set one and at the default energy
+		// confidence otherwise.
+		lat := mathx.NormQuantile(c.energyQuantile(spec), mu, sigma) * tProf
+		if lat < est.LatMean {
+			lat = est.LatMean
+		}
+		est.Energy = c.energyAt(power, lat, goal)
+		return est
+	}
+
+	// Anytime candidate stopped after stage k: execution is cut at
+	// PlannedStop (never beyond the goal). Expected quality follows the
+	// Eq. 13 ladder under the cut.
+	k := cand.StopStage
+	stageNominal := func(si int) float64 { return m.Stages[si].LatencyFrac * tProf }
+
+	var stop float64
+	if cand.RunToDeadline {
+		stop = goal
+	} else {
+		q := c.opts.StopQuantile
+		if spec.Prth > 0 {
+			q = spec.Prth
+		}
+		stop = mathx.NormQuantile(q, mu, sigma) * stageNominal(k)
+		if stop > goal {
+			stop = goal
+		}
+		if stop <= 0 {
+			stop = goal
+		}
+	}
+	est.PlannedStop = stop
+
+	cut := math.Min(stop, goal)
+	// Quality ladder: Pr[stage si completes before cut], non-increasing in
+	// si; stages beyond the planned stop never complete.
+	prev := 1.0
+	quality := 0.0
+	prFirst := 0.0
+	for si := 0; si <= k; si++ {
+		pr := prWithin(stageNominal(si), cut)
+		if si == 0 {
+			prFirst = pr
+		}
+		if pr > prev {
+			pr = prev
+		}
+		nextPr := 0.0
+		if si < k {
+			nextPr = math.Min(prWithin(stageNominal(si+1), cut), pr)
+		}
+		quality += m.Stages[si].Accuracy * (pr - nextPr)
+		prev = pr
+	}
+	quality += m.QFail * (1 - prFirst)
+	est.Quality = quality
+	est.PrDeadline = prWithin(stageNominal(k), cut)
+
+	// Chance constraint on the realized quality: the first stage at or
+	// above the goal must complete inside the cut.
+	switch {
+	case spec.AccuracyGoal <= 0 || m.QFail >= spec.AccuracyGoal:
+		est.PrQuality = 1
+	default:
+		est.PrQuality = 0
+		for si := 0; si <= k; si++ {
+			if m.Stages[si].Accuracy >= spec.AccuracyGoal {
+				est.PrQuality = prWithin(stageNominal(si), cut)
+				break
+			}
+		}
+	}
+
+	// Executed time: the ladder runs until stage k finishes or the cut
+	// hits, whichever is first; its mean is E[min(ξ·d, cut)], approximated
+	// by min at the mean, the same first-order treatment Eq. 9 applies.
+	meanExec := math.Min(mu*stageNominal(k), cut)
+	est.LatMean = meanExec
+	// Energy at the Eq. 12 quantile (the cut bounds it from above).
+	qExec := math.Min(mathx.NormQuantile(c.energyQuantile(spec), mu, sigma)*stageNominal(k), cut)
+	if qExec < meanExec {
+		qExec = meanExec
+	}
+	est.Energy = c.energyAt(power, qExec, goal)
+	return est
+}
+
+// energyQuantile resolves the latency quantile for energy estimates.
+func (c *Controller) energyQuantile(spec Spec) float64 {
+	if spec.Prth > 0 {
+		return spec.Prth
+	}
+	return c.opts.EnergyConfidence
+}
+
+// energyAt is Eq. 9: inference at the configuration's profiled power p_{i,j}
+// for lat seconds, then idle at φ·p_{i,j} for the remainder of the goal
+// window.
+func (c *Controller) energyAt(power, lat, goal float64) float64 {
+	idleTime := goal - lat
+	if idleTime < 0 {
+		idleTime = 0
+	}
+	return power*lat + c.idle.Ratio()*power*idleTime
+}
+
+// Decide selects the configuration for the next input (§3.2 steps 2–4).
+// The returned Estimate describes the chosen candidate's predictions.
+func (c *Controller) Decide(spec Spec) (sim.Decision, Estimate) {
+	c.decisions++
+	goal := spec.Deadline - c.overhead
+	if goal <= 0 {
+		goal = spec.Deadline * 0.5
+	}
+
+	var best Estimate
+	bestSet := false
+	better := func(a, b Estimate) bool { // is a better than b under the objective
+		if spec.Objective == MinimizeEnergy {
+			return a.Energy < b.Energy
+		}
+		return a.Quality > b.Quality
+	}
+	conf := c.opts.Confidence
+	if spec.Prth > 0 {
+		conf = spec.Prth
+	}
+	feasible := func(e Estimate) bool {
+		if spec.Prth > 0 && e.PrDeadline < spec.Prth {
+			return false
+		}
+		// Latency is a constraint in both tasks. Anytime candidates are
+		// exempt: the runtime cuts them at the goal, so they cannot be
+		// late — they degrade to an earlier stage instead.
+		if e.StopStage < 0 && e.PrDeadline < conf {
+			return false
+		}
+		switch spec.Objective {
+		case MinimizeEnergy:
+			// Chance-constraint form of q_{i,j} ≥ Q_goal. Requiring the
+			// *expected* quality to clear the goal would be vacuous near
+			// the top of the accuracy range: with q_fail ≈ 0 even a 99.8 %
+			// completion probability drags q̂ below a goal set at the best
+			// model's own accuracy.
+			return e.PrQuality >= conf
+		default:
+			return spec.EnergyBudget <= 0 || e.Energy <= spec.EnergyBudget
+		}
+	}
+
+	// Fallback tracking for the infeasible case, per §4's hierarchy:
+	// latency first, then accuracy, then power. Maximizing expected
+	// quality already privileges deadline-meeting (missing collapses
+	// quality to QFail), so the fallback is the quality-maximal candidate
+	// with energy as the tiebreaker.
+	var fb Estimate
+	fbSet := false
+
+	c.forEachCandidate(func(cand Candidate) {
+		e := c.estimate(cand, goal, spec)
+		if !fbSet || e.Quality > fb.Quality ||
+			(e.Quality == fb.Quality && e.Energy < fb.Energy) {
+			fb, fbSet = e, true
+		}
+		if !feasible(e) {
+			return
+		}
+		if !bestSet || better(e, best) {
+			best, bestSet = e, true
+		}
+	})
+
+	if !bestSet {
+		best = fb
+	}
+	d := sim.Decision{
+		Model:       best.Model,
+		Cap:         best.Cap,
+		PlannedStop: best.PlannedStop,
+		Overhead:    c.overhead,
+	}
+	return d, best
+}
+
+// forEachCandidate enumerates the joint space: every model × cap, expanded
+// by stop stage for anytime models.
+func (c *Controller) forEachCandidate(fn func(Candidate)) {
+	for i := 0; i < c.prof.NumModels(); i++ {
+		m := c.prof.Models[i]
+		for j := 0; j < c.prof.NumCaps(); j++ {
+			if !m.IsAnytime() {
+				fn(Candidate{Model: i, Cap: j, StopStage: -1})
+				continue
+			}
+			for k := range m.Stages {
+				fn(Candidate{Model: i, Cap: j, StopStage: k})
+			}
+			fn(Candidate{Model: i, Cap: j, StopStage: len(m.Stages) - 1, RunToDeadline: true})
+		}
+	}
+}
+
+// DecideAtCap is Decide restricted to a single power-cap rung. It is the
+// primitive the multi-job coordinator (internal/multi) builds on: when
+// several inference jobs share one power envelope, each job's controller
+// answers "what is the best you can do with exactly this much power", and
+// the coordinator searches over the split. ok is false when no candidate at
+// this cap satisfies the constraints (the returned fallback still serves).
+func (c *Controller) DecideAtCap(spec Spec, cap int) (d sim.Decision, est Estimate, ok bool) {
+	goal := spec.Deadline - c.overhead
+	if goal <= 0 {
+		goal = spec.Deadline * 0.5
+	}
+	conf := c.opts.Confidence
+	if spec.Prth > 0 {
+		conf = spec.Prth
+	}
+
+	var best, fb Estimate
+	bestSet, fbSet := false, false
+	c.forEachCandidate(func(cand Candidate) {
+		if cand.Cap != cap {
+			return
+		}
+		e := c.estimate(cand, goal, spec)
+		if !fbSet || e.Quality > fb.Quality ||
+			(e.Quality == fb.Quality && e.Energy < fb.Energy) {
+			fb, fbSet = e, true
+		}
+		if spec.Prth > 0 && e.PrDeadline < spec.Prth {
+			return
+		}
+		if e.StopStage < 0 && e.PrDeadline < conf {
+			return
+		}
+		switch spec.Objective {
+		case MinimizeEnergy:
+			if e.PrQuality < conf {
+				return
+			}
+		default:
+			if spec.EnergyBudget > 0 && e.Energy > spec.EnergyBudget {
+				return
+			}
+		}
+		if !bestSet ||
+			(spec.Objective == MinimizeEnergy && e.Energy < best.Energy) ||
+			(spec.Objective == MaximizeAccuracy && e.Quality > best.Quality) {
+			best, bestSet = e, true
+		}
+	})
+	if !bestSet {
+		best = fb
+	}
+	return sim.Decision{
+		Model:       best.Model,
+		Cap:         best.Cap,
+		PlannedStop: best.PlannedStop,
+		Overhead:    c.overhead,
+	}, best, bestSet
+}
+
+// EstimateAll returns estimates for the full candidate space under the
+// spec; used by tests and the Figure 9 trace tooling.
+func (c *Controller) EstimateAll(spec Spec) []Estimate {
+	goal := spec.Deadline - c.overhead
+	if goal <= 0 {
+		goal = spec.Deadline * 0.5
+	}
+	var out []Estimate
+	c.forEachCandidate(func(cand Candidate) {
+		out = append(out, c.estimate(cand, goal, spec))
+	})
+	return out
+}

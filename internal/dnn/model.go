@@ -1,0 +1,236 @@
+// Package dnn provides the application-level half of ALERT's configuration
+// space: inference models with profiled latency/accuracy/energy tradeoffs.
+//
+// The paper evaluates real networks (42 TF-Slim ImageNet classifiers, a
+// Sparse ResNet family, word-level RNNs, BERT) whose weights cannot be run
+// offline in pure Go. ALERT itself, however, never inspects weights: it
+// consumes each candidate's *profile* — reference latency, accuracy, memory
+// footprint, and (for anytime networks) the stage ladder of Eq. 13 — and the
+// runtime measurements the executor feeds back. This package therefore
+// models networks as calibrated profiles whose simulated execution (see
+// internal/sim) reproduces the latency structure of Figures 2, 4 and 5.
+package dnn
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Task identifies the inference task a model solves (Table 2).
+type Task int
+
+const (
+	// ImageClassification covers IMG1 (VGG16) and IMG2 (ResNet50) plus the
+	// 42-model zoo and the Sparse ResNet evaluation family.
+	ImageClassification Task = iota
+	// SentencePrediction is NLP1: word-level next-token prediction on Penn
+	// Treebank with a per-sentence shared deadline.
+	SentencePrediction
+	// QuestionAnswering is NLP2: BERT on SQuAD.
+	QuestionAnswering
+)
+
+// String implements fmt.Stringer.
+func (t Task) String() string {
+	switch t {
+	case ImageClassification:
+		return "ImageClassification"
+	case SentencePrediction:
+		return "SentencePrediction"
+	case QuestionAnswering:
+		return "QuestionAnswering"
+	default:
+		return fmt.Sprintf("Task(%d)", int(t))
+	}
+}
+
+// Stage is one rung of an anytime network's output ladder: after
+// LatencyFrac of the network's full reference latency has elapsed, an
+// output of the given Accuracy is available (Eq. 13).
+type Stage struct {
+	// LatencyFrac is the cumulative fraction of the full-network latency at
+	// which this stage's output materializes; the final stage is 1.0.
+	LatencyFrac float64
+	// Accuracy is the task-quality of this stage's output in [0, 1].
+	Accuracy float64
+}
+
+// Model is one candidate in ALERT's application-level adaptation set D.
+type Model struct {
+	// Name uniquely identifies the model within a candidate set.
+	Name string
+	// Family groups models that share an architecture lineage (e.g.
+	// "SparseResNet"); ALERT's global-slowdown assumption rests on the
+	// code-path similarity within and across such families (§3.3, Idea 1).
+	Family string
+	// Task is the inference task.
+	Task Task
+
+	// RefLatency is the reference inference latency in seconds for one
+	// input, profiled on CPU2 at its maximum power cap with no contention.
+	// Every other platform/cap latency derives from it through the
+	// platform speed law; the runtime corrects the residual with ξ.
+	RefLatency float64
+
+	// Accuracy is the profiled task quality in [0, 1] when inference
+	// completes before the deadline (top-5 accuracy for image tasks,
+	// next-word quality for sentence prediction, F1 for QA).
+	Accuracy float64
+
+	// QFail is the quality credited when the deadline passes with no
+	// output: a random guess for traditional networks (§3.3, Eq. 3).
+	QFail float64
+
+	// UtilFactor scales the platform's inference power draw: a model that
+	// stresses memory more than ALUs does not quite saturate the cap.
+	// 1.0 means the cap is fully consumed.
+	UtilFactor float64
+
+	// MemGB is the resident-set footprint used for platform fit checks.
+	MemGB float64
+
+	// Stages is nil for traditional networks. For anytime networks it is
+	// the ascending output ladder; the last stage's Accuracy equals the
+	// model's Accuracy field.
+	Stages []Stage
+}
+
+// IsAnytime reports whether the model produces intermediate outputs.
+func (m *Model) IsAnytime() bool { return len(m.Stages) > 0 }
+
+// Validate checks internal consistency; the public API calls it on every
+// candidate set so malformed profiles fail fast instead of corrupting the
+// controller's expectations.
+func (m *Model) Validate() error {
+	if m.Name == "" {
+		return fmt.Errorf("dnn: model with empty name")
+	}
+	if m.RefLatency <= 0 {
+		return fmt.Errorf("dnn: model %s has non-positive RefLatency %g", m.Name, m.RefLatency)
+	}
+	if m.Accuracy <= 0 || m.Accuracy > 1 {
+		return fmt.Errorf("dnn: model %s accuracy %g outside (0,1]", m.Name, m.Accuracy)
+	}
+	if m.QFail < 0 || m.QFail > m.Accuracy {
+		return fmt.Errorf("dnn: model %s QFail %g outside [0, accuracy]", m.Name, m.QFail)
+	}
+	if m.UtilFactor <= 0 || m.UtilFactor > 1.2 {
+		return fmt.Errorf("dnn: model %s UtilFactor %g implausible", m.Name, m.UtilFactor)
+	}
+	if !sort.SliceIsSorted(m.Stages, func(i, j int) bool {
+		return m.Stages[i].LatencyFrac < m.Stages[j].LatencyFrac
+	}) {
+		return fmt.Errorf("dnn: model %s stages not ascending in latency", m.Name)
+	}
+	for i, s := range m.Stages {
+		if s.LatencyFrac <= 0 || s.LatencyFrac > 1 {
+			return fmt.Errorf("dnn: model %s stage %d latency frac %g outside (0,1]", m.Name, i, s.LatencyFrac)
+		}
+		if s.Accuracy < m.QFail || s.Accuracy > 1 {
+			return fmt.Errorf("dnn: model %s stage %d accuracy %g outside [QFail,1]", m.Name, i, s.Accuracy)
+		}
+		if i > 0 && s.Accuracy < m.Stages[i-1].Accuracy {
+			return fmt.Errorf("dnn: model %s stage %d accuracy decreases", m.Name, i)
+		}
+	}
+	if m.IsAnytime() {
+		last := m.Stages[len(m.Stages)-1]
+		if last.LatencyFrac != 1 {
+			return fmt.Errorf("dnn: model %s final stage frac %g != 1", m.Name, last.LatencyFrac)
+		}
+		if last.Accuracy != m.Accuracy {
+			return fmt.Errorf("dnn: model %s final stage accuracy %g != model accuracy %g",
+				m.Name, last.Accuracy, m.Accuracy)
+		}
+	}
+	return nil
+}
+
+// QualityAt returns the quality obtained if execution is cut off after
+// `elapsedFrac` of the model's full latency (Eq. 3 for traditional models,
+// Eq. 13 for anytime models).
+func (m *Model) QualityAt(elapsedFrac float64) float64 {
+	if !m.IsAnytime() {
+		if elapsedFrac >= 1 {
+			return m.Accuracy
+		}
+		return m.QFail
+	}
+	q := m.QFail
+	for _, s := range m.Stages {
+		if elapsedFrac >= s.LatencyFrac {
+			q = s.Accuracy
+		} else {
+			break
+		}
+	}
+	return q
+}
+
+// ValidateSet validates every model in a candidate set and checks name
+// uniqueness and task homogeneity (one controller instance serves one task).
+func ValidateSet(models []*Model) error {
+	if len(models) == 0 {
+		return fmt.Errorf("dnn: empty candidate set")
+	}
+	seen := make(map[string]bool, len(models))
+	task := models[0].Task
+	for _, m := range models {
+		if err := m.Validate(); err != nil {
+			return err
+		}
+		if seen[m.Name] {
+			return fmt.Errorf("dnn: duplicate model name %q", m.Name)
+		}
+		seen[m.Name] = true
+		if m.Task != task {
+			return fmt.Errorf("dnn: mixed tasks in candidate set (%v and %v)", task, m.Task)
+		}
+	}
+	return nil
+}
+
+// Fastest returns the model with the smallest reference latency; the
+// Sys-only baseline pins itself to this model (§5.1).
+func Fastest(models []*Model) *Model {
+	best := models[0]
+	for _, m := range models[1:] {
+		if m.RefLatency < best.RefLatency {
+			best = m
+		}
+	}
+	return best
+}
+
+// MostAccurate returns the model with the highest final accuracy.
+func MostAccurate(models []*Model) *Model {
+	best := models[0]
+	for _, m := range models[1:] {
+		if m.Accuracy > best.Accuracy {
+			best = m
+		}
+	}
+	return best
+}
+
+// Traditional filters the set down to non-anytime models.
+func Traditional(models []*Model) []*Model {
+	var out []*Model
+	for _, m := range models {
+		if !m.IsAnytime() {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Anytime filters the set down to anytime models.
+func Anytime(models []*Model) []*Model {
+	var out []*Model
+	for _, m := range models {
+		if m.IsAnytime() {
+			out = append(out, m)
+		}
+	}
+	return out
+}

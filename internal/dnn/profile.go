@@ -1,0 +1,107 @@
+package dnn
+
+import (
+	"fmt"
+
+	"github.com/alert-project/alert/internal/platform"
+)
+
+// ProfileTable is the offline profile t_prof[i][j]: expected inference
+// latency for model i under power cap j in the nominal (contention-free)
+// environment (§3.3). ALERT's entire prediction machinery is this table
+// rescaled by the global slowdown factor ξ.
+type ProfileTable struct {
+	Platform *platform.Platform
+	Models   []*Model
+	Caps     []float64
+	// Latency[i][j] is seconds for models[i] at caps[j].
+	Latency [][]float64
+	// Power[i][j] is the measured inference power draw in watts for
+	// models[i] under caps[j] — profiled offline alongside latency, and
+	// the p_{i,j} of the paper's Eq. 9. It differs from the raw cap when
+	// the workload cannot saturate it.
+	Power [][]float64
+}
+
+// Profile builds the table for a model set on a platform. Models that do
+// not fit the platform's memory are rejected, matching the OOMs Figure 4
+// reports on the Embedded board.
+func Profile(p *platform.Platform, models []*Model) (*ProfileTable, error) {
+	if err := ValidateSet(models); err != nil {
+		return nil, err
+	}
+	for _, m := range models {
+		if !p.Fits(m.MemGB) {
+			return nil, fmt.Errorf("dnn: model %s (%.1f GB) exceeds %s memory (%.0f GB)",
+				m.Name, m.MemGB, p.Name, p.MemGB)
+		}
+	}
+	caps := p.Caps()
+	lat := make([][]float64, len(models))
+	pow := make([][]float64, len(models))
+	for i, m := range models {
+		lat[i] = make([]float64, len(caps))
+		pow[i] = make([]float64, len(caps))
+		for j, c := range caps {
+			lat[i][j] = NominalLatency(m, p, c)
+			pow[i][j] = p.InferencePower(c) * m.UtilFactor
+		}
+	}
+	return &ProfileTable{Platform: p, Models: models, Caps: caps, Latency: lat, Power: pow}, nil
+}
+
+// NominalLatency is the deterministic latency model shared by profiling and
+// simulation: reference latency divided by the platform's absolute speed at
+// the cap (CPU2 at 100 W defines speed 1.0).
+func NominalLatency(m *Model, p *platform.Platform, cap float64) float64 {
+	return m.RefLatency / p.Speed(cap)
+}
+
+// At returns t_prof for the given model and cap indices.
+func (t *ProfileTable) At(model, cap int) float64 { return t.Latency[model][cap] }
+
+// PowerAt returns the profiled inference power p_{i,j} in watts.
+func (t *ProfileTable) PowerAt(model, cap int) float64 { return t.Power[model][cap] }
+
+// NumModels returns the number of profiled models.
+func (t *ProfileTable) NumModels() int { return len(t.Models) }
+
+// NumCaps returns the number of cap rungs.
+func (t *ProfileTable) NumCaps() int { return len(t.Caps) }
+
+// CapIndex returns the index of the ladder rung nearest to w.
+func (t *ProfileTable) CapIndex(w float64) int {
+	best, bestDiff := 0, -1.0
+	for j, c := range t.Caps {
+		d := c - w
+		if d < 0 {
+			d = -d
+		}
+		if bestDiff < 0 || d < bestDiff {
+			best, bestDiff = j, d
+		}
+	}
+	return best
+}
+
+// ModelIndex returns the index of the named model, or -1.
+func (t *ProfileTable) ModelIndex(name string) int {
+	for i, m := range t.Models {
+		if m.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// FastestAt returns the model index with the lowest profiled latency at the
+// highest cap — the configuration the infeasibility fallback reaches for.
+func (t *ProfileTable) FastestAt(cap int) int {
+	best := 0
+	for i := range t.Models {
+		if t.Latency[i][cap] < t.Latency[best][cap] {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,139 @@
+package experiment
+
+import (
+	"github.com/alert-project/alert/internal/baselines"
+	"github.com/alert-project/alert/internal/contention"
+	"github.com/alert-project/alert/internal/core"
+	"github.com/alert-project/alert/internal/dnn"
+	"github.com/alert-project/alert/internal/metrics"
+	"github.com/alert-project/alert/internal/platform"
+	"github.com/alert-project/alert/internal/runner"
+)
+
+// CellKey identifies one Table 4 cell: a platform, a task (DNN family), and
+// a contention scenario.
+type CellKey struct {
+	Platform string
+	Task     dnn.Task
+	Scenario contention.Scenario
+}
+
+// Workload returns the Table 4 row label for the scenario ("Idle" is the
+// paper's name for the Default environment in that table).
+func (k CellKey) Workload() string {
+	if k.Scenario == contention.Default {
+		return "Idle"
+	}
+	return k.Scenario.String()
+}
+
+// Family returns the Table 4 DNN-column label.
+func (k CellKey) Family() string {
+	if k.Task == dnn.SentencePrediction {
+		return "RNN"
+	}
+	return "SparseResnet"
+}
+
+// Cell is the result of running the full roster over one constraint grid.
+type Cell struct {
+	Key       CellKey
+	Objective core.Objective
+	// Norm maps scheme name to its Table 4 cell (normalized average +
+	// violated-setting superscript).
+	Norm map[string]metrics.CellResult
+	// PerSetting keeps the raw per-setting aggregates per scheme
+	// (including OracleStatic), backing Figures 8 and 10.
+	PerSetting map[string][]metrics.SettingResult
+	// Settings echoes the constraint grid that was run.
+	Settings []Setting
+	// RawRecords optionally retains the full per-input records keyed by
+	// scheme, in grid order; populated only when KeepRecords is set.
+	RawRecords map[string][]*metrics.Record
+}
+
+// CellOptions tune a cell run.
+type CellOptions struct {
+	// Schemes defaults to Table4Schemes.
+	Schemes []string
+	// KeepRecords retains per-input records (memory-heavy; Figures 8/10/11
+	// need them, Table 4 does not).
+	KeepRecords bool
+}
+
+// RunCell executes one Table 4 cell: for every constraint setting in the
+// grid it finds the OracleStatic baseline by exhaustive static search, runs
+// every scheme over the identical environment draws, and normalizes.
+func RunCell(key CellKey, obj core.Objective, sc Scale, opt CellOptions) (*Cell, error) {
+	plat, err := platform.ByName(key.Platform)
+	if err != nil {
+		return nil, err
+	}
+	profs, err := BuildProfiles(plat, key.Task)
+	if err != nil {
+		return nil, err
+	}
+	schemes := opt.Schemes
+	if schemes == nil {
+		schemes = Table4Schemes
+	}
+
+	grid := GridFor(obj, profs.Full, key.Scenario, sc)
+	cell := &Cell{
+		Key:        key,
+		Objective:  obj,
+		Norm:       make(map[string]metrics.CellResult, len(schemes)),
+		PerSetting: make(map[string][]metrics.SettingResult, len(schemes)+1),
+		Settings:   grid,
+	}
+	if opt.KeepRecords {
+		cell.RawRecords = make(map[string][]*metrics.Record)
+	}
+
+	for si, setting := range grid {
+		seed := sc.Seed + int64(si)*9973
+		baseCfg := runner.Config{
+			Prof:      profs.Full,
+			Scenario:  key.Scenario,
+			Spec:      setting.Spec,
+			NumInputs: sc.Inputs,
+			Seed:      seed,
+		}
+
+		static := baselines.OracleStatic(baseCfg)
+		cell.PerSetting[SchemeOracleSt] = append(cell.PerSetting[SchemeOracleSt],
+			settingResult(SchemeOracleSt, static.Record))
+		if opt.KeepRecords {
+			cell.RawRecords[SchemeOracleSt] = append(cell.RawRecords[SchemeOracleSt], static.Record)
+		}
+
+		for _, id := range schemes {
+			sched, prof, err := NewScheme(id, profs, setting.Spec)
+			if err != nil {
+				return nil, err
+			}
+			cfg := baseCfg
+			cfg.Prof = prof
+			rec := runner.Run(cfg, sched, nil)
+			cell.PerSetting[id] = append(cell.PerSetting[id], settingResult(id, rec))
+			if opt.KeepRecords {
+				cell.RawRecords[id] = append(cell.RawRecords[id], rec)
+			}
+		}
+	}
+
+	for _, id := range schemes {
+		cell.Norm[id] = metrics.Normalize(cell.PerSetting[id], cell.PerSetting[SchemeOracleSt],
+			obj == core.MinimizeEnergy)
+	}
+	return cell, nil
+}
+
+func settingResult(scheme string, rec *metrics.Record) metrics.SettingResult {
+	return metrics.SettingResult{
+		Scheme:    scheme,
+		AvgEnergy: rec.AvgEnergy(),
+		AvgError:  rec.AvgError(),
+		Violated:  rec.SettingViolated(),
+	}
+}

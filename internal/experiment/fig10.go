@@ -1,0 +1,109 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/alert-project/alert/internal/baselines"
+	"github.com/alert-project/alert/internal/contention"
+	"github.com/alert-project/alert/internal/core"
+	"github.com/alert-project/alert/internal/dnn"
+	"github.com/alert-project/alert/internal/mathx"
+	"github.com/alert-project/alert/internal/metrics"
+	"github.com/alert-project/alert/internal/platform"
+	"github.com/alert-project/alert/internal/runner"
+)
+
+// Fig10Group is one candidate-set column of Figure 10: the distribution
+// over constraint settings of average perplexity for ALERT and for the
+// mean-only ablation ALERT*.
+type Fig10Group struct {
+	CandidateSet string // "Standard", "Trad. Only", "Any. Only"
+	Alert        mathx.BoxStats
+	AlertStar    mathx.BoxStats
+}
+
+// Fig10Result evaluates ALERT's probabilistic design (§5.3): minimize
+// error for sentence prediction on CPU1, reporting perplexity (lower is
+// better), under the Default and Memory environments.
+type Fig10Result struct {
+	Scenario contention.Scenario
+	Groups   []Fig10Group
+}
+
+// RunFig10 reproduces one subplot of Figure 10.
+func RunFig10(scenario contention.Scenario, sc Scale) (*Fig10Result, error) {
+	plat, err := platform.ByName("CPU1")
+	if err != nil {
+		return nil, err
+	}
+	profs, err := BuildProfiles(plat, dnn.SentencePrediction)
+	if err != nil {
+		return nil, err
+	}
+	sets := []struct {
+		name string
+		prof *dnn.ProfileTable
+	}{
+		{"Standard", profs.Full},
+		{"Trad. Only", profs.Trad},
+		{"Any. Only", profs.Any},
+	}
+
+	res := &Fig10Result{Scenario: scenario}
+	for _, set := range sets {
+		grid := ErrorTaskGrid(set.prof, scenario, sc)
+		var alertPPL, starPPL []float64
+		for si, setting := range grid {
+			seed := sc.Seed + int64(si)*7919
+			cfg := runner.Config{
+				Prof:      set.prof,
+				Scenario:  scenario,
+				Spec:      setting.Spec,
+				NumInputs: sc.Inputs,
+				Seed:      seed,
+			}
+			opts := core.DefaultOptions()
+			alert := baselines.NewAlert("ALERT", set.prof, setting.Spec, opts)
+			alertPPL = append(alertPPL, avgPerplexity(runner.Run(cfg, alert, nil)))
+
+			opts.UseVariance = false
+			star := baselines.NewAlert("ALERT*", set.prof, setting.Spec, opts)
+			starPPL = append(starPPL, avgPerplexity(runner.Run(cfg, star, nil)))
+		}
+		res.Groups = append(res.Groups, Fig10Group{
+			CandidateSet: set.name,
+			Alert:        mathx.Box(alertPPL),
+			AlertStar:    mathx.Box(starPPL),
+		})
+	}
+	return res, nil
+}
+
+// avgPerplexity converts a record's per-input qualities to mean perplexity.
+func avgPerplexity(rec *metrics.Record) float64 {
+	var sum float64
+	n := 0
+	for _, q := range rec.Qualities() {
+		sum += dnn.PerplexityFromQuality(q)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Render produces the text form of one Figure 10 subplot.
+func (r *Fig10Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 10 (%s contention): minimize error for sentence prediction @ CPU1 — average perplexity, lower is better\n",
+		r.Scenario)
+	fmt.Fprintf(&b, "%-12s %24s %24s\n", "Candidates", "ALERT mean [min..max]", "ALERT* mean [min..max]")
+	for _, g := range r.Groups {
+		fmt.Fprintf(&b, "%-12s %8.1f [%6.1f..%7.1f] %8.1f [%6.1f..%7.1f]\n",
+			g.CandidateSet, g.Alert.Mean, g.Alert.Min, g.Alert.Max,
+			g.AlertStar.Mean, g.AlertStar.Min, g.AlertStar.Max)
+	}
+	return b.String()
+}

@@ -1,0 +1,93 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/alert-project/alert/internal/contention"
+	"github.com/alert-project/alert/internal/core"
+	"github.com/alert-project/alert/internal/dnn"
+	"github.com/alert-project/alert/internal/mathx"
+)
+
+// Fig8Group is one subplot of Figure 8: a (platform, task) pair with, per
+// contention scenario, the distribution over constraint settings of each
+// scheme's average energy.
+type Fig8Group struct {
+	Platform string
+	Task     dnn.Task
+	// Boxes[scenario][scheme] summarizes per-setting average energies.
+	Boxes map[contention.Scenario]map[string]mathx.BoxStats
+}
+
+// Fig8Result compares ALERT against Oracle and OracleStatic on the
+// minimize-energy task across the whole requirement grid (§5.2, Fig. 8).
+type Fig8Result struct {
+	Groups []Fig8Group
+}
+
+// RunFig8 reproduces Figure 8's four subplots (CPU1/CPU2 x image/sentence).
+func RunFig8(sc Scale) (*Fig8Result, error) {
+	schemes := []string{SchemeALERT, SchemeOracle}
+	res := &Fig8Result{}
+	for _, plat := range []string{"CPU1", "CPU2"} {
+		for _, task := range []dnn.Task{dnn.ImageClassification, dnn.SentencePrediction} {
+			g := Fig8Group{
+				Platform: plat,
+				Task:     task,
+				Boxes:    make(map[contention.Scenario]map[string]mathx.BoxStats),
+			}
+			for _, scenario := range contention.Scenarios() {
+				key := CellKey{Platform: plat, Task: task, Scenario: scenario}
+				cell, err := RunCell(key, core.MinimizeEnergy, sc, CellOptions{Schemes: schemes})
+				if err != nil {
+					return nil, err
+				}
+				byScheme := make(map[string]mathx.BoxStats)
+				for _, id := range append(schemes, SchemeOracleSt) {
+					var energies []float64
+					for _, s := range cell.PerSetting[id] {
+						energies = append(energies, s.AvgEnergy)
+					}
+					byScheme[id] = mathx.Box(energies)
+				}
+				g.Boxes[scenario] = byScheme
+			}
+			res.Groups = append(res.Groups, g)
+		}
+	}
+	return res, nil
+}
+
+// Render produces the text form of Figure 8.
+func (r *Fig8Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 8: ALERT vs Oracle and OracleStatic, minimize-energy task\n")
+	b.WriteString("(per scheme: mean [min..max] of average energy in J across constraint settings)\n")
+	for _, g := range r.Groups {
+		task := "Image Classification"
+		if g.Task == dnn.SentencePrediction {
+			task = "Sentence Prediction"
+		}
+		fmt.Fprintf(&b, "-- %s, %s --\n", g.Platform, task)
+		fmt.Fprintf(&b, "%-10s", "Scenario")
+		order := []string{SchemeOracleSt, SchemeALERT, SchemeOracle}
+		for _, id := range order {
+			fmt.Fprintf(&b, " %26s", id)
+		}
+		b.WriteByte('\n')
+		for _, scenario := range contention.Scenarios() {
+			name := scenario.String()
+			if scenario == contention.Default {
+				name = "Default"
+			}
+			fmt.Fprintf(&b, "%-10s", name)
+			for _, id := range order {
+				box := g.Boxes[scenario][id]
+				fmt.Fprintf(&b, "   %7.2f [%6.2f..%7.2f]", box.Mean, box.Min, box.Max)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,188 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/alert-project/alert/internal/contention"
+	"github.com/alert-project/alert/internal/core"
+	"github.com/alert-project/alert/internal/dnn"
+	"github.com/alert-project/alert/internal/mathx"
+)
+
+// Table4Row is one row of the paper's Table 4: a (platform, DNN family,
+// workload) triple with both objective columns.
+type Table4Row struct {
+	Key    CellKey
+	Energy *Cell // minimize-energy task
+	Error  *Cell // minimize-error task
+}
+
+// Table4 is the main evaluation result.
+type Table4 struct {
+	Rows    []Table4Row
+	Schemes []string
+}
+
+// Table4Keys lists the 15 cells the paper evaluates: CPU1 and CPU2 run both
+// tasks, the GPU runs image classification only ("the RNN-based sentence
+// prediction task is better suited for CPU", §5.1).
+func Table4Keys() []CellKey {
+	var keys []CellKey
+	for _, plat := range []string{"CPU1", "CPU2"} {
+		for _, task := range []dnn.Task{dnn.ImageClassification, dnn.SentencePrediction} {
+			for _, sc := range contention.Scenarios() {
+				keys = append(keys, CellKey{Platform: plat, Task: task, Scenario: sc})
+			}
+		}
+	}
+	for _, sc := range contention.Scenarios() {
+		keys = append(keys, CellKey{Platform: "GPU", Task: dnn.ImageClassification, Scenario: sc})
+	}
+	return keys
+}
+
+// RunTable4 reproduces Table 4 at the given scale.
+func RunTable4(sc Scale, opt CellOptions) (*Table4, error) {
+	schemes := opt.Schemes
+	if schemes == nil {
+		schemes = Table4Schemes
+	}
+	t := &Table4{Schemes: schemes}
+	for _, key := range Table4Keys() {
+		energy, err := RunCell(key, core.MinimizeEnergy, sc, opt)
+		if err != nil {
+			return nil, err
+		}
+		errCell, err := RunCell(key, core.MaximizeAccuracy, sc, opt)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, Table4Row{Key: key, Energy: energy, Error: errCell})
+	}
+	return t, nil
+}
+
+// HarmonicMeans returns the bottom row of Table 4: per-scheme harmonic
+// means of the normalized values across all rows, for one objective.
+func (t *Table4) HarmonicMeans(energyTask bool) map[string]float64 {
+	out := make(map[string]float64, len(t.Schemes))
+	for _, id := range t.Schemes {
+		var vals []float64
+		for _, row := range t.Rows {
+			cell := row.Energy
+			if !energyTask {
+				cell = row.Error
+			}
+			v := cell.Norm[id].NormValue
+			if !math.IsNaN(v) && v > 0 {
+				vals = append(vals, v)
+			}
+		}
+		out[id] = mathx.HarmonicMean(vals)
+	}
+	return out
+}
+
+// ViolationShare returns, per scheme, the fraction of all constraint
+// settings (across every row) the scheme violated — the asterisk series of
+// Figure 7.
+func (t *Table4) ViolationShare(energyTask bool) map[string]float64 {
+	out := make(map[string]float64, len(t.Schemes))
+	for _, id := range t.Schemes {
+		var violated, total int
+		for _, row := range t.Rows {
+			cell := row.Energy
+			if !energyTask {
+				cell = row.Error
+			}
+			c := cell.Norm[id]
+			violated += c.ViolatedSettings
+			total += c.Settings
+		}
+		if total > 0 {
+			out[id] = float64(violated) / float64(total)
+		}
+	}
+	return out
+}
+
+// Render produces the aligned-text form of Table 4, superscripts rendered
+// as ^k suffixes, mirroring the paper's caption semantics.
+func (t *Table4) Render() string {
+	var b strings.Builder
+	render := func(title string, energyTask bool) {
+		fmt.Fprintf(&b, "%s (normalized to OracleStatic, lower is better)\n", title)
+		fmt.Fprintf(&b, "%-6s %-12s %-8s", "Plat.", "DNN", "Work.")
+		for _, id := range t.Schemes {
+			fmt.Fprintf(&b, " %12s", id)
+		}
+		b.WriteByte('\n')
+		for _, row := range t.Rows {
+			cell := row.Energy
+			if !energyTask {
+				cell = row.Error
+			}
+			fmt.Fprintf(&b, "%-6s %-12s %-8s", row.Key.Platform, row.Key.Family(), row.Key.Workload())
+			for _, id := range t.Schemes {
+				c := cell.Norm[id]
+				val := fmt.Sprintf("%.2f", c.NormValue)
+				if math.IsNaN(c.NormValue) {
+					val = "--"
+				}
+				if c.ViolatedSettings > 0 {
+					val += fmt.Sprintf("^%d", c.ViolatedSettings)
+				}
+				fmt.Fprintf(&b, " %12s", val)
+			}
+			b.WriteByte('\n')
+		}
+		hm := t.HarmonicMeans(energyTask)
+		fmt.Fprintf(&b, "%-28s", "Harmonic mean")
+		for _, id := range t.Schemes {
+			fmt.Fprintf(&b, " %12.2f", hm[id])
+		}
+		b.WriteString("\n\n")
+	}
+	render("Table 4a: Energy in Minimize Energy Task", true)
+	render("Table 4b: Error Rate in Minimize Error Task", false)
+	return b.String()
+}
+
+// Fig7Summary condenses Table 4 into Figure 7: per scheme, the average
+// normalized performance and the share of violated constraint settings, for
+// both tasks.
+type Fig7Summary struct {
+	Schemes []string
+	// NormPerf[task][scheme]; task 0 = minimize energy, 1 = minimize error.
+	NormPerf   [2]map[string]float64
+	Violations [2]map[string]float64
+}
+
+// Fig7 derives the summary from a completed Table 4.
+func Fig7(t *Table4) *Fig7Summary {
+	s := &Fig7Summary{Schemes: t.Schemes}
+	s.NormPerf[0] = t.HarmonicMeans(true)
+	s.NormPerf[1] = t.HarmonicMeans(false)
+	s.Violations[0] = t.ViolationShare(true)
+	s.Violations[1] = t.ViolationShare(false)
+	return s
+}
+
+// Render produces the text form of Figure 7.
+func (s *Fig7Summary) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 7: summary (normalized to OracleStatic; violations = % of settings >10% violated)\n")
+	fmt.Fprintf(&b, "%-12s %18s %14s %18s %14s\n",
+		"Scheme", "MinEnergy perf", "violations", "MinError perf", "violations")
+	ids := append([]string(nil), s.Schemes...)
+	sort.Strings(ids)
+	for _, id := range ids {
+		fmt.Fprintf(&b, "%-12s %18.2f %13.1f%% %18.2f %13.1f%%\n",
+			id, s.NormPerf[0][id], 100*s.Violations[0][id],
+			s.NormPerf[1][id], 100*s.Violations[1][id])
+	}
+	return b.String()
+}

@@ -1,0 +1,122 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/alert-project/alert/internal/contention"
+	"github.com/alert-project/alert/internal/core"
+	"github.com/alert-project/alert/internal/dnn"
+	"github.com/alert-project/alert/internal/mathx"
+	"github.com/alert-project/alert/internal/metrics"
+)
+
+// Table5Schemes is the candidate-set comparison roster: the full mixed set,
+// the anytime-only set, and the traditional-only set.
+var Table5Schemes = []string{SchemeALERT, SchemeALERTAny, SchemeALERTTrad}
+
+// Table5Row is one (platform, workload) row of Table 5, Sparse ResNet task.
+type Table5Row struct {
+	Key    CellKey
+	Energy map[string]metrics.CellResult
+	Error  map[string]metrics.CellResult
+}
+
+// Table5 compares ALERT under different DNN candidate sets (§5.3).
+type Table5 struct {
+	Rows []Table5Row
+}
+
+// RunTable5 reproduces Table 5: image classification on CPU1/CPU2/GPU under
+// the three environments.
+func RunTable5(sc Scale) (*Table5, error) {
+	t := &Table5{}
+	for _, plat := range []string{"CPU1", "CPU2", "GPU"} {
+		for _, scenario := range contention.Scenarios() {
+			key := CellKey{Platform: plat, Task: dnn.ImageClassification, Scenario: scenario}
+			opt := CellOptions{Schemes: Table5Schemes}
+			energy, err := RunCell(key, core.MinimizeEnergy, sc, opt)
+			if err != nil {
+				return nil, err
+			}
+			errCell, err := RunCell(key, core.MaximizeAccuracy, sc, opt)
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, Table5Row{
+				Key:    key,
+				Energy: energy.Norm,
+				Error:  errCell.Norm,
+			})
+		}
+	}
+	return t, nil
+}
+
+// HarmonicMeans returns the bottom row for one objective column.
+func (t *Table5) HarmonicMeans(energyTask bool) map[string]float64 {
+	out := make(map[string]float64)
+	for _, id := range Table5Schemes {
+		var vals []float64
+		for _, row := range t.Rows {
+			cells := row.Energy
+			if !energyTask {
+				cells = row.Error
+			}
+			v := cells[id].NormValue
+			if !math.IsNaN(v) && v > 0 {
+				vals = append(vals, v)
+			}
+		}
+		out[id] = mathx.HarmonicMean(vals)
+	}
+	return out
+}
+
+// Render produces the text form of Table 5.
+func (t *Table5) Render() string {
+	var b strings.Builder
+	b.WriteString("Table 5: ALERT candidate sets, normalized to OracleStatic @ Sparse ResNet (lower is better)\n")
+	fmt.Fprintf(&b, "%-6s %-8s", "Plat.", "Work.")
+	for _, id := range Table5Schemes {
+		fmt.Fprintf(&b, " %12s", id)
+	}
+	b.WriteString("   |")
+	for _, id := range Table5Schemes {
+		fmt.Fprintf(&b, " %12s", id)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-15s %38s   | %36s\n", "", "Minimize Energy Task", "Minimize Error Task")
+	for _, row := range t.Rows {
+		fmt.Fprintf(&b, "%-6s %-8s", row.Key.Platform, row.Key.Workload())
+		writeCells := func(cells map[string]metrics.CellResult) {
+			for _, id := range Table5Schemes {
+				c := cells[id]
+				val := fmt.Sprintf("%.2f", c.NormValue)
+				if math.IsNaN(c.NormValue) {
+					val = "--"
+				}
+				if c.ViolatedSettings > 0 {
+					val += fmt.Sprintf("^%d", c.ViolatedSettings)
+				}
+				fmt.Fprintf(&b, " %12s", val)
+			}
+		}
+		writeCells(row.Energy)
+		b.WriteString("   |")
+		writeCells(row.Error)
+		b.WriteByte('\n')
+	}
+	hmE, hmR := t.HarmonicMeans(true), t.HarmonicMeans(false)
+	fmt.Fprintf(&b, "%-15s", "Harmonic mean")
+	for _, id := range Table5Schemes {
+		fmt.Fprintf(&b, " %12.2f", hmE[id])
+	}
+	b.WriteString("   |")
+	for _, id := range Table5Schemes {
+		fmt.Fprintf(&b, " %12.2f", hmR[id])
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

@@ -1,0 +1,121 @@
+package export
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/alert-project/alert/internal/experiment"
+)
+
+func parse(t *testing.T, out string) [][]string {
+	t.Helper()
+	recs, err := csv.NewReader(strings.NewReader(out)).ReadAll()
+	if err != nil {
+		t.Fatalf("invalid CSV: %v", err)
+	}
+	return recs
+}
+
+func smallScale() experiment.Scale {
+	sc := experiment.QuickScale()
+	sc.Inputs = 40
+	return sc
+}
+
+func TestFig2CSV(t *testing.T) {
+	res, err := experiment.RunFig2(smallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := Fig2CSV(&b, res); err != nil {
+		t.Fatal(err)
+	}
+	recs := parse(t, b.String())
+	if len(recs) != 43 { // header + 42 models
+		t.Fatalf("rows = %d", len(recs))
+	}
+	if recs[0][0] != "model" || len(recs[1]) != 5 {
+		t.Error("header/shape wrong")
+	}
+}
+
+func TestFig3CSV(t *testing.T) {
+	res, err := experiment.RunFig3(smallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := Fig3CSV(&b, res); err != nil {
+		t.Fatal(err)
+	}
+	recs := parse(t, b.String())
+	if len(recs) != 32 { // header + 31 settings
+		t.Fatalf("rows = %d", len(recs))
+	}
+}
+
+func TestFig6CSVInfRendering(t *testing.T) {
+	res, err := experiment.RunFig6(smallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := Fig6CSV(&b, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "inf") {
+		t.Error("expected infeasible settings rendered as inf")
+	}
+	parse(t, b.String())
+}
+
+func TestFig9CSV(t *testing.T) {
+	res, err := experiment.RunFig9(smallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := Fig9CSV(&b, res); err != nil {
+		t.Fatal(err)
+	}
+	recs := parse(t, b.String())
+	if len(recs) != 1+2*160 { // header + two 160-input traces
+		t.Fatalf("rows = %d", len(recs))
+	}
+}
+
+func TestFig11CSV(t *testing.T) {
+	res, err := experiment.RunFig11(smallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := Fig11CSV(&b, res); err != nil {
+		t.Fatal(err)
+	}
+	recs := parse(t, b.String())
+	if len(recs) != 1+3*20 { // header + 3 scenarios x 20 bins
+		t.Fatalf("rows = %d", len(recs))
+	}
+}
+
+func TestWriteAll(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteAll(dir, smallScale()); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"fig2.csv", "fig3.csv", "fig6.csv", "fig9.csv", "fig11.csv"} {
+		fi, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s is empty", name)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Rand wraps math/rand.Rand with the variate generators the simulators need.
+// Every stochastic component in the repository draws through a Rand seeded
+// from the experiment seed, so whole scenario runs replay bit-identically.
+type Rand struct {
+	*rand.Rand
+}
+
+// NewRand returns a deterministic generator for the given seed.
+func NewRand(seed int64) *Rand {
+	return &Rand{rand.New(rand.NewSource(seed))}
+}
+
+// LogNormal draws from a lognormal distribution parameterized by the mean and
+// standard deviation of the underlying normal (mu, sigma in log space).
+func (r *Rand) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*r.NormFloat64())
+}
+
+// TruncNormal draws from N(mu, sigma^2) truncated to [lo, hi] by rejection.
+// After 64 rejections it falls back to clamping, which only happens when the
+// interval has negligible mass and the precise shape no longer matters.
+func (r *Rand) TruncNormal(mu, sigma, lo, hi float64) float64 {
+	for i := 0; i < 64; i++ {
+		x := mu + sigma*r.NormFloat64()
+		if x >= lo && x <= hi {
+			return x
+		}
+	}
+	return Clamp(mu, lo, hi)
+}
+
+// Uniform draws from the closed interval [lo, hi].
+func (r *Rand) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Bernoulli returns true with probability p.
+func (r *Rand) Bernoulli(p float64) bool {
+	return r.Float64() < p
+}
+
+// Exponential draws from an exponential distribution with the given mean.
+func (r *Rand) Exponential(mean float64) float64 {
+	return r.ExpFloat64() * mean
+}
+
+// Split derives an independent child generator. Simulators hand one child to
+// each stochastic subcomponent so adding a component never perturbs the draws
+// seen by the others.
+func (r *Rand) Split() *Rand {
+	return NewRand(r.Int63())
+}

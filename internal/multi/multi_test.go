@@ -1,0 +1,204 @@
+package multi
+
+import (
+	"testing"
+
+	"github.com/alert-project/alert/internal/core"
+	"github.com/alert-project/alert/internal/dnn"
+	"github.com/alert-project/alert/internal/platform"
+	"github.com/alert-project/alert/internal/sim"
+)
+
+func newJob(t *testing.T, name string, spec core.Spec, weight float64) *Job {
+	t.Helper()
+	prof, err := dnn.Profile(platform.CPU1(), dnn.ImageCandidates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Job{
+		Name:   name,
+		Ctl:    core.New(prof, core.DefaultOptions()),
+		Prof:   prof,
+		Spec:   spec,
+		Weight: weight,
+	}
+}
+
+func accSpec(deadline float64) core.Spec {
+	return core.Spec{Objective: core.MaximizeAccuracy, Deadline: deadline}
+}
+
+func warm(j *Job, xi float64) {
+	for i := 0; i < 40; i++ {
+		j.Ctl.Observe(sim.Outcome{ObservedXi: xi, IdlePower: 6, CapApplied: 30})
+	}
+}
+
+func TestNewCoordinatorValidation(t *testing.T) {
+	if _, err := NewCoordinator(100); err == nil {
+		t.Error("no jobs should fail")
+	}
+	a := newJob(t, "a", accSpec(0.2), 0)
+	b := newJob(t, "b", accSpec(0.2), 0)
+	if _, err := NewCoordinator(5, a, b); err == nil {
+		t.Error("budget below the per-job floor should fail")
+	}
+	if _, err := NewCoordinator(60, a, b); err != nil {
+		t.Error(err)
+	}
+	// Mixed platforms are rejected.
+	gpuProf, err := dnn.Profile(platform.GPUPlatform(), dnn.ImageCandidates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := &Job{Name: "g", Ctl: core.New(gpuProf, core.DefaultOptions()), Prof: gpuProf, Spec: accSpec(0.2)}
+	if _, err := NewCoordinator(500, a, g); err == nil {
+		t.Error("mixed platforms should fail")
+	}
+}
+
+func TestAllocateRespectsBudget(t *testing.T) {
+	a := newJob(t, "a", accSpec(0.15), 0)
+	b := newJob(t, "b", accSpec(0.15), 0)
+	warm(a, 1.0)
+	warm(b, 1.0)
+	for _, budget := range []float64{22, 35, 50, 70, 90} {
+		co, err := NewCoordinator(budget, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		allocs := co.Allocate()
+		if got := TotalCapW(allocs); got > budget+1e-9 {
+			t.Errorf("budget %gW: allocated %gW", budget, got)
+		}
+	}
+}
+
+func TestMoreBudgetNeverHurts(t *testing.T) {
+	a := newJob(t, "a", accSpec(0.12), 0)
+	b := newJob(t, "b", accSpec(0.12), 0)
+	warm(a, 1.1)
+	warm(b, 1.1)
+	co, _ := NewCoordinator(25, a, b)
+	prev := -1.0
+	for _, budget := range []float64{25, 40, 55, 70, 90} {
+		co.SetBudgetW(budget)
+		allocs := co.Allocate()
+		var q float64
+		for _, al := range allocs {
+			q += al.Estimate.Quality
+		}
+		if q < prev-1e-9 {
+			t.Errorf("budget %gW lowered total expected quality: %g < %g", budget, q, prev)
+		}
+		prev = q
+	}
+}
+
+func TestTighterDeadlineDrawsMorePower(t *testing.T) {
+	tight := newJob(t, "tight", accSpec(0.06), 0)
+	loose := newJob(t, "loose", accSpec(0.40), 0)
+	warm(tight, 1.0)
+	warm(loose, 1.0)
+	co, _ := NewCoordinator(55, tight, loose)
+	allocs := co.Allocate()
+	var tw, lw float64
+	for _, al := range allocs {
+		switch al.Job.Name {
+		case "tight":
+			tw = al.CapW
+		case "loose":
+			lw = al.CapW
+		}
+	}
+	if tw <= lw {
+		t.Errorf("tight-deadline job got %gW, loose got %gW", tw, lw)
+	}
+}
+
+func TestWeightBiasesArbitration(t *testing.T) {
+	heavy := newJob(t, "heavy", accSpec(0.1), 5)
+	light := newJob(t, "light", accSpec(0.1), 1)
+	warm(heavy, 1.0)
+	warm(light, 1.0)
+	co, _ := NewCoordinator(45, heavy, light)
+	allocs := co.Allocate()
+	var hw, lw float64
+	for _, al := range allocs {
+		switch al.Job.Name {
+		case "heavy":
+			hw = al.CapW
+		case "light":
+			lw = al.CapW
+		}
+	}
+	if hw < lw {
+		t.Errorf("weighted job got %gW, light job %gW", hw, lw)
+	}
+}
+
+func TestEnergyMinimizingJobStopsDrawing(t *testing.T) {
+	// An energy-minimizing job that is already feasible must not soak up
+	// budget another job could use.
+	saver := newJob(t, "saver", core.Spec{
+		Objective: core.MinimizeEnergy, Deadline: 0.4, AccuracyGoal: 0.90,
+	}, 0)
+	chaser := newJob(t, "chaser", accSpec(0.12), 0)
+	warm(saver, 1.0)
+	warm(chaser, 1.0)
+	co, _ := NewCoordinator(60, saver, chaser)
+	allocs := co.Allocate()
+	var sw, cw float64
+	var sFeasible bool
+	for _, al := range allocs {
+		switch al.Job.Name {
+		case "saver":
+			sw, sFeasible = al.CapW, al.Feasible
+		case "chaser":
+			cw = al.CapW
+		}
+	}
+	if !sFeasible {
+		t.Fatal("saver should be feasible at 0.4s/0.90 with budget to spare")
+	}
+	if sw >= cw {
+		t.Errorf("energy saver drew %gW vs accuracy chaser's %gW", sw, cw)
+	}
+}
+
+func TestAllocationsCarryRunnableDecisions(t *testing.T) {
+	a := newJob(t, "a", accSpec(0.15), 0)
+	warm(a, 1.0)
+	co, _ := NewCoordinator(45, a)
+	for _, al := range co.Allocate() {
+		if al.Decision.Cap != al.CapIdx {
+			t.Error("decision cap disagrees with allocation")
+		}
+		if al.Decision.Model < 0 || al.Decision.Model >= al.Job.Prof.NumModels() {
+			t.Error("invalid model")
+		}
+	}
+}
+
+func TestObserveIsolatesFilters(t *testing.T) {
+	a := newJob(t, "a", accSpec(0.15), 0)
+	b := newJob(t, "b", accSpec(0.15), 0)
+	co, _ := NewCoordinator(60, a, b)
+	for i := 0; i < 30; i++ {
+		co.Observe(a, sim.Outcome{ObservedXi: 1.8, IdlePower: 6, CapApplied: 30})
+	}
+	if a.Ctl.XiMean() < 1.5 {
+		t.Error("job a's filter did not learn")
+	}
+	if b.Ctl.XiMean() > 1.2 {
+		t.Error("job b's filter was contaminated by job a's observations")
+	}
+}
+
+func TestMinBudgetW(t *testing.T) {
+	a := newJob(t, "a", accSpec(0.15), 0)
+	b := newJob(t, "b", accSpec(0.15), 0)
+	if got := MinBudgetW(a, b); got != 20 {
+		t.Errorf("min budget %g, want 20 (2 x 10W floor)", got)
+	}
+}

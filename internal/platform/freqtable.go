@@ -1,0 +1,71 @@
+package platform
+
+import "sort"
+
+// FreqEntry is one row of a GPU power–frequency lookup table: holding the
+// core clock at Freq MHz draws roughly Power watts under inference load.
+type FreqEntry struct {
+	Freq  float64 // MHz
+	Power float64 // W
+}
+
+// FreqTable is the PyNVML-style mechanism ALERT uses on GPUs (§4): since
+// GPUs expose clocks rather than direct power caps, the runtime builds a
+// table mapping feasible clocks to measured power and then treats "set cap
+// W" as "apply the fastest clock whose power is at most W".
+type FreqTable struct {
+	entries []FreqEntry // ascending by power
+}
+
+// BuildFreqTable constructs the table for a GPU platform by sweeping the
+// clock range. The power model inverts the platform speed law: a clock at
+// fraction f of maximum draws PStatic + f³·(PMax−PStatic), the same
+// cube-law used for CPUs, which measured RTX 2080 sweeps approximate well.
+func BuildFreqTable(p *Platform, steps int) *FreqTable {
+	const fMax = 1900.0 // MHz, RTX 2080 boost ceiling
+	const fMin = 600.0
+	if steps < 2 {
+		steps = 2
+	}
+	t := &FreqTable{}
+	for i := 0; i < steps; i++ {
+		f := fMin + (fMax-fMin)*float64(i)/float64(steps-1)
+		frac := f / fMax
+		pw := p.PStatic + frac*frac*frac*(p.PMax-p.PStatic)
+		t.entries = append(t.entries, FreqEntry{Freq: f, Power: pw})
+	}
+	sort.Slice(t.entries, func(i, j int) bool { return t.entries[i].Power < t.entries[j].Power })
+	return t
+}
+
+// Len returns the number of table rows.
+func (t *FreqTable) Len() int { return len(t.entries) }
+
+// Entry returns the i-th row (ascending power order).
+func (t *FreqTable) Entry(i int) FreqEntry { return t.entries[i] }
+
+// ClockForCap returns the highest frequency whose power draw fits under the
+// cap, or the lowest available clock when even that exceeds the cap (the
+// hardware cannot stop the clock entirely).
+func (t *FreqTable) ClockForCap(cap float64) FreqEntry {
+	best := t.entries[0]
+	for _, e := range t.entries {
+		if e.Power <= cap {
+			best = e
+		} else {
+			break
+		}
+	}
+	return best
+}
+
+// PowerForClock returns the tabulated draw of the slowest clock at or above
+// freq, or the highest row when freq exceeds the table.
+func (t *FreqTable) PowerForClock(freq float64) FreqEntry {
+	for _, e := range t.entries {
+		if e.Freq >= freq {
+			return e
+		}
+	}
+	return t.entries[len(t.entries)-1]
+}

@@ -1,0 +1,197 @@
+package platform
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"Embedded", "CPU1", "CPU2", "GPU"} {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%s): %v", name, err)
+		}
+		if p.Name != name {
+			t.Errorf("got %s", p.Name)
+		}
+	}
+	if _, err := ByName("TPU"); err == nil {
+		t.Error("expected error for unknown platform")
+	}
+}
+
+func TestCapsLadder(t *testing.T) {
+	for _, p := range All() {
+		caps := p.Caps()
+		if len(caps) < 2 {
+			t.Fatalf("%s: ladder too short", p.Name)
+		}
+		if caps[0] != p.PMin || caps[len(caps)-1] != p.PMax {
+			t.Errorf("%s: ladder endpoints %g..%g, want %g..%g",
+				p.Name, caps[0], caps[len(caps)-1], p.PMin, p.PMax)
+		}
+		for i := 1; i < len(caps); i++ {
+			if math.Abs(caps[i]-caps[i-1]-p.PStep) > 1e-9 {
+				t.Errorf("%s: uneven step at %d", p.Name, i)
+			}
+		}
+	}
+}
+
+func TestCPU2SpeedRatioMatchesFig3(t *testing.T) {
+	p := CPU2()
+	ratio := p.Speed(100) / p.Speed(40)
+	if math.Abs(ratio-2.0) > 0.02 {
+		t.Errorf("CPU2 speed(100)/speed(40) = %.3f, want ~2.0 (Fig. 3)", ratio)
+	}
+}
+
+func TestSpeedMonotone(t *testing.T) {
+	for _, p := range All() {
+		prev := 0.0
+		for _, c := range p.Caps() {
+			s := p.Speed(c)
+			if s <= prev {
+				t.Errorf("%s: speed not strictly increasing at %gW", p.Name, c)
+			}
+			prev = s
+		}
+	}
+}
+
+func TestSpeedClampsOutOfRange(t *testing.T) {
+	p := CPU1()
+	if p.Speed(p.PMin-100) != p.Speed(p.PMin) {
+		t.Error("below-range cap not clamped")
+	}
+	if p.Speed(p.PMax+100) != p.Speed(p.PMax) {
+		t.Error("above-range cap not clamped")
+	}
+}
+
+func TestInferencePowerSaturates(t *testing.T) {
+	p := CPU2()
+	if p.InferencePower(100) != p.InferencePower(p.DrawCeil) {
+		t.Error("draw should saturate at the ceiling")
+	}
+	if p.InferencePower(40) >= p.InferencePower(60) {
+		t.Error("draw should rise while the cap binds")
+	}
+	if p.InferencePower(50) > 50 {
+		t.Error("draw must not exceed the cap")
+	}
+}
+
+func TestFits(t *testing.T) {
+	e := Embedded()
+	if e.Fits(3.0) {
+		t.Error("3GB model should not fit the 2GB board")
+	}
+	if !e.Fits(0.4) {
+		t.Error("RNN should fit the embedded board")
+	}
+}
+
+func TestActuatorSnapAndClamp(t *testing.T) {
+	a := NewActuator(CPU1())
+	if got := a.Snap(11.2); got != 10 {
+		t.Errorf("Snap(11.2) = %g, want 10", got)
+	}
+	if got := a.Snap(11.3); got != 12.5 {
+		t.Errorf("Snap(11.3) = %g, want 12.5", got)
+	}
+	if got := a.Snap(1000); got != 45 {
+		t.Errorf("Snap(1000) = %g, want 45", got)
+	}
+	if got := a.Snap(0); got != 10 {
+		t.Errorf("Snap(0) = %g, want 10", got)
+	}
+}
+
+func TestActuatorSetCap(t *testing.T) {
+	a := NewActuator(CPU1())
+	if a.Cap() != 45 {
+		t.Errorf("initial cap %g, want PMax", a.Cap())
+	}
+	if err := a.SetCap(20); err != nil {
+		t.Fatal(err)
+	}
+	if a.Cap() != 20 {
+		t.Errorf("cap = %g", a.Cap())
+	}
+	if err := a.SetCap(5); err == nil {
+		t.Error("expected error for cap below range")
+	}
+	if err := a.SetCap(100); err == nil {
+		t.Error("expected error for cap above range")
+	}
+}
+
+func TestActuatorCountsSwitches(t *testing.T) {
+	a := NewActuator(CPU1())
+	_ = a.SetCap(20)
+	_ = a.SetCap(20) // no transition
+	_ = a.SetCap(25)
+	if a.Switches() != 2 {
+		t.Errorf("switches = %d, want 2", a.Switches())
+	}
+}
+
+func TestActuatorSnapProperty(t *testing.T) {
+	a := NewActuator(CPU2())
+	f := func(w float64) bool {
+		w = math.Mod(math.Abs(w), 200)
+		snapped := a.Snap(w)
+		// Snapped value must be a ladder rung and no other rung may be
+		// strictly closer.
+		found := false
+		for _, c := range a.Caps() {
+			if c == snapped {
+				found = true
+			}
+			if math.Abs(c-w) < math.Abs(snapped-w)-1e-9 {
+				return false
+			}
+		}
+		return found
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFreqTable(t *testing.T) {
+	p := GPUPlatform()
+	ft := BuildFreqTable(p, 26)
+	if ft.Len() != 26 {
+		t.Fatalf("len = %d", ft.Len())
+	}
+	// Ascending power, ascending frequency.
+	for i := 1; i < ft.Len(); i++ {
+		if ft.Entry(i).Power < ft.Entry(i-1).Power {
+			t.Error("power not ascending")
+		}
+		if ft.Entry(i).Freq < ft.Entry(i-1).Freq {
+			t.Error("frequency not ascending with power")
+		}
+	}
+	// ClockForCap returns the fastest clock under the cap.
+	e := ft.ClockForCap(150)
+	if e.Power > 150 {
+		t.Errorf("clock draws %gW over the 150W cap", e.Power)
+	}
+	if next := ft.PowerForClock(e.Freq + 100); next.Power <= 150 && next.Freq > e.Freq {
+		t.Error("a faster clock fits the cap, ClockForCap was not maximal")
+	}
+	// A cap below the whole table returns the slowest clock.
+	if got := ft.ClockForCap(1); got != ft.Entry(0) {
+		t.Error("tiny cap should return the floor clock")
+	}
+}
+
+func TestGPUQuieterThanCPUs(t *testing.T) {
+	if GPUPlatform().BaselineNoise >= CPU1().BaselineNoise {
+		t.Error("paper: GPU has significantly lower fluctuation than CPUs")
+	}
+}

@@ -1,0 +1,241 @@
+// Package rapl drives Intel's Running Average Power Limit interface through
+// the Linux powercap sysfs tree (/sys/class/powercap/intel-rapl*), the
+// mechanism ALERT uses to actuate power caps on CPU platforms (§4, citing
+// David et al.'s RAPL paper).
+//
+// Two capabilities matter to the runtime:
+//
+//   - setting a package power limit (constraint_0_power_limit_uw), which is
+//     the system-level knob of ALERT's joint configuration space, and
+//   - reading the monotonically increasing energy counter (energy_uj),
+//     which — differenced per input and combined with the inference-idle
+//     window — yields the measured energy that feeds back into the
+//     controller.
+//
+// The package is written against a small filesystem interface so the sysfs
+// protocol (unit conversions, counter wraparound at max_energy_range_uj,
+// write permission failures) is fully testable without root or Intel
+// hardware; the simulation substrate stands in for RAPL in the experiment
+// harness, and OSFS binds this package to the real tree on deployment.
+package rapl
+
+import (
+	"fmt"
+	"os"
+	"path"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// FS is the filesystem surface RAPL needs. Only absolute paths are used.
+type FS interface {
+	ReadFile(name string) ([]byte, error)
+	WriteFile(name string, data []byte) error
+	Glob(pattern string) ([]string, error)
+}
+
+// OSFS implements FS against the real filesystem.
+type OSFS struct{}
+
+// ReadFile implements FS.
+func (OSFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// WriteFile implements FS. Sysfs attribute files must not be created, only
+// overwritten, hence the 0 permission bits.
+func (OSFS) WriteFile(name string, data []byte) error {
+	return os.WriteFile(name, data, 0o644)
+}
+
+// Glob implements FS.
+func (OSFS) Glob(pattern string) ([]string, error) { return filepath.Glob(pattern) }
+
+// DefaultRoot is the standard powercap mount point.
+const DefaultRoot = "/sys/class/powercap"
+
+// Domain is one RAPL control domain (a package, or a subdomain like core /
+// uncore / dram).
+type Domain struct {
+	// Path is the sysfs directory of the domain.
+	Path string
+	// Name is the domain's self-reported name ("package-0", "dram", ...).
+	Name string
+	// MaxPowerUW is the hardware's maximum settable limit in microwatts;
+	// 0 when the attribute is absent.
+	MaxPowerUW uint64
+	// MaxEnergyRangeUJ is the wraparound modulus of the energy counter.
+	MaxEnergyRangeUJ uint64
+}
+
+// IsPackage reports whether the domain is a whole-package domain — the
+// granularity ALERT caps at.
+func (d Domain) IsPackage() bool { return strings.HasPrefix(d.Name, "package-") }
+
+// Discover enumerates RAPL domains under root (DefaultRoot when empty).
+func Discover(fsys FS, root string) ([]Domain, error) {
+	if root == "" {
+		root = DefaultRoot
+	}
+	dirs, err := fsys.Glob(path.Join(root, "intel-rapl*"))
+	if err != nil {
+		return nil, fmt.Errorf("rapl: glob: %w", err)
+	}
+	var domains []Domain
+	for _, dir := range dirs {
+		nameB, err := fsys.ReadFile(path.Join(dir, "name"))
+		if err != nil {
+			continue // control-type node or inaccessible domain
+		}
+		d := Domain{Path: dir, Name: strings.TrimSpace(string(nameB))}
+		if v, err := readUint(fsys, path.Join(dir, "constraint_0_max_power_uw")); err == nil {
+			d.MaxPowerUW = v
+		}
+		if v, err := readUint(fsys, path.Join(dir, "max_energy_range_uj")); err == nil {
+			d.MaxEnergyRangeUJ = v
+		}
+		domains = append(domains, d)
+	}
+	sort.Slice(domains, func(i, j int) bool { return domains[i].Path < domains[j].Path })
+	if len(domains) == 0 {
+		return nil, fmt.Errorf("rapl: no domains under %s", root)
+	}
+	return domains, nil
+}
+
+// Packages filters a domain list down to package domains.
+func Packages(domains []Domain) []Domain {
+	var out []Domain
+	for _, d := range domains {
+		if d.IsPackage() {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Actuator sets power limits on one domain.
+type Actuator struct {
+	fsys FS
+	dom  Domain
+}
+
+// NewActuator binds an actuator to a domain.
+func NewActuator(fsys FS, dom Domain) *Actuator { return &Actuator{fsys: fsys, dom: dom} }
+
+// Domain returns the bound domain.
+func (a *Actuator) Domain() Domain { return a.dom }
+
+// SetCapWatts writes the long-term (constraint 0) power limit. Requests
+// above the hardware maximum or non-positive requests are rejected before
+// touching sysfs.
+func (a *Actuator) SetCapWatts(w float64) error {
+	if w <= 0 {
+		return fmt.Errorf("rapl: non-positive cap %g", w)
+	}
+	uw := uint64(w * 1e6)
+	if a.dom.MaxPowerUW > 0 && uw > a.dom.MaxPowerUW {
+		return fmt.Errorf("rapl: cap %gW exceeds hardware max %gW",
+			w, float64(a.dom.MaxPowerUW)/1e6)
+	}
+	p := path.Join(a.dom.Path, "constraint_0_power_limit_uw")
+	if err := a.fsys.WriteFile(p, []byte(strconv.FormatUint(uw, 10))); err != nil {
+		return fmt.Errorf("rapl: set cap: %w", err)
+	}
+	return nil
+}
+
+// CapWatts reads back the currently applied limit.
+func (a *Actuator) CapWatts() (float64, error) {
+	v, err := readUint(a.fsys, path.Join(a.dom.Path, "constraint_0_power_limit_uw"))
+	if err != nil {
+		return 0, fmt.Errorf("rapl: read cap: %w", err)
+	}
+	return float64(v) / 1e6, nil
+}
+
+// Enabled reports whether capping is enabled on the domain.
+func (a *Actuator) Enabled() (bool, error) {
+	v, err := readUint(a.fsys, path.Join(a.dom.Path, "enabled"))
+	if err != nil {
+		return false, fmt.Errorf("rapl: read enabled: %w", err)
+	}
+	return v != 0, nil
+}
+
+// SetEnabled toggles capping on the domain.
+func (a *Actuator) SetEnabled(on bool) error {
+	v := "0"
+	if on {
+		v = "1"
+	}
+	if err := a.fsys.WriteFile(path.Join(a.dom.Path, "enabled"), []byte(v)); err != nil {
+		return fmt.Errorf("rapl: set enabled: %w", err)
+	}
+	return nil
+}
+
+// Meter reads a domain's energy counter and produces per-interval joule
+// deltas, handling the hardware counter's wraparound.
+type Meter struct {
+	fsys FS
+	dom  Domain
+
+	last    uint64
+	started bool
+}
+
+// NewMeter binds a meter to a domain.
+func NewMeter(fsys FS, dom Domain) *Meter { return &Meter{fsys: fsys, dom: dom} }
+
+// ReadMicrojoules returns the raw counter.
+func (m *Meter) ReadMicrojoules() (uint64, error) {
+	v, err := readUint(m.fsys, path.Join(m.dom.Path, "energy_uj"))
+	if err != nil {
+		return 0, fmt.Errorf("rapl: read energy: %w", err)
+	}
+	return v, nil
+}
+
+// DeltaJoules returns the energy consumed since the previous call (or since
+// the first call, which returns 0 and arms the meter). Counter wraparound
+// is unwrapped against max_energy_range_uj.
+func (m *Meter) DeltaJoules() (float64, error) {
+	cur, err := m.ReadMicrojoules()
+	if err != nil {
+		return 0, err
+	}
+	if !m.started {
+		m.started = true
+		m.last = cur
+		return 0, nil
+	}
+	var deltaUJ uint64
+	if cur >= m.last {
+		deltaUJ = cur - m.last
+	} else {
+		if m.dom.MaxEnergyRangeUJ == 0 {
+			return 0, fmt.Errorf("rapl: counter wrapped but max_energy_range_uj unknown")
+		}
+		deltaUJ = m.dom.MaxEnergyRangeUJ - m.last + cur
+	}
+	m.last = cur
+	return float64(deltaUJ) / 1e6, nil
+}
+
+// Reset disarms the meter; the next DeltaJoules re-arms at the current
+// counter value.
+func (m *Meter) Reset() { m.started = false }
+
+func readUint(fsys FS, p string) (uint64, error) {
+	b, err := fsys.ReadFile(p)
+	if err != nil {
+		return 0, err
+	}
+	s := strings.TrimSpace(string(b))
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("parse %s: %w", p, err)
+	}
+	return v, nil
+}

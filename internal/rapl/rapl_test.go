@@ -1,0 +1,245 @@
+package rapl
+
+import (
+	"fmt"
+	"path"
+	"strings"
+	"testing"
+)
+
+// fakeFS is an in-memory sysfs tree.
+type fakeFS struct {
+	files    map[string]string
+	readOnly map[string]bool
+	writes   int
+}
+
+func newFakeFS() *fakeFS {
+	return &fakeFS{files: map[string]string{}, readOnly: map[string]bool{}}
+}
+
+func (f *fakeFS) ReadFile(name string) ([]byte, error) {
+	v, ok := f.files[name]
+	if !ok {
+		return nil, fmt.Errorf("no such file: %s", name)
+	}
+	return []byte(v), nil
+}
+
+func (f *fakeFS) WriteFile(name string, data []byte) error {
+	if f.readOnly[name] {
+		return fmt.Errorf("permission denied: %s", name)
+	}
+	if _, ok := f.files[name]; !ok {
+		return fmt.Errorf("no such file: %s", name)
+	}
+	f.files[name] = string(data)
+	f.writes++
+	return nil
+}
+
+func (f *fakeFS) Glob(pattern string) ([]string, error) {
+	// Supports the single trailing-* pattern Discover uses.
+	prefix := strings.TrimSuffix(pattern, "*")
+	seen := map[string]bool{}
+	var out []string
+	for name := range f.files {
+		if !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		rest := strings.TrimPrefix(name, path.Dir(prefix)+"/")
+		dir := strings.SplitN(rest, "/", 2)[0]
+		full := path.Join(path.Dir(prefix), dir)
+		if !seen[full] {
+			seen[full] = true
+			out = append(out, full)
+		}
+	}
+	return out, nil
+}
+
+// addDomain installs a standard powercap domain into the fake tree.
+func (f *fakeFS) addDomain(dir, name string, maxPowerUW, maxRangeUJ, energyUJ uint64) {
+	f.files[path.Join(dir, "name")] = name + "\n"
+	f.files[path.Join(dir, "constraint_0_power_limit_uw")] = fmt.Sprint(maxPowerUW)
+	f.files[path.Join(dir, "constraint_0_max_power_uw")] = fmt.Sprint(maxPowerUW)
+	f.files[path.Join(dir, "max_energy_range_uj")] = fmt.Sprint(maxRangeUJ)
+	f.files[path.Join(dir, "energy_uj")] = fmt.Sprint(energyUJ)
+	f.files[path.Join(dir, "enabled")] = "1"
+}
+
+func standardTree() *fakeFS {
+	fs := newFakeFS()
+	fs.addDomain("/sys/class/powercap/intel-rapl:0", "package-0", 100_000_000, 262143328850, 1_000_000)
+	fs.addDomain("/sys/class/powercap/intel-rapl:0:0", "core", 0, 262143328850, 500_000)
+	fs.addDomain("/sys/class/powercap/intel-rapl:1", "package-1", 100_000_000, 262143328850, 2_000_000)
+	return fs
+}
+
+func TestDiscover(t *testing.T) {
+	fs := standardTree()
+	domains, err := Discover(fs, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(domains) != 3 {
+		t.Fatalf("found %d domains", len(domains))
+	}
+	pkgs := Packages(domains)
+	if len(pkgs) != 2 {
+		t.Fatalf("found %d packages", len(pkgs))
+	}
+	if pkgs[0].Name != "package-0" || pkgs[0].MaxPowerUW != 100_000_000 {
+		t.Errorf("package-0 parsed wrong: %+v", pkgs[0])
+	}
+	if pkgs[0].MaxEnergyRangeUJ != 262143328850 {
+		t.Errorf("energy range wrong: %d", pkgs[0].MaxEnergyRangeUJ)
+	}
+}
+
+func TestDiscoverEmpty(t *testing.T) {
+	if _, err := Discover(newFakeFS(), ""); err == nil {
+		t.Error("expected error for empty tree")
+	}
+}
+
+func TestActuatorSetAndReadCap(t *testing.T) {
+	fs := standardTree()
+	domains, _ := Discover(fs, "")
+	a := NewActuator(fs, Packages(domains)[0])
+
+	if err := a.SetCapWatts(45); err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.CapWatts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 45 {
+		t.Errorf("cap = %gW", got)
+	}
+	// Hardware max is 100 W; beyond it must fail without a write.
+	writes := fs.writes
+	if err := a.SetCapWatts(150); err == nil {
+		t.Error("expected error above hardware max")
+	}
+	if err := a.SetCapWatts(-1); err == nil {
+		t.Error("expected error for negative cap")
+	}
+	if fs.writes != writes {
+		t.Error("rejected caps must not touch sysfs")
+	}
+}
+
+func TestActuatorPermissionDenied(t *testing.T) {
+	fs := standardTree()
+	domains, _ := Discover(fs, "")
+	dom := Packages(domains)[0]
+	fs.readOnly[path.Join(dom.Path, "constraint_0_power_limit_uw")] = true
+	a := NewActuator(fs, dom)
+	if err := a.SetCapWatts(40); err == nil {
+		t.Error("expected permission error to propagate")
+	}
+}
+
+func TestActuatorEnableToggle(t *testing.T) {
+	fs := standardTree()
+	domains, _ := Discover(fs, "")
+	a := NewActuator(fs, Packages(domains)[0])
+	on, err := a.Enabled()
+	if err != nil || !on {
+		t.Fatalf("enabled = %v, %v", on, err)
+	}
+	if err := a.SetEnabled(false); err != nil {
+		t.Fatal(err)
+	}
+	if on, _ = a.Enabled(); on {
+		t.Error("disable did not stick")
+	}
+}
+
+func TestMeterDelta(t *testing.T) {
+	fs := standardTree()
+	domains, _ := Discover(fs, "")
+	dom := Packages(domains)[0]
+	m := NewMeter(fs, dom)
+
+	// First call arms the meter.
+	d, err := m.DeltaJoules()
+	if err != nil || d != 0 {
+		t.Fatalf("first delta = %g, %v", d, err)
+	}
+	fs.files[path.Join(dom.Path, "energy_uj")] = "3500000" // +2.5 J
+	d, err = m.DeltaJoules()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 2.5 {
+		t.Errorf("delta = %g, want 2.5", d)
+	}
+}
+
+func TestMeterWraparound(t *testing.T) {
+	fs := standardTree()
+	domains, _ := Discover(fs, "")
+	dom := Packages(domains)[0]
+	m := NewMeter(fs, dom)
+
+	// Arm near the top of the counter range.
+	near := dom.MaxEnergyRangeUJ - 1_000_000
+	fs.files[path.Join(dom.Path, "energy_uj")] = fmt.Sprint(near)
+	if _, err := m.DeltaJoules(); err != nil {
+		t.Fatal(err)
+	}
+	// Counter wraps: 1 J to the top, 0.5 J past it.
+	fs.files[path.Join(dom.Path, "energy_uj")] = "500000"
+	d, err := m.DeltaJoules()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 1.5 {
+		t.Errorf("wrapped delta = %g, want 1.5", d)
+	}
+}
+
+func TestMeterWrapWithoutRangeErrors(t *testing.T) {
+	fs := standardTree()
+	domains, _ := Discover(fs, "")
+	dom := Packages(domains)[0]
+	dom.MaxEnergyRangeUJ = 0
+	m := NewMeter(fs, dom)
+	fs.files[path.Join(dom.Path, "energy_uj")] = "100"
+	if _, err := m.DeltaJoules(); err != nil {
+		t.Fatal(err)
+	}
+	fs.files[path.Join(dom.Path, "energy_uj")] = "50"
+	if _, err := m.DeltaJoules(); err == nil {
+		t.Error("wrap without a known range must error, not fabricate energy")
+	}
+}
+
+func TestMeterReset(t *testing.T) {
+	fs := standardTree()
+	domains, _ := Discover(fs, "")
+	dom := Packages(domains)[0]
+	m := NewMeter(fs, dom)
+	if _, err := m.DeltaJoules(); err != nil {
+		t.Fatal(err)
+	}
+	m.Reset()
+	fs.files[path.Join(dom.Path, "energy_uj")] = "99000000"
+	// After a reset the first reading is an arm, not a delta.
+	if d, _ := m.DeltaJoules(); d != 0 {
+		t.Errorf("post-reset delta = %g, want 0", d)
+	}
+}
+
+func TestReadUintParseError(t *testing.T) {
+	fs := standardTree()
+	fs.files["/sys/class/powercap/intel-rapl:0/energy_uj"] = "not-a-number"
+	domains, _ := Discover(fs, "")
+	m := NewMeter(fs, Packages(domains)[0])
+	if _, err := m.DeltaJoules(); err == nil {
+		t.Error("expected parse error")
+	}
+}

@@ -1,0 +1,109 @@
+// Package runner executes one scheduling scheme over one workload stream in
+// one simulated environment and records what the paper's evaluation
+// measures. It is deliberately scheme-agnostic: ALERT, the single-layer
+// baselines, and the oracles all implement the same Scheduler interface, so
+// every number in Tables 4–5 and Figures 6–11 flows through this one loop.
+package runner
+
+import (
+	"github.com/alert-project/alert/internal/contention"
+	"github.com/alert-project/alert/internal/core"
+	"github.com/alert-project/alert/internal/dnn"
+	"github.com/alert-project/alert/internal/metrics"
+	"github.com/alert-project/alert/internal/sim"
+	"github.com/alert-project/alert/internal/workload"
+)
+
+// Scheduler picks a configuration for each input. Feedback schedulers use
+// only their own observations; oracle schedulers may interrogate the
+// environment (sim.Env.EvaluateAt / PeekXi), which on real hardware would
+// require a time machine.
+type Scheduler interface {
+	// Name identifies the scheme in records and tables.
+	Name() string
+	// Decide selects the configuration for input in with the adjusted
+	// latency goal.
+	Decide(env *sim.Env, in workload.Input, goal float64) sim.Decision
+	// Observe feeds back the measured outcome of the input just executed.
+	Observe(in workload.Input, d sim.Decision, out sim.Outcome)
+}
+
+// Config describes one run: a profiled candidate set on a platform, an
+// environment scenario, the constraint spec, and the stream length.
+type Config struct {
+	Prof      *dnn.ProfileTable
+	Scenario  contention.Scenario
+	Spec      core.Spec
+	NumInputs int
+	Seed      int64
+}
+
+// streamSeed/contSeed/envSeed derive the three independent substream seeds
+// so every scheme sees the identical input sequence and identical
+// environment draws — the property that makes OracleStatic's exhaustive
+// search and all cross-scheme comparisons apples-to-apples.
+func (c Config) streamSeed() int64 { return c.Seed*3 + 1 }
+func (c Config) contSeed() int64   { return c.Seed*3 + 2 }
+func (c Config) envSeed() int64    { return c.Seed*3 + 3 }
+
+// NewEnv builds the simulation environment for this config.
+func (c Config) NewEnv() *sim.Env {
+	cont := contention.NewSource(c.Scenario, c.Prof.Platform.Kind, c.contSeed())
+	return sim.NewEnv(c.Prof, cont, c.envSeed())
+}
+
+// NewStream builds the input stream for this config.
+func (c Config) NewStream() workload.Stream {
+	task := c.Prof.Models[0].Task
+	return workload.NewStream(task, c.NumInputs, c.streamSeed())
+}
+
+// Run executes the scheme over the configured stream and returns the
+// record. An optional trace callback sees every (input, decision, outcome)
+// triple — the hook behind Figure 9.
+func Run(cfg Config, sched Scheduler, trace func(in workload.Input, d sim.Decision, out sim.Outcome)) *metrics.Record {
+	return RunEnv(cfg, cfg.NewEnv(), sched, trace)
+}
+
+// RunEnv is Run with a caller-supplied environment, used by scripted-
+// contention experiments (Fig. 9) that need a custom contention source.
+func RunEnv(cfg Config, env *sim.Env, sched Scheduler, trace func(in workload.Input, d sim.Decision, out sim.Outcome)) *metrics.Record {
+	stream := cfg.NewStream()
+	task := cfg.Prof.Models[0].Task
+	tracker := workload.NewDeadlineTracker(task, cfg.Spec.Deadline, 0)
+	rec := metrics.NewRecord(sched.Name())
+
+	for {
+		in, ok := stream.Next()
+		if !ok {
+			break
+		}
+		goal := tracker.GoalFor(in)
+		d := sched.Decide(env, in, goal)
+		out := env.Step(d, in, goal, cfg.Spec.Deadline)
+		tracker.Observe(in, out.Latency)
+		sched.Observe(in, d, out)
+
+		s := metrics.Sample{
+			Latency:         out.Latency,
+			Goal:            goal,
+			Energy:          out.Energy,
+			Quality:         out.Quality,
+			TrueXi:          out.TrueXi,
+			Model:           d.Model,
+			Cap:             out.CapApplied,
+			LatencyViolated: out.Latency > goal,
+		}
+		switch cfg.Spec.Objective {
+		case core.MinimizeEnergy:
+			s.AccuracyViolated = out.Quality < cfg.Spec.AccuracyGoal
+		case core.MaximizeAccuracy:
+			s.EnergyViolated = cfg.Spec.EnergyBudget > 0 && out.Energy > cfg.Spec.EnergyBudget
+		}
+		rec.Add(s)
+		if trace != nil {
+			trace(in, d, out)
+		}
+	}
+	return rec
+}

@@ -1,0 +1,124 @@
+package runner
+
+import (
+	"testing"
+
+	"github.com/alert-project/alert/internal/contention"
+	"github.com/alert-project/alert/internal/core"
+	"github.com/alert-project/alert/internal/dnn"
+	"github.com/alert-project/alert/internal/platform"
+	"github.com/alert-project/alert/internal/sim"
+	"github.com/alert-project/alert/internal/workload"
+)
+
+// fixed is a trivial scheduler for harness tests.
+type fixed struct{ model, cap int }
+
+func (f fixed) Name() string { return "fixed" }
+func (f fixed) Decide(_ *sim.Env, _ workload.Input, goal float64) sim.Decision {
+	return sim.Decision{Model: f.model, Cap: f.cap}
+}
+func (fixed) Observe(workload.Input, sim.Decision, sim.Outcome) {}
+
+func config(t *testing.T, task dnn.Task, scenario contention.Scenario) Config {
+	t.Helper()
+	prof, err := dnn.Profile(platform.CPU1(), dnn.CandidatesFor(task))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := core.Spec{Objective: core.MinimizeEnergy, Deadline: 0.1, AccuracyGoal: 0.9}
+	return Config{Prof: prof, Scenario: scenario, Spec: spec, NumInputs: 150, Seed: 3}
+}
+
+func TestRunProducesOneSamplePerInput(t *testing.T) {
+	cfg := config(t, dnn.ImageClassification, contention.Default)
+	rec := Run(cfg, fixed{0, 0}, nil)
+	if rec.N() != cfg.NumInputs {
+		t.Fatalf("samples = %d, want %d", rec.N(), cfg.NumInputs)
+	}
+}
+
+func TestRunDeterministicAcrossSchedulers(t *testing.T) {
+	cfg := config(t, dnn.ImageClassification, contention.Memory)
+	a := Run(cfg, fixed{0, 0}, nil)
+	b := Run(cfg, fixed{3, 5}, nil)
+	for i := range a.Samples {
+		if a.Samples[i].TrueXi != b.Samples[i].TrueXi {
+			t.Fatalf("input %d: environment draws depend on decisions", i)
+		}
+	}
+}
+
+func TestRunViolationFlags(t *testing.T) {
+	cfg := config(t, dnn.ImageClassification, contention.Default)
+	cfg.Spec.AccuracyGoal = 0.99 // unreachable: every input violates accuracy
+	rec := Run(cfg, fixed{0, 0}, nil)
+	for _, s := range rec.Samples {
+		if !s.AccuracyViolated {
+			t.Fatal("accuracy violation not flagged")
+		}
+		if s.EnergyViolated {
+			t.Fatal("energy flag must be unused in the min-energy task")
+		}
+	}
+}
+
+func TestRunEnergyViolationFlagsInErrorTask(t *testing.T) {
+	cfg := config(t, dnn.ImageClassification, contention.Default)
+	cfg.Spec = core.Spec{Objective: core.MaximizeAccuracy, Deadline: 0.1, EnergyBudget: 1e-9}
+	rec := Run(cfg, fixed{0, len(cfg.Prof.Caps) - 1}, nil)
+	for _, s := range rec.Samples {
+		if !s.EnergyViolated {
+			t.Fatal("energy violation not flagged")
+		}
+	}
+}
+
+func TestRunTraceCallback(t *testing.T) {
+	cfg := config(t, dnn.ImageClassification, contention.Default)
+	var n int
+	Run(cfg, fixed{0, 0}, func(in workload.Input, d sim.Decision, out sim.Outcome) {
+		if in.ID != n {
+			t.Fatalf("trace out of order: %d at %d", in.ID, n)
+		}
+		n++
+	})
+	if n != cfg.NumInputs {
+		t.Fatalf("trace saw %d inputs", n)
+	}
+}
+
+func TestSentenceGoalsAdjustAcrossWords(t *testing.T) {
+	cfg := config(t, dnn.SentencePrediction, contention.Default)
+	cfg.Spec.Deadline = 0.02
+	// Pin a deliberately slow configuration so early words overrun and
+	// later words' goals tighten.
+	slow := cfg.Prof.ModelIndex("RNN-W4")
+	rec := Run(cfg, fixed{slow, 0}, nil)
+	var sawTightened bool
+	for _, s := range rec.Samples {
+		if s.Goal < cfg.Spec.Deadline*0.999 {
+			sawTightened = true
+			break
+		}
+	}
+	if !sawTightened {
+		t.Error("no word ever saw a tightened goal despite overruns")
+	}
+}
+
+func TestRunEnvCustomEnvironment(t *testing.T) {
+	cfg := config(t, dnn.ImageClassification, contention.Default)
+	cont := contention.NewScripted(platform.CPU, 1, contention.Burst{Start: 0, End: cfg.NumInputs, Scenario: contention.Memory})
+	env := sim.NewEnv(cfg.Prof, cont, 7)
+	rec := RunEnv(cfg, env, fixed{0, 0}, nil)
+	var contended int
+	for _, s := range rec.Samples {
+		if s.TrueXi > 1.08 {
+			contended++
+		}
+	}
+	if contended < cfg.NumInputs/2 {
+		t.Errorf("scripted full-run burst barely visible: %d contended", contended)
+	}
+}

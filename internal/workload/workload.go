@@ -1,0 +1,168 @@
+// Package workload generates the input streams the evaluation feeds the
+// runtime (Table 2): image streams whose per-input cost varies only
+// slightly (with rare outliers), and sentence streams whose words are
+// processed one at a time under a shared per-sentence deadline — the
+// structure that makes NLP1 the high-variance task in Figure 4 and
+// exercises ALERT's goal-adjustment step (§3.2 step 2).
+package workload
+
+import (
+	"github.com/alert-project/alert/internal/dnn"
+	"github.com/alert-project/alert/internal/mathx"
+)
+
+// Input is one unit of inference work. For image and QA tasks one Input is
+// one image/question; for sentence prediction one Input is one word.
+type Input struct {
+	// ID is the zero-based position in the stream.
+	ID int
+	// SizeFactor multiplies the model's nominal latency for this input
+	// (input-dependent cost: image decode size, sequence length, ...).
+	SizeFactor float64
+
+	// SentenceID groups words into sentences (sentence prediction only).
+	SentenceID int
+	// WordIdx is the word position within the sentence, zero-based.
+	WordIdx int
+	// SentenceLen is the total words in this sentence.
+	SentenceLen int
+}
+
+// LastWord reports whether this input closes its sentence.
+func (in Input) LastWord() bool { return in.WordIdx == in.SentenceLen-1 }
+
+// Stream produces inputs until exhausted.
+type Stream interface {
+	// Next returns the next input; ok is false when the stream ends.
+	Next() (in Input, ok bool)
+	// Task identifies the inference task the inputs belong to.
+	Task() dnn.Task
+	// Len returns the total number of inputs the stream will produce.
+	Len() int
+}
+
+// ImageStream models ImageNet-style inputs: lognormal jitter with sigma a
+// couple of percent plus rare heavy outliers ("outlier inputs exist but are
+// rare", §2.2).
+type ImageStream struct {
+	n    int
+	i    int
+	rng  *mathx.Rand
+	task dnn.Task
+}
+
+// NewImageStream builds a deterministic stream of n image inputs.
+func NewImageStream(n int, seed int64) *ImageStream {
+	return &ImageStream{n: n, rng: mathx.NewRand(seed), task: dnn.ImageClassification}
+}
+
+// Next implements Stream.
+func (s *ImageStream) Next() (Input, bool) {
+	if s.i >= s.n {
+		return Input{}, false
+	}
+	f := s.rng.LogNormal(0, 0.02)
+	if s.rng.Bernoulli(0.004) { // rare outlier: odd resolution, decode stall
+		f *= s.rng.Uniform(1.2, 1.8)
+	}
+	in := Input{ID: s.i, SizeFactor: f}
+	s.i++
+	return in, true
+}
+
+// Task implements Stream.
+func (s *ImageStream) Task() dnn.Task { return s.task }
+
+// Len implements Stream.
+func (s *ImageStream) Len() int { return s.n }
+
+// QAStream models SQuAD-style question answering: per-question cost varies
+// with passage length, a moderate lognormal.
+type QAStream struct {
+	n   int
+	i   int
+	rng *mathx.Rand
+}
+
+// NewQAStream builds a deterministic stream of n questions.
+func NewQAStream(n int, seed int64) *QAStream {
+	return &QAStream{n: n, rng: mathx.NewRand(seed)}
+}
+
+// Next implements Stream.
+func (s *QAStream) Next() (Input, bool) {
+	if s.i >= s.n {
+		return Input{}, false
+	}
+	in := Input{ID: s.i, SizeFactor: s.rng.LogNormal(0, 0.15)}
+	s.i++
+	return in, true
+}
+
+// Task implements Stream.
+func (s *QAStream) Task() dnn.Task { return dnn.QuestionAnswering }
+
+// Len implements Stream.
+func (s *QAStream) Len() int { return s.n }
+
+// SentenceStream models Penn Treebank-style text: sentences whose lengths
+// follow a truncated lognormal (mean ≈ 21 words, range 3–80), emitted one
+// word at a time. Word-level cost jitter is small; the dominant variance is
+// sentence length, exactly the decomposition §2.2 reports for NLP1.
+type SentenceStream struct {
+	inputs []Input
+	i      int
+}
+
+// NewSentenceStream builds a stream of whole sentences totalling at least n
+// words (the final sentence is never truncated).
+func NewSentenceStream(n int, seed int64) *SentenceStream {
+	rng := mathx.NewRand(seed)
+	var inputs []Input
+	sid := 0
+	for len(inputs) < n {
+		slen := int(rng.LogNormal(2.9, 0.55)) + 3
+		if slen > 80 {
+			slen = 80
+		}
+		for w := 0; w < slen; w++ {
+			inputs = append(inputs, Input{
+				ID:          len(inputs),
+				SizeFactor:  rng.LogNormal(0, 0.03),
+				SentenceID:  sid,
+				WordIdx:     w,
+				SentenceLen: slen,
+			})
+		}
+		sid++
+	}
+	return &SentenceStream{inputs: inputs}
+}
+
+// Next implements Stream.
+func (s *SentenceStream) Next() (Input, bool) {
+	if s.i >= len(s.inputs) {
+		return Input{}, false
+	}
+	in := s.inputs[s.i]
+	s.i++
+	return in, true
+}
+
+// Task implements Stream.
+func (s *SentenceStream) Task() dnn.Task { return dnn.SentencePrediction }
+
+// Len implements Stream.
+func (s *SentenceStream) Len() int { return len(s.inputs) }
+
+// NewStream builds the canonical evaluation stream for a task.
+func NewStream(task dnn.Task, n int, seed int64) Stream {
+	switch task {
+	case dnn.SentencePrediction:
+		return NewSentenceStream(n, seed)
+	case dnn.QuestionAnswering:
+		return NewQAStream(n, seed)
+	default:
+		return NewImageStream(n, seed)
+	}
+}

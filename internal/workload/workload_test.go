@@ -1,0 +1,227 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"github.com/alert-project/alert/internal/dnn"
+	"github.com/alert-project/alert/internal/mathx"
+)
+
+func TestImageStreamBasics(t *testing.T) {
+	s := NewImageStream(100, 1)
+	if s.Task() != dnn.ImageClassification || s.Len() != 100 {
+		t.Fatal("stream metadata wrong")
+	}
+	var stats mathx.OnlineStats
+	count := 0
+	for {
+		in, ok := s.Next()
+		if !ok {
+			break
+		}
+		if in.ID != count {
+			t.Fatalf("IDs not sequential: %d at position %d", in.ID, count)
+		}
+		if in.SizeFactor <= 0 {
+			t.Fatal("non-positive size factor")
+		}
+		stats.Add(in.SizeFactor)
+		count++
+	}
+	if count != 100 {
+		t.Fatalf("produced %d inputs", count)
+	}
+	if math.Abs(stats.Mean()-1) > 0.1 {
+		t.Errorf("image size factors should center near 1, mean %g", stats.Mean())
+	}
+}
+
+func TestImageStreamLowVarianceWithRareOutliers(t *testing.T) {
+	s := NewImageStream(20000, 2)
+	var outliers, n int
+	for {
+		in, ok := s.Next()
+		if !ok {
+			break
+		}
+		if in.SizeFactor > 1.15 {
+			outliers++
+		}
+		n++
+	}
+	rate := float64(outliers) / float64(n)
+	if rate > 0.02 {
+		t.Errorf("outlier rate %g too high; §2.2 says outliers are rare", rate)
+	}
+	if outliers == 0 {
+		t.Error("expected some outliers to exist")
+	}
+}
+
+func TestSentenceStreamStructure(t *testing.T) {
+	s := NewSentenceStream(500, 3)
+	if s.Task() != dnn.SentencePrediction {
+		t.Fatal("wrong task")
+	}
+	if s.Len() < 500 {
+		t.Fatalf("stream shorter than requested: %d", s.Len())
+	}
+	var lens []float64
+	prevSentence := -1
+	wordIdx := 0
+	for {
+		in, ok := s.Next()
+		if !ok {
+			break
+		}
+		if in.SentenceID != prevSentence {
+			if prevSentence >= 0 && wordIdx == 0 {
+				t.Fatal("empty sentence")
+			}
+			prevSentence = in.SentenceID
+			wordIdx = 0
+			lens = append(lens, float64(in.SentenceLen))
+		}
+		if in.WordIdx != wordIdx {
+			t.Fatalf("word index %d, want %d", in.WordIdx, wordIdx)
+		}
+		if in.SentenceLen < 3 || in.SentenceLen > 80 {
+			t.Fatalf("sentence length %d outside [3, 80]", in.SentenceLen)
+		}
+		if in.LastWord() != (in.WordIdx == in.SentenceLen-1) {
+			t.Fatal("LastWord inconsistent")
+		}
+		wordIdx++
+	}
+	if len(lens) < 5 {
+		t.Fatalf("too few sentences: %d", len(lens))
+	}
+	mean := mathx.Mean(lens)
+	if mean < 12 || mean < 0 || mean > 35 {
+		t.Errorf("mean sentence length %g outside Penn-Treebank ballpark", mean)
+	}
+}
+
+func TestSentenceStreamNeverTruncatesFinalSentence(t *testing.T) {
+	s := NewSentenceStream(100, 4)
+	var last Input
+	for {
+		in, ok := s.Next()
+		if !ok {
+			break
+		}
+		last = in
+	}
+	if !last.LastWord() {
+		t.Error("stream ended mid-sentence")
+	}
+}
+
+func TestQAStream(t *testing.T) {
+	s := NewQAStream(50, 5)
+	if s.Task() != dnn.QuestionAnswering || s.Len() != 50 {
+		t.Fatal("metadata wrong")
+	}
+	n := 0
+	for {
+		in, ok := s.Next()
+		if !ok {
+			break
+		}
+		if in.SizeFactor <= 0 {
+			t.Fatal("bad size factor")
+		}
+		n++
+	}
+	if n != 50 {
+		t.Fatalf("produced %d", n)
+	}
+}
+
+func TestNewStreamDispatch(t *testing.T) {
+	if NewStream(dnn.ImageClassification, 10, 1).Task() != dnn.ImageClassification {
+		t.Error("image dispatch")
+	}
+	if NewStream(dnn.SentencePrediction, 10, 1).Task() != dnn.SentencePrediction {
+		t.Error("sentence dispatch")
+	}
+	if NewStream(dnn.QuestionAnswering, 10, 1).Task() != dnn.QuestionAnswering {
+		t.Error("QA dispatch")
+	}
+}
+
+func TestStreamDeterminism(t *testing.T) {
+	a := NewStream(dnn.SentencePrediction, 200, 9)
+	b := NewStream(dnn.SentencePrediction, 200, 9)
+	for {
+		x, okA := a.Next()
+		y, okB := b.Next()
+		if okA != okB {
+			t.Fatal("lengths diverged")
+		}
+		if !okA {
+			break
+		}
+		if x != y {
+			t.Fatal("same-seed streams diverged")
+		}
+	}
+}
+
+func TestDeadlineTrackerFixedTasks(t *testing.T) {
+	d := NewDeadlineTracker(dnn.ImageClassification, 0.1, 0.002)
+	in := Input{ID: 0, SizeFactor: 1}
+	if got := d.GoalFor(in); math.Abs(got-0.098) > 1e-12 {
+		t.Errorf("goal = %g, want deadline minus overhead", got)
+	}
+	// Image goals never depend on history.
+	d.Observe(in, 0.5)
+	if got := d.GoalFor(Input{ID: 1}); math.Abs(got-0.098) > 1e-12 {
+		t.Errorf("image goal drifted to %g", got)
+	}
+}
+
+func TestDeadlineTrackerSentenceSharing(t *testing.T) {
+	d := NewDeadlineTracker(dnn.SentencePrediction, 0.1, 0)
+	mk := func(word int) Input {
+		return Input{SentenceID: 1, WordIdx: word, SentenceLen: 4}
+	}
+	// Word 0 gets the nominal per-word budget.
+	if g := d.GoalFor(mk(0)); math.Abs(g-0.1) > 1e-12 {
+		t.Fatalf("word 0 goal %g", g)
+	}
+	// Word 0 was slow (0.2s): the remaining 0.2s budget is spread over 3
+	// words.
+	d.Observe(mk(0), 0.2)
+	if g := d.GoalFor(mk(1)); math.Abs(g-0.2/3) > 1e-12 {
+		t.Fatalf("word 1 goal %g, want %g", g, 0.2/3)
+	}
+	// Word 1 was fast (0.02s): word 2's goal relaxes.
+	d.Observe(mk(1), 0.02)
+	want := (0.4 - 0.22) / 2
+	if g := d.GoalFor(mk(2)); math.Abs(g-want) > 1e-12 {
+		t.Fatalf("word 2 goal %g, want %g", g, want)
+	}
+}
+
+func TestDeadlineTrackerResetsPerSentence(t *testing.T) {
+	d := NewDeadlineTracker(dnn.SentencePrediction, 0.1, 0)
+	d.GoalFor(Input{SentenceID: 1, WordIdx: 0, SentenceLen: 2})
+	d.Observe(Input{SentenceID: 1, WordIdx: 0, SentenceLen: 2}, 0.19)
+	// New sentence: the old sentence's overrun must not leak in.
+	if g := d.GoalFor(Input{SentenceID: 2, WordIdx: 0, SentenceLen: 5}); math.Abs(g-0.1) > 1e-12 {
+		t.Fatalf("new sentence goal %g", g)
+	}
+}
+
+func TestDeadlineTrackerFloorsGoal(t *testing.T) {
+	d := NewDeadlineTracker(dnn.SentencePrediction, 0.1, 0)
+	in0 := Input{SentenceID: 3, WordIdx: 0, SentenceLen: 2}
+	d.GoalFor(in0)
+	d.Observe(in0, 10) // catastrophic overrun, budget exhausted
+	g := d.GoalFor(Input{SentenceID: 3, WordIdx: 1, SentenceLen: 2})
+	if g <= 0 {
+		t.Fatalf("goal %g must stay positive", g)
+	}
+}

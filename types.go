@@ -1,0 +1,102 @@
+package alert
+
+import (
+	"github.com/alert-project/alert/internal/contention"
+	"github.com/alert-project/alert/internal/core"
+	"github.com/alert-project/alert/internal/dnn"
+	"github.com/alert-project/alert/internal/platform"
+	"github.com/alert-project/alert/internal/sim"
+)
+
+// Model describes one inference-model candidate: its profiled reference
+// latency, accuracy, memory footprint, and (for anytime networks) the
+// output-stage ladder. See the internal/dnn documentation for field
+// details.
+type Model = dnn.Model
+
+// Stage is one output rung of an anytime model.
+type Stage = dnn.Stage
+
+// Task identifies the inference task of a candidate set.
+type Task = dnn.Task
+
+// Task values (Table 2 of the paper).
+const (
+	ImageClassification = dnn.ImageClassification
+	SentencePrediction  = dnn.SentencePrediction
+	QuestionAnswering   = dnn.QuestionAnswering
+)
+
+// Platform describes a machine and its power-management knobs.
+type Platform = platform.Platform
+
+// The four platforms of the paper's Table 1.
+var (
+	Embedded = platform.Embedded
+	CPU1     = platform.CPU1
+	CPU2     = platform.CPU2
+	GPU      = platform.GPUPlatform
+)
+
+// Platforms returns all four Table 1 platforms.
+func Platforms() []*Platform { return platform.All() }
+
+// Spec is the per-input requirement: a deadline plus either an energy
+// budget (MaximizeAccuracy) or an accuracy goal (MinimizeEnergy), and an
+// optional probabilistic threshold.
+type Spec = core.Spec
+
+// Objective selects the optimization dimension.
+type Objective = core.Objective
+
+// Objective values (§3.1, Eq. 1 and Eq. 2).
+const (
+	MaximizeAccuracy = core.MaximizeAccuracy
+	MinimizeEnergy   = core.MinimizeEnergy
+)
+
+// Estimate is the scheduler's prediction for a candidate configuration.
+type Estimate = core.Estimate
+
+// Contention names a simulated co-location environment.
+type Contention = contention.Scenario
+
+// Contention values (Table 3's run-time environments).
+const (
+	NoContention      = contention.Default
+	ComputeContention = contention.Compute
+	MemoryContention  = contention.Memory
+)
+
+// Burst is a scripted contention window over input indices, for
+// reproducible dynamic-behaviour studies like the paper's Figure 9.
+type Burst = contention.Burst
+
+// Candidate sets used in the paper's evaluation (Table 3).
+var (
+	// ImageCandidates is the Sparse ResNet ladder plus the Depth-Nest
+	// anytime classifier.
+	ImageCandidates = dnn.ImageCandidates
+	// SentenceCandidates is the word-RNN width ladder plus the Width-Nest
+	// anytime network.
+	SentenceCandidates = dnn.SentenceCandidates
+	// ImageNetZoo generates the 42-model tradeoff population of Figure 2.
+	ImageNetZoo = dnn.ImageNetZoo
+)
+
+// PerplexityFromQuality converts a sentence-prediction quality score to
+// Penn Treebank-scale perplexity, the metric Figure 10 reports.
+var PerplexityFromQuality = dnn.PerplexityFromQuality
+
+// outcomeForFeedback translates a public Feedback into the controller's
+// observation type.
+func outcomeForFeedback(fb Feedback, nominal float64) sim.Outcome {
+	out := sim.Outcome{ObservedXi: fb.Latency / nominal}
+	// The controller only folds in an idle-power observation when a cap is
+	// attached; reporting no idle measurement must leave φ untouched.
+	if fb.IdlePowerW > 0 {
+		out.IdlePower = fb.IdlePowerW
+		out.CapApplied = fb.Decision.CapW
+	}
+	return out
+}
