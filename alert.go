@@ -38,6 +38,7 @@ import (
 
 	"github.com/alert-project/alert/internal/core"
 	"github.com/alert-project/alert/internal/dnn"
+	"github.com/alert-project/alert/internal/sim"
 )
 
 // Scheduler is the ALERT runtime for one inference task on one platform.
@@ -55,10 +56,20 @@ func NewScheduler(p *Platform, models []*Model, opts Options) (*Scheduler, error
 	if err != nil {
 		return nil, fmt.Errorf("alert: %w", err)
 	}
+	o, err := coreOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Scheduler{prof: prof, ctl: core.New(prof, o)}, nil
+}
+
+// coreOptions translates the public Options into the controller's, applying
+// the paper's defaults for zero values.
+func coreOptions(opts Options) (core.Options, error) {
 	o := core.DefaultOptions()
 	if opts.Prth != 0 {
 		if opts.Prth < 0 || opts.Prth >= 1 {
-			return nil, fmt.Errorf("alert: Prth %g outside [0, 1)", opts.Prth)
+			return o, fmt.Errorf("alert: Prth %g outside [0, 1)", opts.Prth)
 		}
 	}
 	if opts.Confidence > 0 {
@@ -68,7 +79,7 @@ func NewScheduler(p *Platform, models []*Model, opts Options) (*Scheduler, error
 		o.OverheadFrac = opts.OverheadFrac
 	}
 	o.UseVariance = !opts.DisableVariance
-	return &Scheduler{prof: prof, ctl: core.New(prof, o)}, nil
+	return o, nil
 }
 
 // Options configure a Scheduler. The zero value reproduces the paper's
@@ -139,19 +150,29 @@ type Feedback struct {
 
 // Observe feeds a measurement back into the estimators (§3.2 step 1).
 func (s *Scheduler) Observe(fb Feedback) {
-	if fb.Latency <= 0 {
-		return
+	if out, ok := feedbackOutcome(s.prof, fb); ok {
+		s.ctl.Observe(out)
 	}
-	m := s.prof.Models[fb.Decision.Model]
+}
+
+// feedbackOutcome converts a public Feedback into the controller's
+// observation, scaling the profiled latency by the executed anytime
+// fraction. ok is false when the measurement carries no signal (non-positive
+// latency or nominal time) and must be dropped.
+func feedbackOutcome(prof *dnn.ProfileTable, fb Feedback) (out sim.Outcome, ok bool) {
+	if fb.Latency <= 0 {
+		return out, false
+	}
+	m := prof.Models[fb.Decision.Model]
 	frac := 1.0
 	if m.IsAnytime() && fb.CompletedStage >= 0 && fb.CompletedStage < len(m.Stages) {
 		frac = m.Stages[fb.CompletedStage].LatencyFrac
 	}
-	nominal := s.prof.At(fb.Decision.Model, fb.Decision.Cap) * frac
+	nominal := prof.At(fb.Decision.Model, fb.Decision.Cap) * frac
 	if nominal <= 0 {
-		return
+		return out, false
 	}
-	s.ctl.Observe(outcomeForFeedback(fb, nominal))
+	return outcomeForFeedback(fb, nominal), true
 }
 
 // XiEstimate returns the current (mean, std) of the global slowdown factor.

@@ -7,6 +7,9 @@ package alert
 // regenerates the full-scale numbers recorded in EXPERIMENTS.md.
 
 import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
 	"testing"
 
 	"github.com/alert-project/alert/internal/baselines"
@@ -243,6 +246,62 @@ func BenchmarkControllerDecisionZoo(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		d, _ := ctl.Decide(spec)
 		ctl.Observe(sim.Outcome{ObservedXi: 1.05, IdlePower: 20, CapApplied: prof.Caps[d.Cap]})
+	}
+}
+
+// BenchmarkServeThroughput measures the concurrent serving layer's
+// decisions/sec at 1 shard (the serial baseline) and at one shard per core.
+// Shards never share controller state, so on a multi-core runner the
+// per-core variant should deliver ≥ 2× the single-shard rate; the
+// decisions/sec metric makes the ratio directly readable from the output.
+func BenchmarkServeThroughput(b *testing.B) {
+	spec := Spec{Objective: MinimizeEnergy, Deadline: 0.2, AccuracyGoal: 0.93}
+	bench := func(b *testing.B, shards int) {
+		srv, err := NewServer(CPU1(), ImageCandidates(), ServerOptions{Shards: shards, QueueDepth: 256})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Close()
+		var stream atomic.Int64
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			// Each benchmark goroutine is one inference stream, pinned to
+			// a shard, running the paper's decide → observe loop.
+			s := int(stream.Add(1))
+			for pb.Next() {
+				d, _ := srv.Decide(s, spec)
+				srv.Observe(s, Feedback{Decision: d, Latency: 1.05 * srv.prof.At(d.Model, d.Cap), CompletedStage: -1})
+			}
+		})
+		b.StopTimer()
+		// Rate over the timed region only; the counters' own uptime also
+		// includes profiling/setup, which would flatten the shard ratio at
+		// small b.N.
+		if sec := b.Elapsed().Seconds(); sec > 0 {
+			b.ReportMetric(float64(b.N)/sec, "decisions/s")
+		}
+	}
+	b.Run("shards=1", func(b *testing.B) { bench(b, 1) })
+	b.Run(fmt.Sprintf("shards=%d", runtime.GOMAXPROCS(0)), func(b *testing.B) {
+		bench(b, runtime.GOMAXPROCS(0))
+	})
+}
+
+// BenchmarkServeBatch measures batched dispatch through the public API.
+func BenchmarkServeBatch(b *testing.B) {
+	srv, err := NewServer(CPU1(), ImageCandidates(), ServerOptions{QueueDepth: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	spec := Spec{Objective: MinimizeEnergy, Deadline: 0.2, AccuracyGoal: 0.93}
+	reqs := make([]BatchRequest, 64)
+	for i := range reqs {
+		reqs[i] = BatchRequest{Stream: i, Spec: spec}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv.DecideBatch(reqs)
 	}
 }
 

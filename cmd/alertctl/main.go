@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -18,21 +19,33 @@ import (
 )
 
 func main() {
-	platName := flag.String("platform", "CPU1", "Embedded | CPU1 | CPU2 | GPU")
-	task := flag.String("task", "image", "image | sentence")
-	cont := flag.String("contention", "none", "none | compute | memory")
-	objective := flag.String("objective", "energy", "energy (minimize energy) | error (minimize error)")
-	deadlineFactor := flag.Float64("deadline-factor", 1.25, "deadline as a multiple of the largest model's latency")
-	accuracy := flag.Float64("accuracy", 0.92, "accuracy goal (energy objective)")
-	budgetW := flag.Float64("budget-watts", 0, "energy budget as avg watts over the deadline window (error objective; 0 = platform default cap)")
-	inputs := flag.Int("inputs", 200, "number of inputs")
-	seed := flag.Int64("seed", 1, "simulation seed")
-	trace := flag.Bool("trace", false, "print a per-input trace")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "alertctl:", err)
+		os.Exit(1)
+	}
+}
+
+// run is main with injectable arguments and output, so the CLI is testable
+// end-to-end without a subprocess.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("alertctl", flag.ContinueOnError)
+	platName := fs.String("platform", "CPU1", "Embedded | CPU1 | CPU2 | GPU")
+	task := fs.String("task", "image", "image | sentence")
+	cont := fs.String("contention", "none", "none | compute | memory")
+	objective := fs.String("objective", "energy", "energy (minimize energy) | error (minimize error)")
+	deadlineFactor := fs.Float64("deadline-factor", 1.25, "deadline as a multiple of the largest model's latency")
+	accuracy := fs.Float64("accuracy", 0.92, "accuracy goal (energy objective)")
+	budgetW := fs.Float64("budget-watts", 0, "energy budget as avg watts over the deadline window (error objective; 0 = platform default cap)")
+	inputs := fs.Int("inputs", 200, "number of inputs")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	trace := fs.Bool("trace", false, "print a per-input trace")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	plat, err := findPlatform(*platName)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	models := alert.ImageCandidates()
 	if strings.HasPrefix(strings.ToLower(*task), "sent") {
@@ -61,7 +74,7 @@ func main() {
 		}
 		spec.EnergyBudget = w * deadline
 	default:
-		fatal(fmt.Errorf("unknown objective %q", *objective))
+		return fmt.Errorf("unknown objective %q", *objective)
 	}
 
 	scenario := alert.NoContention
@@ -72,7 +85,7 @@ func main() {
 	case "memory":
 		scenario = alert.MemoryContention
 	default:
-		fatal(fmt.Errorf("unknown contention %q", *cont))
+		return fmt.Errorf("unknown contention %q", *cont)
 	}
 
 	cfg := alert.SimConfig{
@@ -84,27 +97,28 @@ func main() {
 		Seed:       *seed,
 	}
 	if *trace {
-		fmt.Printf("%-6s %-16s %7s %9s %8s %8s %5s\n",
+		fmt.Fprintf(stdout, "%-6s %-16s %7s %9s %8s %8s %5s\n",
 			"input", "model", "cap(W)", "latency", "quality", "xi", "cont")
 		cfg.Trace = func(s alert.TraceSample) {
 			mark := ""
 			if s.Contention {
 				mark = "*"
 			}
-			fmt.Printf("%-6d %-16s %7.1f %9.4f %8.4f %8.3f %5s\n",
+			fmt.Fprintf(stdout, "%-6d %-16s %7.1f %9.4f %8.4f %8.3f %5s\n",
 				s.Input, s.ModelName, s.Decision.CapW, s.Latency, s.Quality, s.TrueXi, mark)
 		}
 	}
 
 	rep, err := alert.Simulate(cfg)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("\nplatform=%s task=%s contention=%s objective=%s deadline=%.4fs\n",
+	fmt.Fprintf(stdout, "\nplatform=%s task=%s contention=%s objective=%s deadline=%.4fs\n",
 		plat.Name, *task, *cont, *objective, deadline)
-	fmt.Printf("inputs=%d avg_latency=%.4fs avg_energy=%.3fJ avg_quality=%.4f violations=%.1f%% misses=%.1f%%\n",
+	fmt.Fprintf(stdout, "inputs=%d avg_latency=%.4fs avg_energy=%.3fJ avg_quality=%.4f violations=%.1f%% misses=%.1f%%\n",
 		rep.Inputs, rep.AvgLatency, rep.AvgEnergy, rep.AvgQuality,
 		100*rep.ViolationRate, 100*rep.DeadlineMissRate)
+	return nil
 }
 
 func findPlatform(name string) (*alert.Platform, error) {
@@ -114,9 +128,4 @@ func findPlatform(name string) (*alert.Platform, error) {
 		}
 	}
 	return nil, fmt.Errorf("unknown platform %q", name)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "alertctl:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunSummary is the end-to-end smoke test: a short simulated run must
+// print the summary block.
+func TestRunSummary(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-inputs", "20", "-seed", "7"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"platform=CPU1", "objective=energy", "inputs=20", "avg_latency="} {
+		if !strings.Contains(got, want) {
+			t.Errorf("summary missing %q in:\n%s", want, got)
+		}
+	}
+}
+
+// TestRunTraceAndErrorObjective covers the trace path and the error
+// objective with a sentence task.
+func TestRunTraceAndErrorObjective(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-inputs", "10", "-trace", "-objective", "error",
+		"-task", "sentence", "-contention", "memory", "-platform", "CPU2",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "input") || !strings.Contains(got, "model") {
+		t.Errorf("trace header missing in:\n%s", got)
+	}
+	if !strings.Contains(got, "objective=error") {
+		t.Errorf("summary missing error objective in:\n%s", got)
+	}
+}
+
+// TestRunFlagErrors checks bad flags surface as errors, not exits.
+func TestRunFlagErrors(t *testing.T) {
+	var out strings.Builder
+	cases := [][]string{
+		{"-platform", "TPU9"},
+		{"-objective", "fastest"},
+		{"-contention", "gamma-rays"},
+		{"-no-such-flag"},
+	}
+	for _, args := range cases {
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v: want error, got nil", args)
+		}
+	}
+}

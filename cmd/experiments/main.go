@@ -8,12 +8,15 @@
 //	experiments -exp all            # everything, full scale (minutes)
 //	experiments -exp fig3,fig9      # a subset
 //	experiments -exp table4 -quick  # reduced grid for a fast look
+//	experiments -exp table4 -parallel 8   # 8 settings per cell at once
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -23,36 +26,61 @@ import (
 )
 
 func main() {
-	exps := flag.String("exp", "all", "comma-separated experiment ids: fig2,fig3,fig4,fig5,fig6,fig7,fig8,fig9,fig10,fig11,table4,table5 or all")
-	quick := flag.Bool("quick", false, "use the reduced grid (faster, noisier)")
-	seed := flag.Int64("seed", 42, "experiment seed")
-	csvDir := flag.String("csv", "", "also export CSV files into this directory")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// run is main with injectable arguments and output, so the CLI is testable
+// end-to-end without a subprocess.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	exps := fs.String("exp", "all", "comma-separated experiment ids: fig2,fig3,fig4,fig5,fig6,fig7,fig8,fig9,fig10,fig11,table4,table5 or all")
+	quick := fs.Bool("quick", false, "use the reduced grid (faster, noisier)")
+	seed := fs.Int64("seed", 42, "experiment seed")
+	csvDir := fs.String("csv", "", "also export CSV files into this directory")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0),
+		"constraint settings run concurrently per cell (results are seed-deterministic at any value; 1 = serial)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	sc := experiment.FullScale()
 	if *quick {
 		sc = experiment.QuickScale()
 	}
 	sc.Seed = *seed
+	sc.Parallelism = *parallel
 
+	known := map[string]bool{"all": true}
+	for _, id := range []string{"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+		"fig9", "fig10", "fig11", "table4", "table5"} {
+		known[id] = true
+	}
 	want := map[string]bool{}
 	for _, id := range strings.Split(*exps, ",") {
-		want[strings.TrimSpace(strings.ToLower(id))] = true
+		id = strings.TrimSpace(strings.ToLower(id))
+		if !known[id] {
+			return fmt.Errorf("unknown experiment id %q", id)
+		}
+		want[id] = true
 	}
 	all := want["all"]
 	selected := func(id string) bool { return all || want[id] }
 
+	var firstErr error
 	run := func(id string, fn func() (fmt.Stringer, error)) {
-		if !selected(id) {
+		if firstErr != nil || !selected(id) {
 			return
 		}
 		start := time.Now()
 		res, err := fn()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
-			os.Exit(1)
+			firstErr = fmt.Errorf("%s: %w", id, err)
+			return
 		}
-		fmt.Printf("==== %s (%.1fs) ====\n%s\n", id, time.Since(start).Seconds(), res)
+		fmt.Fprintf(stdout, "==== %s (%.1fs) ====\n%s\n", id, time.Since(start).Seconds(), res)
 	}
 
 	run("fig2", func() (fmt.Stringer, error) { return wrap(experiment.RunFig2(sc)) })
@@ -63,44 +91,45 @@ func main() {
 
 	// Table 4 feeds Figure 7, so compute them together when either is
 	// requested.
-	if selected("table4") || selected("fig7") {
+	if firstErr == nil && (selected("table4") || selected("fig7")) {
 		start := time.Now()
 		t4, err := experiment.RunTable4(sc, experiment.CellOptions{})
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "table4: %v\n", err)
-			os.Exit(1)
+			return fmt.Errorf("table4: %w", err)
 		}
 		if selected("table4") {
-			fmt.Printf("==== table4 (%.1fs) ====\n%s\n", time.Since(start).Seconds(), t4.Render())
+			fmt.Fprintf(stdout, "==== table4 (%.1fs) ====\n%s\n", time.Since(start).Seconds(), t4.Render())
 		}
 		if selected("fig7") {
-			fmt.Printf("==== fig7 ====\n%s\n", experiment.Fig7(t4).Render())
+			fmt.Fprintf(stdout, "==== fig7 ====\n%s\n", experiment.Fig7(t4).Render())
 		}
 	}
 
 	run("table5", func() (fmt.Stringer, error) { return wrap(experiment.RunTable5(sc)) })
 	run("fig8", func() (fmt.Stringer, error) { return wrap(experiment.RunFig8(sc)) })
 	run("fig9", func() (fmt.Stringer, error) { return wrap(experiment.RunFig9(sc)) })
-	if selected("fig10") {
+	if firstErr == nil && selected("fig10") {
 		for _, scenario := range []contention.Scenario{contention.Default, contention.Memory} {
 			start := time.Now()
 			res, err := experiment.RunFig10(scenario, sc)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "fig10: %v\n", err)
-				os.Exit(1)
+				return fmt.Errorf("fig10: %w", err)
 			}
-			fmt.Printf("==== fig10/%s (%.1fs) ====\n%s\n", scenario, time.Since(start).Seconds(), res.Render())
+			fmt.Fprintf(stdout, "==== fig10/%s (%.1fs) ====\n%s\n", scenario, time.Since(start).Seconds(), res.Render())
 		}
 	}
 	run("fig11", func() (fmt.Stringer, error) { return wrap(experiment.RunFig11(sc)) })
+	if firstErr != nil {
+		return firstErr
+	}
 
 	if *csvDir != "" {
 		if err := export.WriteAll(*csvDir, sc); err != nil {
-			fmt.Fprintf(os.Stderr, "csv export: %v\n", err)
-			os.Exit(1)
+			return fmt.Errorf("csv export: %w", err)
 		}
-		fmt.Printf("CSV artifacts written to %s\n", *csvDir)
+		fmt.Fprintf(stdout, "CSV artifacts written to %s\n", *csvDir)
 	}
+	return nil
 }
 
 // renderer adapts the experiment results' Render methods to fmt.Stringer.

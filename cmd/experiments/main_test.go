@@ -1,0 +1,56 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunQuickFig3 is the end-to-end smoke test: one cheap experiment at
+// quick scale must render its table.
+func TestRunQuickFig3(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-exp", "fig3", "-quick"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "==== fig3") {
+		t.Errorf("missing fig3 banner in:\n%s", out.String())
+	}
+}
+
+// TestRunParallelDeterminism runs the same experiment serially and with
+// -parallel and requires identical output — the flag must never change
+// results, only wall-clock time.
+func TestRunParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cell run too slow for -short")
+	}
+	var serial, parallel strings.Builder
+	if err := run([]string{"-exp", "fig8", "-quick", "-parallel", "1"}, &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-exp", "fig8", "-quick", "-parallel", "6"}, &parallel); err != nil {
+		t.Fatal(err)
+	}
+	// The banner embeds elapsed seconds; compare everything after it.
+	strip := func(s string) string {
+		_, rest, ok := strings.Cut(s, "====\n")
+		if !ok {
+			t.Fatalf("unexpected output shape:\n%s", s)
+		}
+		return rest
+	}
+	if strip(serial.String()) != strip(parallel.String()) {
+		t.Error("fig8 output differs between -parallel 1 and -parallel 6")
+	}
+}
+
+// TestRunFlagErrors checks bad invocations surface as errors, not exits.
+func TestRunFlagErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-no-such-flag"}, &out); err == nil {
+		t.Error("unknown flag: want error, got nil")
+	}
+	if err := run([]string{"-exp", "nosuchfig"}, &out); err == nil {
+		t.Error("unknown experiment id: want error, got nil")
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/alert-project/alert
+
+go 1.21

@@ -162,6 +162,12 @@ type Controller struct {
 	// top cap, the yardstick for the overhead model.
 	meanProfLat float64
 
+	// candidates is the full DNN × cap × stop-stage space, enumerated once
+	// at construction. The space depends only on the profile table, so
+	// re-deriving it on every Decide (as estimateAll once did) wasted the
+	// hot path's time on allocation; Decide now walks this slice.
+	candidates []Candidate
+
 	decisions int
 }
 
@@ -195,8 +201,41 @@ func New(prof *dnn.ProfileTable, opts Options) *Controller {
 	}
 	c.meanProfLat = sum / float64(prof.NumModels())
 	c.overhead = opts.OverheadFrac * c.meanProfLat
+	c.candidates = enumerateCandidates(prof)
 	return c
 }
+
+// enumerateCandidates materializes the joint space: every model × cap,
+// expanded by stop stage for anytime models.
+func enumerateCandidates(prof *dnn.ProfileTable) []Candidate {
+	n := 0
+	for _, m := range prof.Models {
+		if m.IsAnytime() {
+			n += len(m.Stages) + 1
+		} else {
+			n++
+		}
+	}
+	out := make([]Candidate, 0, n*prof.NumCaps())
+	for i := 0; i < prof.NumModels(); i++ {
+		m := prof.Models[i]
+		for j := 0; j < prof.NumCaps(); j++ {
+			if !m.IsAnytime() {
+				out = append(out, Candidate{Model: i, Cap: j, StopStage: -1})
+				continue
+			}
+			for k := range m.Stages {
+				out = append(out, Candidate{Model: i, Cap: j, StopStage: k})
+			}
+			out = append(out, Candidate{Model: i, Cap: j, StopStage: len(m.Stages) - 1, RunToDeadline: true})
+		}
+	}
+	return out
+}
+
+// Candidates returns the precomputed joint configuration space in
+// enumeration order (read-only; shared by every Decide).
+func (c *Controller) Candidates() []Candidate { return c.candidates }
 
 // Overhead returns the per-decision cost the controller charges itself.
 func (c *Controller) Overhead() float64 { return c.overhead }
@@ -451,21 +490,10 @@ func (c *Controller) Decide(spec Spec) (sim.Decision, Estimate) {
 	return d, best
 }
 
-// forEachCandidate enumerates the joint space: every model × cap, expanded
-// by stop stage for anytime models.
+// forEachCandidate walks the precomputed joint space in enumeration order.
 func (c *Controller) forEachCandidate(fn func(Candidate)) {
-	for i := 0; i < c.prof.NumModels(); i++ {
-		m := c.prof.Models[i]
-		for j := 0; j < c.prof.NumCaps(); j++ {
-			if !m.IsAnytime() {
-				fn(Candidate{Model: i, Cap: j, StopStage: -1})
-				continue
-			}
-			for k := range m.Stages {
-				fn(Candidate{Model: i, Cap: j, StopStage: k})
-			}
-			fn(Candidate{Model: i, Cap: j, StopStage: len(m.Stages) - 1, RunToDeadline: true})
-		}
+	for _, cand := range c.candidates {
+		fn(cand)
 	}
 }
 
@@ -536,9 +564,9 @@ func (c *Controller) EstimateAll(spec Spec) []Estimate {
 	if goal <= 0 {
 		goal = spec.Deadline * 0.5
 	}
-	var out []Estimate
-	c.forEachCandidate(func(cand Candidate) {
-		out = append(out, c.estimate(cand, goal, spec))
-	})
+	out := make([]Estimate, len(c.candidates))
+	for i, cand := range c.candidates {
+		out[i] = c.estimate(cand, goal, spec)
+	}
 	return out
 }

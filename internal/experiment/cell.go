@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"sync"
+
 	"github.com/alert-project/alert/internal/baselines"
 	"github.com/alert-project/alert/internal/contention"
 	"github.com/alert-project/alert/internal/core"
@@ -59,6 +61,11 @@ type CellOptions struct {
 	// KeepRecords retains per-input records (memory-heavy; Figures 8/10/11
 	// need them, Table 4 does not).
 	KeepRecords bool
+	// Parallelism is the number of constraint settings executed
+	// concurrently. Each setting is an independent, seed-deterministic
+	// simulation, so the cell's results are identical at any parallelism;
+	// values below 2 run serially, 0 keeps the serial default.
+	Parallelism int
 }
 
 // RunCell executes one Table 4 cell: for every constraint setting in the
@@ -77,6 +84,9 @@ func RunCell(key CellKey, obj core.Objective, sc Scale, opt CellOptions) (*Cell,
 	if schemes == nil {
 		schemes = Table4Schemes
 	}
+	if opt.Parallelism == 0 {
+		opt.Parallelism = sc.Parallelism
+	}
 
 	grid := GridFor(obj, profs.Full, key.Scenario, sc)
 	cell := &Cell{
@@ -90,7 +100,22 @@ func RunCell(key CellKey, obj core.Objective, sc Scale, opt CellOptions) (*Cell,
 		cell.RawRecords = make(map[string][]*metrics.Record)
 	}
 
-	for si, setting := range grid {
+	// Every grid setting is an independent simulation with its own derived
+	// seed, so the settings can run on as many goroutines as the caller
+	// asks for. Results land in per-setting slots indexed by si and are
+	// assembled in grid order below, keeping the cell byte-identical to a
+	// serial run at any parallelism.
+	type settingOut struct {
+		results map[string]metrics.SettingResult
+		// records is populated only under KeepRecords; otherwise each
+		// setting's per-input samples become garbage as soon as the
+		// setting aggregates, keeping peak memory at O(schemes) records.
+		records map[string]*metrics.Record
+		err     error
+	}
+	outs := make([]settingOut, len(grid))
+	runSetting := func(si int) settingOut {
+		setting := grid[si]
 		seed := sc.Seed + int64(si)*9973
 		baseCfg := runner.Config{
 			Prof:      profs.Full,
@@ -99,25 +124,61 @@ func RunCell(key CellKey, obj core.Objective, sc Scale, opt CellOptions) (*Cell,
 			NumInputs: sc.Inputs,
 			Seed:      seed,
 		}
-
-		static := baselines.OracleStatic(baseCfg)
-		cell.PerSetting[SchemeOracleSt] = append(cell.PerSetting[SchemeOracleSt],
-			settingResult(SchemeOracleSt, static.Record))
+		out := settingOut{results: make(map[string]metrics.SettingResult, len(schemes)+1)}
 		if opt.KeepRecords {
-			cell.RawRecords[SchemeOracleSt] = append(cell.RawRecords[SchemeOracleSt], static.Record)
+			out.records = make(map[string]*metrics.Record, len(schemes)+1)
 		}
-
+		keep := func(id string, rec *metrics.Record) {
+			out.results[id] = settingResult(id, rec)
+			if opt.KeepRecords {
+				out.records[id] = rec
+			}
+		}
+		keep(SchemeOracleSt, baselines.OracleStatic(baseCfg).Record)
 		for _, id := range schemes {
 			sched, prof, err := NewScheme(id, profs, setting.Spec)
 			if err != nil {
-				return nil, err
+				out.err = err
+				return out
 			}
 			cfg := baseCfg
 			cfg.Prof = prof
-			rec := runner.Run(cfg, sched, nil)
-			cell.PerSetting[id] = append(cell.PerSetting[id], settingResult(id, rec))
+			keep(id, runner.Run(cfg, sched, nil))
+		}
+		return out
+	}
+
+	if workers := min(opt.Parallelism, len(grid)); workers > 1 {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for si := range next {
+					outs[si] = runSetting(si)
+				}
+			}()
+		}
+		for si := range grid {
+			next <- si
+		}
+		close(next)
+		wg.Wait()
+	} else {
+		for si := range grid {
+			outs[si] = runSetting(si)
+		}
+	}
+
+	for _, out := range outs {
+		if out.err != nil {
+			return nil, out.err
+		}
+		for _, id := range append([]string{SchemeOracleSt}, schemes...) {
+			cell.PerSetting[id] = append(cell.PerSetting[id], out.results[id])
 			if opt.KeepRecords {
-				cell.RawRecords[id] = append(cell.RawRecords[id], rec)
+				cell.RawRecords[id] = append(cell.RawRecords[id], out.records[id])
 			}
 		}
 	}

@@ -1,0 +1,71 @@
+package experiment
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"github.com/alert-project/alert/internal/contention"
+	"github.com/alert-project/alert/internal/core"
+	"github.com/alert-project/alert/internal/dnn"
+)
+
+// TestRunCellParallelMatchesSerial is the determinism contract of the
+// parallel grid: a cell run at any parallelism must be byte-identical to
+// the serial run, because every setting derives its own seed.
+func TestRunCellParallelMatchesSerial(t *testing.T) {
+	key := CellKey{Platform: "CPU1", Task: dnn.ImageClassification, Scenario: contention.Memory}
+	sc := QuickScale()
+	sc.Inputs = 40
+	schemes := []string{SchemeALERT, SchemeAppOnly}
+
+	serial, err := RunCell(key, core.MinimizeEnergy, sc, CellOptions{Schemes: schemes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunCell(key, core.MinimizeEnergy, sc, CellOptions{Schemes: schemes, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(serial.PerSetting, parallel.PerSetting) {
+		t.Error("per-setting results diverge between serial and parallel runs")
+	}
+	for _, id := range append([]string{}, schemes...) {
+		s, p := serial.Norm[id], parallel.Norm[id]
+		if s.ViolatedSettings != p.ViolatedSettings || s.Settings != p.Settings {
+			t.Errorf("%s: violation counts diverge: serial %+v parallel %+v", id, s, p)
+		}
+		if s.NormValue != p.NormValue && !(math.IsNaN(s.NormValue) && math.IsNaN(p.NormValue)) {
+			t.Errorf("%s: normalized value %v (serial) vs %v (parallel)", id, s.NormValue, p.NormValue)
+		}
+	}
+}
+
+// TestRunCellParallelKeepRecords checks record retention keeps grid order
+// under parallel execution.
+func TestRunCellParallelKeepRecords(t *testing.T) {
+	key := CellKey{Platform: "CPU1", Task: dnn.ImageClassification, Scenario: contention.Default}
+	sc := QuickScale()
+	sc.Inputs = 20
+	opt := CellOptions{Schemes: []string{SchemeALERT}, KeepRecords: true, Parallelism: 3}
+	cell, err := RunCell(key, core.MinimizeEnergy, sc, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := cell.RawRecords[SchemeALERT]
+	if len(recs) != len(cell.Settings) {
+		t.Fatalf("kept %d records for %d settings", len(recs), len(cell.Settings))
+	}
+	serialOpt := opt
+	serialOpt.Parallelism = 0
+	serialCell, err := RunCell(key, core.MinimizeEnergy, sc, serialOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		if !reflect.DeepEqual(recs[i].Samples, serialCell.RawRecords[SchemeALERT][i].Samples) {
+			t.Fatalf("setting %d: parallel record differs from serial", i)
+		}
+	}
+}

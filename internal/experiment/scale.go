@@ -20,6 +20,11 @@ type Scale struct {
 	OtherLevels int
 	// Seed drives all randomness.
 	Seed int64
+	// Parallelism is the number of constraint settings run concurrently
+	// inside each cell. Every setting is seed-deterministic and
+	// independent, so results are identical at any value; 0 or 1 runs
+	// serially.
+	Parallelism int
 }
 
 // FullScale matches the paper: 6 deadline factors x 6 levels = 36 settings

@@ -1,0 +1,87 @@
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// ServeCounters are the throughput/latency counters of the concurrent
+// serving layer (internal/serve). All methods are safe for concurrent use;
+// the recording path is a handful of atomic adds so it stays off the
+// serving hot path's critical section.
+type ServeCounters struct {
+	start time.Time
+
+	decisions atomic.Int64
+	observes  atomic.Int64
+	batches   atomic.Int64
+
+	// decideNanos accumulates end-to-end Decide service time (submit to
+	// reply), the serving-latency signal; maxNanos tracks its high-water
+	// mark via CAS.
+	decideNanos atomic.Int64
+	maxNanos    atomic.Int64
+}
+
+// NewServeCounters returns zeroed counters with the uptime clock started.
+func NewServeCounters() *ServeCounters {
+	return &ServeCounters{start: time.Now()}
+}
+
+// RecordDecide folds in one served decision and its end-to-end latency.
+func (c *ServeCounters) RecordDecide(d time.Duration) {
+	c.decisions.Add(1)
+	c.decideNanos.Add(int64(d))
+	for {
+		cur := c.maxNanos.Load()
+		if int64(d) <= cur || c.maxNanos.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
+// RecordObserve folds in one applied observation.
+func (c *ServeCounters) RecordObserve() { c.observes.Add(1) }
+
+// RecordBatch folds in one dispatched batch.
+func (c *ServeCounters) RecordBatch() { c.batches.Add(1) }
+
+// ServeSnapshot is a point-in-time view of the serving counters.
+type ServeSnapshot struct {
+	// Decisions and Observes count completed requests; Batches counts
+	// DecideBatch dispatches.
+	Decisions, Observes, Batches int64
+	// AvgDecideLatency and MaxDecideLatency are end-to-end (submit to
+	// reply) per-decision times.
+	AvgDecideLatency, MaxDecideLatency time.Duration
+	// Uptime is the time since the counters were created.
+	Uptime time.Duration
+	// DecidesPerSec is Decisions / Uptime.
+	DecidesPerSec float64
+}
+
+// Snapshot returns a consistent-enough view for reporting: each field is
+// read atomically, though the set is not a single atomic cut.
+func (c *ServeCounters) Snapshot() ServeSnapshot {
+	s := ServeSnapshot{
+		Decisions: c.decisions.Load(),
+		Observes:  c.observes.Load(),
+		Batches:   c.batches.Load(),
+		Uptime:    time.Since(c.start),
+	}
+	s.MaxDecideLatency = time.Duration(c.maxNanos.Load())
+	if s.Decisions > 0 {
+		s.AvgDecideLatency = time.Duration(c.decideNanos.Load() / s.Decisions)
+	}
+	if sec := s.Uptime.Seconds(); sec > 0 {
+		s.DecidesPerSec = float64(s.Decisions) / sec
+	}
+	return s
+}
+
+// String renders the snapshot for logs and CLI output.
+func (s ServeSnapshot) String() string {
+	return fmt.Sprintf("decisions=%d observes=%d batches=%d avg_latency=%s max_latency=%s rate=%.0f/s",
+		s.Decisions, s.Observes, s.Batches, s.AvgDecideLatency, s.MaxDecideLatency, s.DecidesPerSec)
+}

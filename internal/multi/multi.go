@@ -90,8 +90,18 @@ func NewCoordinator(budgetW float64, jobs ...*Job) (*Coordinator, error) {
 func (c *Coordinator) BudgetW() float64 { return c.budgetW }
 
 // SetBudgetW adjusts the envelope between rounds (requirements are dynamic,
-// §1: "the power budget ... may switch among different settings").
-func (c *Coordinator) SetBudgetW(w float64) { c.budgetW = w }
+// §1: "the power budget ... may switch among different settings"). Like
+// NewCoordinator it rejects envelopes below the job set's floor — every job
+// needs its minimum cap — leaving the current budget unchanged, so a live
+// coordinator can never be driven into a state Allocate cannot satisfy.
+func (c *Coordinator) SetBudgetW(w float64) error {
+	if floor := MinBudgetW(c.jobs...); w < floor {
+		return fmt.Errorf("multi: budget %gW below the %gW floor (every job needs its minimum cap)",
+			w, floor)
+	}
+	c.budgetW = w
+	return nil
+}
 
 // utility is the scalar the greedy split maximizes for one job at one cap.
 // For accuracy-maximizing jobs it is the expected quality; for energy-

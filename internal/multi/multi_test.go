@@ -57,6 +57,37 @@ func TestNewCoordinatorValidation(t *testing.T) {
 	}
 }
 
+// TestSetBudgetWValidation is the regression test for the live-coordinator
+// invariant: SetBudgetW must enforce the same floor NewCoordinator does,
+// and a rejected update must leave the envelope untouched so Allocate keeps
+// working.
+func TestSetBudgetWValidation(t *testing.T) {
+	a := newJob(t, "a", accSpec(0.2), 0)
+	b := newJob(t, "b", accSpec(0.2), 0)
+	co, err := NewCoordinator(60, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	floor := MinBudgetW(a, b)
+	for _, w := range []float64{floor - 1, 0, -10} {
+		if err := co.SetBudgetW(w); err == nil {
+			t.Errorf("SetBudgetW(%g) below %gW floor should fail", w, floor)
+		}
+		if co.BudgetW() != 60 {
+			t.Fatalf("rejected SetBudgetW(%g) changed the budget to %g", w, co.BudgetW())
+		}
+	}
+	if got := TotalCapW(co.Allocate()); got > 60+1e-9 {
+		t.Errorf("allocation %gW exceeds the unchanged 60W budget", got)
+	}
+	if err := co.SetBudgetW(floor); err != nil {
+		t.Errorf("SetBudgetW at the floor should succeed: %v", err)
+	}
+	if co.BudgetW() != floor {
+		t.Errorf("budget = %g, want %g", co.BudgetW(), floor)
+	}
+}
+
 func TestAllocateRespectsBudget(t *testing.T) {
 	a := newJob(t, "a", accSpec(0.15), 0)
 	b := newJob(t, "b", accSpec(0.15), 0)

@@ -1,0 +1,235 @@
+// Package serve is ALERT's concurrent serving layer. The paper's runtime
+// serves one inference stream per controller (§3.6); production traffic is
+// many independent streams, so the pool shards them: N core.Controller
+// replicas, each with its own Kalman filter state, each owned by exactly
+// one worker goroutine that drains a private FIFO queue.
+//
+// The sharding preserves the paper's semantics exactly. A stream is pinned
+// to a shard (stream mod N), its Decide/Observe requests are applied in
+// submission order, and no controller state is ever shared across shards —
+// so each shard's decision sequence is byte-identical to running that
+// stream against a lone Controller serially. Cross-shard throughput scales
+// with cores because shards never contend on anything but the counters,
+// which are atomic.
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"github.com/alert-project/alert/internal/core"
+	"github.com/alert-project/alert/internal/dnn"
+	"github.com/alert-project/alert/internal/metrics"
+	"github.com/alert-project/alert/internal/sim"
+)
+
+// Config sizes a Pool. Zero values select single-shard serving with a
+// small queue.
+type Config struct {
+	// Shards is the number of controller replicas (and workers). Values
+	// below 1 mean 1.
+	Shards int
+	// QueueDepth is the per-shard FIFO capacity. Submissions beyond it
+	// block until the worker catches up (backpressure). Values below 1
+	// mean 64.
+	QueueDepth int
+}
+
+func (c Config) shards() int {
+	if c.Shards < 1 {
+		return 1
+	}
+	return c.Shards
+}
+
+func (c Config) depth() int {
+	if c.QueueDepth < 1 {
+		return 64
+	}
+	return c.QueueDepth
+}
+
+type taskKind int
+
+const (
+	taskDecide taskKind = iota
+	taskObserve
+	taskBarrier
+	taskXi
+)
+
+type decideReply struct {
+	d   sim.Decision
+	est core.Estimate
+}
+
+type task struct {
+	kind    taskKind
+	spec    core.Spec
+	out     sim.Outcome
+	reply   chan decideReply // decide: buffered 1, worker never blocks
+	done    chan struct{}    // barrier: closed when the shard reaches it
+	xiReply chan [2]float64  // xi read: buffered 1
+	start   time.Time
+}
+
+type shard struct {
+	ctl    *core.Controller
+	ch     chan task
+	exited chan struct{}
+}
+
+// Pool is a sharded front-end over N controller replicas.
+type Pool struct {
+	shards   []*shard
+	counters *metrics.ServeCounters
+
+	closeOnce sync.Once
+}
+
+// NewPool builds one controller replica per shard over a shared (read-only)
+// profile table and starts the shard workers.
+func NewPool(prof *dnn.ProfileTable, opts core.Options, cfg Config) *Pool {
+	p := &Pool{
+		shards:   make([]*shard, cfg.shards()),
+		counters: metrics.NewServeCounters(),
+	}
+	for i := range p.shards {
+		s := &shard{
+			ctl:    core.New(prof, opts),
+			ch:     make(chan task, cfg.depth()),
+			exited: make(chan struct{}),
+		}
+		p.shards[i] = s
+		go p.work(s)
+	}
+	return p
+}
+
+func (p *Pool) work(s *shard) {
+	defer close(s.exited)
+	for t := range s.ch {
+		switch t.kind {
+		case taskDecide:
+			d, est := s.ctl.Decide(t.spec)
+			// Counters record before the reply unblocks the client, so a
+			// Stats read that follows a completed Decide always sees it.
+			p.counters.RecordDecide(time.Since(t.start))
+			t.reply <- decideReply{d: d, est: est}
+		case taskObserve:
+			s.ctl.Observe(t.out)
+			p.counters.RecordObserve()
+		case taskBarrier:
+			close(t.done)
+		case taskXi:
+			// Controller state is only ever touched on this goroutine;
+			// reads must run here too or they race with the mutations.
+			t.xiReply <- [2]float64{s.ctl.XiMean(), s.ctl.XiStd()}
+		}
+	}
+}
+
+// NumShards returns the replica count.
+func (p *Pool) NumShards() int { return len(p.shards) }
+
+// Counters exposes the pool's throughput/latency counters.
+func (p *Pool) Counters() *metrics.ServeCounters { return p.counters }
+
+// shardFor pins a stream to a shard.
+func (p *Pool) shardFor(stream int) *shard {
+	i := stream % len(p.shards)
+	if i < 0 {
+		i += len(p.shards)
+	}
+	return p.shards[i]
+}
+
+// Decide routes the spec to the stream's shard and blocks for the decision.
+// Requests submitted to one shard are served in submission order.
+func (p *Pool) Decide(stream int, spec core.Spec) (sim.Decision, core.Estimate) {
+	reply := make(chan decideReply, 1)
+	p.shardFor(stream).ch <- task{kind: taskDecide, spec: spec, reply: reply, start: time.Now()}
+	r := <-reply
+	return r.d, r.est
+}
+
+// Observe enqueues a measurement for the stream's shard and returns without
+// waiting for it to be applied. It is still FIFO-ordered behind every
+// earlier submission for that shard, so a subsequent Decide on the same
+// stream sees the updated filter state.
+func (p *Pool) Observe(stream int, out sim.Outcome) {
+	p.shardFor(stream).ch <- task{kind: taskObserve, out: out}
+}
+
+// Request is one element of a batched dispatch.
+type Request struct {
+	// Stream selects the shard (and therefore the filter state) serving
+	// this request.
+	Stream int
+	Spec   core.Spec
+}
+
+// Result is the pool's answer to one batched Request, in request order.
+type Result struct {
+	Decision sim.Decision
+	Estimate core.Estimate
+}
+
+// DecideBatch dispatches the whole batch across shards and blocks until
+// every decision is in. Requests that share a stream are served in batch
+// order; requests on different streams run concurrently. Results are
+// returned in request order.
+func (p *Pool) DecideBatch(reqs []Request) []Result {
+	if len(reqs) == 0 {
+		return nil
+	}
+	p.counters.RecordBatch()
+	replies := make([]chan decideReply, len(reqs))
+	start := time.Now()
+	for i, r := range reqs {
+		replies[i] = make(chan decideReply, 1)
+		p.shardFor(r.Stream).ch <- task{kind: taskDecide, spec: r.Spec, reply: replies[i], start: start}
+	}
+	out := make([]Result, len(reqs))
+	for i := range replies {
+		r := <-replies[i]
+		out[i] = Result{Decision: r.d, Estimate: r.est}
+	}
+	return out
+}
+
+// Drain blocks until every shard has served everything submitted before the
+// call. It is the fence that makes reading shard state (XiEstimate, tests)
+// well-defined.
+func (p *Pool) Drain() {
+	barriers := make([]chan struct{}, len(p.shards))
+	for i, s := range p.shards {
+		barriers[i] = make(chan struct{})
+		s.ch <- task{kind: taskBarrier, done: barriers[i]}
+	}
+	for _, b := range barriers {
+		<-b
+	}
+}
+
+// XiEstimate reports the (mean, std) of a shard's slowdown filter, ordered
+// after everything submitted to that shard before the call.
+func (p *Pool) XiEstimate(stream int) (mu, sigma float64) {
+	reply := make(chan [2]float64, 1)
+	p.shardFor(stream).ch <- task{kind: taskXi, xiReply: reply}
+	r := <-reply
+	return r[0], r[1]
+}
+
+// Close drains and stops every worker. The pool must not be used after
+// Close; submissions concurrent with Close are the caller's race.
+func (p *Pool) Close() {
+	p.closeOnce.Do(func() {
+		for _, s := range p.shards {
+			close(s.ch)
+		}
+		for _, s := range p.shards {
+			<-s.exited
+		}
+	})
+}

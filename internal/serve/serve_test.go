@@ -1,0 +1,218 @@
+package serve
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/alert-project/alert/internal/core"
+	"github.com/alert-project/alert/internal/dnn"
+	"github.com/alert-project/alert/internal/mathx"
+	"github.com/alert-project/alert/internal/platform"
+	"github.com/alert-project/alert/internal/sim"
+)
+
+func testProfile(t testing.TB) *dnn.ProfileTable {
+	t.Helper()
+	prof, err := dnn.Profile(platform.CPU1(), dnn.ImageCandidates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prof
+}
+
+// step is one scripted Decide followed by a synthetic Observe; the xi draw
+// depends only on (stream, index), so serial and sharded replays see the
+// same feedback whenever decisions match.
+type step struct {
+	spec core.Spec
+	xi   float64
+}
+
+func script(stream, n int) []step {
+	rng := mathx.NewRand(int64(1000 + stream))
+	out := make([]step, n)
+	for i := range out {
+		out[i] = step{
+			spec: core.Spec{
+				Objective:    core.MinimizeEnergy,
+				Deadline:     0.1 + 0.1*rng.Float64(),
+				AccuracyGoal: 0.85 + 0.1*rng.Float64(),
+			},
+			xi: 0.9 + 0.4*rng.Float64(),
+		}
+	}
+	return out
+}
+
+func outcomeFor(prof *dnn.ProfileTable, d sim.Decision, xi float64) sim.Outcome {
+	return sim.Outcome{ObservedXi: xi, IdlePower: 5, CapApplied: prof.Caps[d.Cap]}
+}
+
+// serialRun replays a stream's script against a lone Controller — the
+// paper's one-stream-per-controller deployment the shards must match.
+func serialRun(prof *dnn.ProfileTable, steps []step) []sim.Decision {
+	ctl := core.New(prof, core.DefaultOptions())
+	out := make([]sim.Decision, len(steps))
+	for i, st := range steps {
+		d, _ := ctl.Decide(st.spec)
+		ctl.Observe(outcomeFor(prof, d, st.xi))
+		out[i] = d
+	}
+	return out
+}
+
+// TestShardDeterminism drives several streams through a sharded pool
+// concurrently and checks each stream's decision sequence is identical to
+// serial single-controller execution.
+func TestShardDeterminism(t *testing.T) {
+	prof := testProfile(t)
+	const streams, steps = 4, 60
+
+	pool := NewPool(prof, core.DefaultOptions(), Config{Shards: streams})
+	defer pool.Close()
+
+	got := make([][]sim.Decision, streams)
+	var wg sync.WaitGroup
+	for s := 0; s < streams; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			seq := make([]sim.Decision, 0, steps)
+			for _, st := range script(s, steps) {
+				d, _ := pool.Decide(s, st.spec)
+				pool.Observe(s, outcomeFor(prof, d, st.xi))
+				seq = append(seq, d)
+			}
+			got[s] = seq
+		}(s)
+	}
+	wg.Wait()
+
+	for s := 0; s < streams; s++ {
+		want := serialRun(prof, script(s, steps))
+		if !reflect.DeepEqual(got[s], want) {
+			t.Errorf("stream %d: sharded decisions diverge from serial execution", s)
+		}
+	}
+}
+
+// TestObserveOrdering checks that an async Observe is applied before a
+// later Decide on the same stream: after heavy-slowdown feedback the shard's
+// xi estimate must have moved.
+func TestObserveOrdering(t *testing.T) {
+	prof := testProfile(t)
+	pool := NewPool(prof, core.DefaultOptions(), Config{Shards: 2})
+	defer pool.Close()
+
+	spec := core.Spec{Objective: core.MinimizeEnergy, Deadline: 0.2, AccuracyGoal: 0.9}
+	d, _ := pool.Decide(0, spec)
+	for i := 0; i < 20; i++ {
+		pool.Observe(0, outcomeFor(prof, d, 2.0))
+	}
+	mu, _ := pool.XiEstimate(0)
+	if mu < 1.2 {
+		t.Errorf("xi mean %.3f after sustained 2.0 slowdown feedback; observes not applied in order", mu)
+	}
+	// The sibling shard saw nothing and must still be at its prior.
+	mu1, _ := pool.XiEstimate(1)
+	if mu1 != 1.0 {
+		t.Errorf("untouched shard xi mean = %.3f, want 1.0 (state leaked across shards)", mu1)
+	}
+}
+
+// TestXiEstimateDuringTraffic races XiEstimate against live Decide/Observe
+// traffic on the same shard; under -race this pins the requirement that
+// controller state is only ever read on its worker goroutine.
+func TestXiEstimateDuringTraffic(t *testing.T) {
+	prof := testProfile(t)
+	pool := NewPool(prof, core.DefaultOptions(), Config{Shards: 1})
+	defer pool.Close()
+
+	spec := core.Spec{Objective: core.MinimizeEnergy, Deadline: 0.2, AccuracyGoal: 0.9}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			d, _ := pool.Decide(0, spec)
+			pool.Observe(0, outcomeFor(prof, d, 1.0+float64(i%5)*0.1))
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		if mu, sigma := pool.XiEstimate(0); mu <= 0 || sigma < 0 {
+			t.Fatalf("implausible xi estimate (%g, %g)", mu, sigma)
+		}
+	}
+	<-done
+}
+
+// TestDecideBatch checks request-order results and per-stream FIFO within a
+// batch.
+func TestDecideBatch(t *testing.T) {
+	prof := testProfile(t)
+	pool := NewPool(prof, core.DefaultOptions(), Config{Shards: 3})
+	defer pool.Close()
+
+	spec := core.Spec{Objective: core.MinimizeEnergy, Deadline: 0.15, AccuracyGoal: 0.9}
+	reqs := make([]Request, 30)
+	for i := range reqs {
+		reqs[i] = Request{Stream: i % 5, Spec: spec}
+	}
+	res := pool.DecideBatch(reqs)
+	if len(res) != len(reqs) {
+		t.Fatalf("got %d results, want %d", len(res), len(reqs))
+	}
+	for i, r := range res {
+		if r.Decision.Model < 0 || r.Decision.Model >= prof.NumModels() {
+			t.Fatalf("result %d: model %d out of range", i, r.Decision.Model)
+		}
+	}
+	if pool.DecideBatch(nil) != nil {
+		t.Error("empty batch should return nil")
+	}
+
+	snap := pool.Counters().Snapshot()
+	if snap.Decisions != int64(len(reqs)) {
+		t.Errorf("counter decisions = %d, want %d", snap.Decisions, len(reqs))
+	}
+	if snap.Batches != 1 {
+		t.Errorf("counter batches = %d, want 1", snap.Batches)
+	}
+	if snap.AvgDecideLatency <= 0 || snap.MaxDecideLatency < snap.AvgDecideLatency {
+		t.Errorf("implausible latency counters: %+v", snap)
+	}
+}
+
+// TestShardPinning checks the stream→shard map, including negative streams.
+func TestShardPinning(t *testing.T) {
+	prof := testProfile(t)
+	pool := NewPool(prof, core.DefaultOptions(), Config{Shards: 4})
+	defer pool.Close()
+
+	if got := pool.shardFor(6); got != pool.shards[2] {
+		t.Error("stream 6 should pin to shard 2 of 4")
+	}
+	if got := pool.shardFor(-1); got != pool.shards[3] {
+		t.Error("stream -1 should pin to shard 3 of 4, not panic")
+	}
+	if pool.NumShards() != 4 {
+		t.Errorf("NumShards = %d, want 4", pool.NumShards())
+	}
+}
+
+// TestConfigDefaults checks the zero config still serves.
+func TestConfigDefaults(t *testing.T) {
+	prof := testProfile(t)
+	pool := NewPool(prof, core.DefaultOptions(), Config{})
+	defer pool.Close()
+	if pool.NumShards() != 1 {
+		t.Fatalf("zero config shards = %d, want 1", pool.NumShards())
+	}
+	d, est := pool.Decide(0, core.Spec{Objective: core.MinimizeEnergy, Deadline: 0.2, AccuracyGoal: 0.9})
+	if est.LatMean <= 0 {
+		t.Errorf("estimate LatMean = %g, want > 0", est.LatMean)
+	}
+	_ = d
+	pool.Drain()
+	pool.Close() // double Close must be safe
+}

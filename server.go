@@ -1,0 +1,147 @@
+package alert
+
+import (
+	"fmt"
+	"runtime"
+
+	"github.com/alert-project/alert/internal/dnn"
+	"github.com/alert-project/alert/internal/metrics"
+	"github.com/alert-project/alert/internal/serve"
+)
+
+// Server is the concurrent front-end over the ALERT runtime: a sharded pool
+// of independent Scheduler replicas serving many inference streams at once.
+// A Scheduler serves one stream (§3.6); a Server serves any number by
+// pinning each stream id to one of N shards, each shard owning its own
+// Kalman filter state and applying that stream's Decide/Observe traffic in
+// submission order. Per-stream behaviour is therefore identical to a
+// dedicated Scheduler, while aggregate throughput scales with shards.
+//
+// All methods are safe for concurrent use by any number of goroutines.
+type Server struct {
+	prof *dnn.ProfileTable
+	pool *serve.Pool
+}
+
+// ServerOptions configure a Server. The zero value profiles with the
+// paper's defaults and uses one shard per CPU.
+type ServerOptions struct {
+	// Shards is the number of controller replicas; 0 means GOMAXPROCS.
+	Shards int
+	// QueueDepth is the per-shard FIFO capacity before submissions block;
+	// 0 selects a small default.
+	QueueDepth int
+	// Scheduler options applied to every shard's controller.
+	Options Options
+}
+
+// NewServer profiles the candidate models once and starts the shard pool.
+// Callers should Close the server to stop its workers.
+func NewServer(p *Platform, models []*Model, opts ServerOptions) (*Server, error) {
+	prof, err := dnn.Profile(p, models)
+	if err != nil {
+		return nil, fmt.Errorf("alert: %w", err)
+	}
+	o, err := coreOptions(opts.Options)
+	if err != nil {
+		return nil, err
+	}
+	shards := opts.Shards
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	pool := serve.NewPool(prof, o, serve.Config{Shards: shards, QueueDepth: opts.QueueDepth})
+	return &Server{prof: prof, pool: pool}, nil
+}
+
+// Shards returns the replica count.
+func (s *Server) Shards() int { return s.pool.NumShards() }
+
+// Models returns the profiled candidate set in index order.
+func (s *Server) Models() []*Model { return s.prof.Models }
+
+// PowerCaps returns the platform's cap ladder in watts.
+func (s *Server) PowerCaps() []float64 { return s.prof.Caps }
+
+// Decide selects the configuration for stream's next input, blocking until
+// the stream's shard serves it.
+func (s *Server) Decide(stream int, spec Spec) (Decision, Estimate) {
+	d, est := s.pool.Decide(stream, spec)
+	return Decision{
+		Model:       d.Model,
+		Cap:         d.Cap,
+		CapW:        s.prof.Caps[d.Cap],
+		PlannedStop: d.PlannedStop,
+		Overhead:    d.Overhead,
+	}, est
+}
+
+// Observe feeds a stream's measurement back into its shard's estimators.
+// It returns without waiting for the update to be applied, but the update
+// is ordered before any later Decide on the same stream.
+func (s *Server) Observe(stream int, fb Feedback) {
+	if out, ok := feedbackOutcome(s.prof, fb); ok {
+		s.pool.Observe(stream, out)
+	}
+}
+
+// BatchRequest is one element of a batched decision dispatch.
+type BatchRequest struct {
+	// Stream routes the request: requests sharing a stream are served in
+	// batch order by that stream's shard; distinct streams run
+	// concurrently.
+	Stream int
+	Spec   Spec
+}
+
+// BatchResult pairs a BatchRequest with its decision, in request order.
+type BatchResult struct {
+	Stream   int
+	Decision Decision
+	Estimate Estimate
+}
+
+// DecideBatch dispatches the batch across shards and blocks until every
+// decision is in, returning results in request order.
+func (s *Server) DecideBatch(reqs []BatchRequest) []BatchResult {
+	if len(reqs) == 0 {
+		return nil
+	}
+	inner := make([]serve.Request, len(reqs))
+	for i, r := range reqs {
+		inner[i] = serve.Request{Stream: r.Stream, Spec: r.Spec}
+	}
+	res := s.pool.DecideBatch(inner)
+	out := make([]BatchResult, len(res))
+	for i, r := range res {
+		out[i] = BatchResult{
+			Stream: reqs[i].Stream,
+			Decision: Decision{
+				Model:       r.Decision.Model,
+				Cap:         r.Decision.Cap,
+				CapW:        s.prof.Caps[r.Decision.Cap],
+				PlannedStop: r.Decision.PlannedStop,
+				Overhead:    r.Decision.Overhead,
+			},
+			Estimate: r.Estimate,
+		}
+	}
+	return out
+}
+
+// XiEstimate reports the (mean, std) of the slowdown filter serving the
+// stream, after draining that shard's queued work.
+func (s *Server) XiEstimate(stream int) (mu, sigma float64) {
+	return s.pool.XiEstimate(stream)
+}
+
+// ServerStats is a point-in-time view of a Server's throughput/latency
+// counters (the alias keeps the type nameable outside the module).
+type ServerStats = metrics.ServeSnapshot
+
+// Stats snapshots the server's throughput/latency counters.
+func (s *Server) Stats() ServerStats { return s.pool.Counters().Snapshot() }
+
+// Close drains every shard and stops the workers; the server must not be
+// used afterwards.
+func (s *Server) Close() { s.pool.Close() }

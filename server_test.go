@@ -1,0 +1,130 @@
+package alert
+
+import (
+	"sync"
+	"testing"
+)
+
+func testSpec() Spec {
+	return Spec{Objective: MinimizeEnergy, Deadline: 0.15, AccuracyGoal: 0.9}
+}
+
+// TestServerMatchesScheduler drives the same feedback script through a
+// one-shard Server and a plain Scheduler and requires identical decisions —
+// the sharding layer must not change per-stream semantics.
+func TestServerMatchesScheduler(t *testing.T) {
+	sched, err := NewScheduler(CPU1(), ImageCandidates(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(CPU1(), ImageCandidates(), ServerOptions{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	spec := testSpec()
+	for i := 0; i < 40; i++ {
+		want, _ := sched.Decide(spec)
+		got, _ := srv.Decide(0, spec)
+		if got != want {
+			t.Fatalf("input %d: server decision %+v, scheduler %+v", i, got, want)
+		}
+		lat := 1.1 * srv.prof.At(want.Model, want.Cap)
+		fb := Feedback{Decision: want, Latency: lat, CompletedStage: -1, IdlePowerW: 5}
+		sched.Observe(fb)
+		srv.Observe(0, fb)
+	}
+	mu, _ := sched.XiEstimate()
+	muSrv, _ := srv.XiEstimate(0)
+	if mu != muSrv {
+		t.Errorf("xi diverged: scheduler %.6f, server %.6f", mu, muSrv)
+	}
+}
+
+// TestServerConcurrentStreams hammers a multi-shard server from many
+// goroutines; run under -race this is the data-race regression test.
+func TestServerConcurrentStreams(t *testing.T) {
+	srv, err := NewServer(CPU1(), ImageCandidates(), ServerOptions{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	for s := 0; s < 8; s++ {
+		wg.Add(1)
+		go func(stream int) {
+			defer wg.Done()
+			spec := testSpec()
+			for i := 0; i < 30; i++ {
+				d, est := srv.Decide(stream, spec)
+				if est.LatMean <= 0 {
+					t.Errorf("stream %d: non-positive latency estimate", stream)
+					return
+				}
+				srv.Observe(stream, Feedback{
+					Decision: d, Latency: d.CapW * 0.001, CompletedStage: -1,
+				})
+			}
+		}(s)
+	}
+	wg.Wait()
+
+	stats := srv.Stats()
+	if stats.Decisions != 8*30 {
+		t.Errorf("stats decisions = %d, want %d", stats.Decisions, 8*30)
+	}
+}
+
+// TestServerDecideBatch checks batched dispatch end-to-end through the
+// public API.
+func TestServerDecideBatch(t *testing.T) {
+	srv, err := NewServer(CPU1(), ImageCandidates(), ServerOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	reqs := make([]BatchRequest, 12)
+	for i := range reqs {
+		reqs[i] = BatchRequest{Stream: i % 3, Spec: testSpec()}
+	}
+	res := srv.DecideBatch(reqs)
+	if len(res) != len(reqs) {
+		t.Fatalf("got %d results, want %d", len(res), len(reqs))
+	}
+	for i, r := range res {
+		if r.Stream != reqs[i].Stream {
+			t.Errorf("result %d: stream %d, want %d", i, r.Stream, reqs[i].Stream)
+		}
+		if r.Decision.CapW != srv.PowerCaps()[r.Decision.Cap] {
+			t.Errorf("result %d: CapW %.1f not the cap-ladder value", i, r.Decision.CapW)
+		}
+	}
+	if srv.DecideBatch(nil) != nil {
+		t.Error("empty batch should return nil")
+	}
+	if srv.Shards() != 2 {
+		t.Errorf("Shards = %d, want 2", srv.Shards())
+	}
+	if len(srv.Models()) == 0 {
+		t.Error("Models() empty")
+	}
+}
+
+// TestServerDefaults exercises the zero-options path and option validation.
+func TestServerDefaults(t *testing.T) {
+	srv, err := NewServer(CPU1(), ImageCandidates(), ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.Shards() < 1 {
+		t.Errorf("default Shards = %d, want >= 1", srv.Shards())
+	}
+	srv.Close()
+
+	if _, err := NewServer(CPU1(), ImageCandidates(), ServerOptions{Options: Options{Prth: 1.5}}); err == nil {
+		t.Error("Prth 1.5 should be rejected")
+	}
+}
