@@ -9,6 +9,7 @@ package alert
 import (
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -19,7 +20,9 @@ import (
 	"github.com/alert-project/alert/internal/experiment"
 	"github.com/alert-project/alert/internal/platform"
 	"github.com/alert-project/alert/internal/runner"
+	"github.com/alert-project/alert/internal/scenario"
 	"github.com/alert-project/alert/internal/sim"
+	"github.com/alert-project/alert/internal/workload"
 )
 
 // runnerConfig builds a large-stream runner config for micro-benchmarks.
@@ -285,6 +288,94 @@ func BenchmarkServeThroughput(b *testing.B) {
 	b.Run(fmt.Sprintf("shards=%d", runtime.GOMAXPROCS(0)), func(b *testing.B) {
 		bench(b, runtime.GOMAXPROCS(0))
 	})
+}
+
+// BenchmarkServerUnderScenario measures the serving layer beyond steady
+// state: multi-stream decide → observe traffic whose disturbances replay a
+// compiled environment scenario (phase-switching contention, thermal
+// throttling ramps, bursty arrival shaping). Reported deadline-miss rate
+// and decisions/sec capture how throughput and SLO behaviour move when the
+// environment does — the trajectory steady-state benchmarks cannot see.
+func BenchmarkServerUnderScenario(b *testing.B) {
+	const (
+		streams = 4
+		inputs  = 150
+	)
+	plat := CPU1()
+	prof, err := dnn.Profile(plat, ImageCandidates())
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := Spec{Objective: MinimizeEnergy, Deadline: 0.2, AccuracyGoal: 0.93}
+	for _, name := range []string{"phased", "thermal", "bursty"} {
+		b.Run(name, func(b *testing.B) {
+			sspec, err := scenario.ByName(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tr, err := scenario.Compile(sspec, plat, inputs, spec.Deadline, 42)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var misses, total atomic.Int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				srv, err := NewServer(plat, ImageCandidates(), ServerOptions{Shards: streams})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				var wg sync.WaitGroup
+				for s := 0; s < streams; s++ {
+					wg.Add(1)
+					go func(s int) {
+						defer wg.Done()
+						env := sim.NewEnv(prof, tr.Source(), int64(1000+s))
+						stream := workload.NewImageStream(inputs, int64(s)*13+1)
+						cur := spec
+						for {
+							in, ok := stream.Next()
+							if !ok {
+								break
+							}
+							if next := tr.SpecFor(in.ID, spec); next != cur {
+								cur = next
+							}
+							d, _ := srv.Decide(s, cur)
+							out := env.Step(sim.Decision{
+								Model:       d.Model,
+								Cap:         d.Cap,
+								PlannedStop: d.PlannedStop,
+								Overhead:    d.Overhead,
+							}, in, cur.Deadline, cur.Deadline)
+							srv.Observe(s, Feedback{
+								Decision:       d,
+								Latency:        out.Latency,
+								CompletedStage: out.Stage,
+								IdlePowerW:     out.IdlePower,
+							})
+							total.Add(1)
+							if !out.DeadlineMet {
+								misses.Add(1)
+							}
+						}
+					}(s)
+				}
+				wg.Wait()
+				b.StopTimer()
+				srv.Close()
+				b.StartTimer()
+			}
+			b.StopTimer()
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(float64(total.Load())/sec, "decisions/s")
+			}
+			if n := total.Load(); n > 0 {
+				b.ReportMetric(float64(misses.Load())/float64(n), "missRate")
+			}
+		})
+	}
 }
 
 // BenchmarkServeBatch measures batched dispatch through the public API.

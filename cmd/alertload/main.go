@@ -1,0 +1,379 @@
+// Command alertload is the scenario-driven load generator for the
+// concurrent serving layer: it drives an alert.Server with many inference
+// streams whose environment, arrival process, and requirement spec follow a
+// compiled (or recorded) scenario trace, and reports SLO attainment,
+// deadline-miss rate, and latency percentiles.
+//
+// Each stream runs the paper's decide → execute → observe loop against its
+// own virtual-time simulation environment replaying the scenario trace;
+// the Server multiplexes all streams across its shard pool. In open-loop
+// mode requests arrive on the trace's arrival process and queue behind the
+// stream's previous work (response time = queueing wait + service time);
+// in closed-loop mode the next request is issued on completion.
+//
+// Usage:
+//
+//	alertload -scenario bursty -streams 8 -inputs 300        # built-in scenario
+//	alertload -scenario thermal -record trace.json           # record the trace
+//	alertload -replay trace.json                             # replay a recording
+//
+// Replays are deterministic: the same trace, seed, and stream count yield
+// byte-identical per-stream decision sequences (verified in main_test.go).
+// Determinism requires one shard per stream (the default): with fewer
+// shards, streams that share a shard also share a controller, and the
+// cross-stream interleaving becomes schedule-dependent.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strings"
+	"sync"
+
+	"github.com/alert-project/alert"
+	"github.com/alert-project/alert/internal/dnn"
+	"github.com/alert-project/alert/internal/metrics"
+	"github.com/alert-project/alert/internal/scenario"
+	"github.com/alert-project/alert/internal/sim"
+	"github.com/alert-project/alert/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "alertload:", err)
+		os.Exit(1)
+	}
+}
+
+// loadConfig is the resolved invocation.
+type loadConfig struct {
+	scenarioName string
+	replayPath   string
+	recordPath   string
+	platform     string
+	task         string
+	streams      int
+	inputs       int
+	seed         int64
+	shards       int
+	mode         string // "auto" | "open" | "closed"
+
+	objective      string
+	deadlineFactor float64
+	accuracy       float64
+	budgetW        float64
+}
+
+// streamResult is one stream's contribution to the report.
+type streamResult struct {
+	rec *metrics.Record
+	// decisions is the stream's decision sequence, one compact token per
+	// input — the replay-determinism artifact.
+	decisions string
+}
+
+// loadReport aggregates a run for printing and for tests.
+type loadReport struct {
+	Trace    *scenario.Trace
+	OpenLoop bool
+	Streams  int
+	Inputs   int
+	// Seed is the -seed that drove stream noise in this run; it matches
+	// Trace.Seed only when the trace was compiled by this invocation
+	// (replays must pass the recording's seed to reproduce decisions).
+	Seed int64
+
+	SLOAttainment float64
+	MissRate      float64
+	P50, P95, P99 float64
+	AvgEnergy     float64
+	AvgQuality    float64
+	ServerStats   alert.ServerStats
+
+	// DecisionSeqs holds each stream's decision sequence, indexed by
+	// stream id.
+	DecisionSeqs []string
+}
+
+// run is main with injectable arguments and output, so the CLI is testable
+// end-to-end without a subprocess.
+func run(args []string, stdout io.Writer) error {
+	cfg, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+	rep, err := runLoad(cfg)
+	if err != nil {
+		return err
+	}
+	if cfg.recordPath != "" {
+		if err := rep.Trace.WriteFile(cfg.recordPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "trace recorded to %s (%d ticks)\n", cfg.recordPath, rep.Trace.Len())
+	}
+	mode := "closed"
+	if rep.OpenLoop {
+		mode = "open"
+	}
+	fmt.Fprintf(stdout, "scenario=%s platform=%s streams=%d inputs/stream=%d loop=%s seed=%d\n",
+		rep.Trace.Scenario, rep.Trace.Platform, rep.Streams, rep.Inputs, mode, rep.Seed)
+	if rep.Trace.Seed != rep.Seed {
+		fmt.Fprintf(stdout, "note: replayed trace was recorded with seed=%d; pass -seed %d to reproduce its decisions\n",
+			rep.Trace.Seed, rep.Trace.Seed)
+	}
+	fmt.Fprintf(stdout, "SLO attainment %.1f%% | deadline-miss %.1f%% | latency p50 %.4fs p95 %.4fs p99 %.4fs\n",
+		100*rep.SLOAttainment, 100*rep.MissRate, rep.P50, rep.P95, rep.P99)
+	fmt.Fprintf(stdout, "avg energy %.3fJ | avg quality %.4f\n", rep.AvgEnergy, rep.AvgQuality)
+	fmt.Fprintf(stdout, "serving: %s\n", rep.ServerStats)
+	return nil
+}
+
+func parseFlags(args []string) (loadConfig, error) {
+	var cfg loadConfig
+	fs := flag.NewFlagSet("alertload", flag.ContinueOnError)
+	fs.StringVar(&cfg.scenarioName, "scenario", "bursty",
+		"built-in scenario to compile (see internal/scenario); ignored with -replay")
+	fs.StringVar(&cfg.replayPath, "replay", "", "replay a recorded scenario trace (JSON)")
+	fs.StringVar(&cfg.recordPath, "record", "", "record the compiled trace to this path")
+	fs.StringVar(&cfg.platform, "platform", "CPU1", "Embedded | CPU1 | CPU2 | GPU")
+	fs.StringVar(&cfg.task, "task", "image", "image | sentence")
+	fs.IntVar(&cfg.streams, "streams", 8, "concurrent inference streams")
+	fs.IntVar(&cfg.inputs, "inputs", 300, "inputs per stream")
+	fs.Int64Var(&cfg.seed, "seed", 1, "seed for trace compilation and stream noise")
+	fs.IntVar(&cfg.shards, "shards", 0, "server shards (0 = one per stream, the deterministic default)")
+	fs.StringVar(&cfg.mode, "mode", "auto", "auto | open | closed loop")
+	fs.StringVar(&cfg.objective, "objective", "energy", "energy (minimize energy) | error (minimize error)")
+	fs.Float64Var(&cfg.deadlineFactor, "deadline-factor", 1.25, "deadline as a multiple of the slowest model's latency")
+	fs.Float64Var(&cfg.accuracy, "accuracy", 0.92, "accuracy goal (energy objective)")
+	fs.Float64Var(&cfg.budgetW, "budget-watts", 0, "energy budget as avg watts over the deadline window (error objective; 0 = platform default cap)")
+	if err := fs.Parse(args); err != nil {
+		return cfg, err
+	}
+	if cfg.streams <= 0 || cfg.inputs <= 0 {
+		return cfg, fmt.Errorf("streams and inputs must be positive")
+	}
+	switch cfg.mode {
+	case "auto", "open", "closed":
+	default:
+		return cfg, fmt.Errorf("unknown -mode %q", cfg.mode)
+	}
+	return cfg, nil
+}
+
+// runLoad executes the load test and returns the aggregate report.
+func runLoad(cfg loadConfig) (*loadReport, error) {
+	plat, err := findPlatform(cfg.platform)
+	if err != nil {
+		return nil, err
+	}
+	models := alert.ImageCandidates()
+	task := dnn.ImageClassification
+	if strings.HasPrefix(strings.ToLower(cfg.task), "sent") {
+		models = alert.SentenceCandidates()
+		task = dnn.SentencePrediction
+	}
+
+	// The deadline yardstick is the slowest candidate at the top cap.
+	slowest := 0.0
+	for _, m := range models {
+		if lat := m.RefLatency / plat.Speed(plat.PMax); lat > slowest {
+			slowest = lat
+		}
+	}
+	deadline := cfg.deadlineFactor * slowest
+
+	spec := alert.Spec{Deadline: deadline}
+	switch strings.ToLower(cfg.objective) {
+	case "energy":
+		spec.Objective = alert.MinimizeEnergy
+		spec.AccuracyGoal = cfg.accuracy
+	case "error":
+		spec.Objective = alert.MaximizeAccuracy
+		w := cfg.budgetW
+		if w <= 0 {
+			w = plat.DefaultCap
+		}
+		spec.EnergyBudget = w * deadline
+	default:
+		return nil, fmt.Errorf("unknown objective %q", cfg.objective)
+	}
+
+	var tr *scenario.Trace
+	if cfg.replayPath != "" {
+		if tr, err = scenario.ReadFile(cfg.replayPath); err != nil {
+			return nil, err
+		}
+	} else {
+		sspec, err := scenario.ByName(cfg.scenarioName)
+		if err != nil {
+			return nil, err
+		}
+		if tr, err = scenario.Compile(sspec, plat, cfg.inputs, deadline, cfg.seed); err != nil {
+			return nil, err
+		}
+	}
+	open := tr.OpenLoop()
+	switch cfg.mode {
+	case "open":
+		open = true
+	case "closed":
+		open = false
+	}
+
+	shards := cfg.shards
+	if shards <= 0 {
+		shards = cfg.streams
+	}
+	srv, err := alert.NewServer(plat, models, alert.ServerOptions{Shards: shards})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+
+	// The streams replay the same trace but draw independent input streams
+	// and platform noise, like distinct users of one deployment. Profiling
+	// is deterministic, so this table equals the server's internal one.
+	prof, err := dnn.Profile(plat, models)
+	if err != nil {
+		return nil, err
+	}
+
+	results := make([]streamResult, cfg.streams)
+	var wg sync.WaitGroup
+	for s := 0; s < cfg.streams; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			results[s] = driveStream(srv, prof, tr, spec, task, driveConfig{
+				stream: s,
+				inputs: cfg.inputs,
+				seed:   cfg.seed + int64(s)*7919,
+				open:   open,
+			})
+		}(s)
+	}
+	wg.Wait()
+
+	rep := &loadReport{
+		Trace:        tr,
+		OpenLoop:     open,
+		Streams:      cfg.streams,
+		Inputs:       cfg.inputs,
+		Seed:         cfg.seed,
+		DecisionSeqs: make([]string, cfg.streams),
+	}
+	all := metrics.NewRecord("alertload")
+	for s, res := range results {
+		all.Merge(res.rec)
+		rep.DecisionSeqs[s] = res.decisions
+	}
+	rep.SLOAttainment = all.SLOAttainment()
+	rep.MissRate = all.DeadlineMissRate()
+	rep.P50 = all.LatencyPercentile(50)
+	rep.P95 = all.LatencyPercentile(95)
+	rep.P99 = all.LatencyPercentile(99)
+	rep.AvgEnergy = all.AvgEnergy()
+	rep.AvgQuality = all.AvgQuality()
+	rep.ServerStats = srv.Stats()
+	return rep, nil
+}
+
+// driveConfig parameterizes one stream's drive loop.
+type driveConfig struct {
+	stream int
+	inputs int
+	seed   int64
+	open   bool
+}
+
+// driveStream runs one inference stream against the server: the paper's
+// decide → execute → observe loop, with execution simulated by a
+// virtual-time environment replaying the scenario trace, and arrivals
+// paced by the trace's arrival process (open loop) or by completion
+// (closed loop).
+func driveStream(srv *alert.Server, prof *dnn.ProfileTable, tr *scenario.Trace,
+	base alert.Spec, task dnn.Task, dc driveConfig) streamResult {
+
+	env := sim.NewEnv(prof, tr.Source(), dc.seed*3+2)
+	stream := workload.NewStream(task, dc.inputs, dc.seed*3+1)
+	tracker := workload.NewDeadlineTracker(task, base.Deadline, 0)
+	rec := metrics.NewRecord(fmt.Sprintf("stream-%d", dc.stream))
+	var seq strings.Builder
+
+	cur := base
+	var arrive, free float64 // virtual clocks: last arrival, server free
+	for {
+		in, ok := stream.Next()
+		if !ok {
+			break
+		}
+		tick := tr.At(in.ID)
+		if next := tr.SpecFor(in.ID, base); next != cur {
+			cur = next
+			tracker.SetPerInput(cur.Deadline)
+		}
+
+		// Arrival: open loop queues scenario-shaped arrivals behind the
+		// stream's previous work; closed loop issues on completion.
+		if dc.open {
+			arrive += tick.Gap
+		} else {
+			arrive = free
+		}
+		start := math.Max(arrive, free)
+		wait := start - arrive
+
+		goal := tracker.GoalFor(in)
+		dspec := cur
+		dspec.Deadline = goal
+		d, _ := srv.Decide(dc.stream, dspec)
+		out := env.Step(sim.Decision{
+			Model:       d.Model,
+			Cap:         d.Cap,
+			PlannedStop: d.PlannedStop,
+			Overhead:    d.Overhead,
+		}, in, goal, cur.Deadline)
+		tracker.Observe(in, out.Latency)
+		srv.Observe(dc.stream, alert.Feedback{
+			Decision:       d,
+			Latency:        out.Latency,
+			CompletedStage: out.Stage,
+			IdlePowerW:     out.IdlePower,
+		})
+		free = start + out.Latency
+		response := wait + out.Latency
+
+		s := metrics.Sample{
+			Latency:         response,
+			Goal:            cur.Deadline,
+			Energy:          out.Energy,
+			Quality:         out.Quality,
+			TrueXi:          out.TrueXi,
+			Model:           d.Model,
+			Cap:             out.CapApplied,
+			LatencyViolated: response > cur.Deadline,
+		}
+		switch cur.Objective {
+		case alert.MinimizeEnergy:
+			s.AccuracyViolated = out.Quality < cur.AccuracyGoal
+		case alert.MaximizeAccuracy:
+			s.EnergyViolated = cur.EnergyBudget > 0 && out.Energy > cur.EnergyBudget
+		}
+		rec.Add(s)
+		fmt.Fprintf(&seq, "%d,%d,%.17g,%.17g;", d.Model, d.Cap, d.PlannedStop, d.Overhead)
+	}
+	return streamResult{rec: rec, decisions: seq.String()}
+}
+
+func findPlatform(name string) (*alert.Platform, error) {
+	for _, p := range alert.Platforms() {
+		if strings.EqualFold(p.Name, name) {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown platform %q", name)
+}

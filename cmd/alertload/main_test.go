@@ -1,0 +1,192 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testConfig() loadConfig {
+	cfg, err := parseFlags([]string{
+		"-scenario", "bursty", "-streams", "3", "-inputs", "80", "-seed", "5",
+	})
+	if err != nil {
+		panic(err)
+	}
+	return cfg
+}
+
+// TestLoadDeterminism is the acceptance guarantee: replaying the same
+// scenario with the same seed yields byte-identical per-stream decision
+// sequences, independent of goroutine scheduling.
+func TestLoadDeterminism(t *testing.T) {
+	a, err := runLoad(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runLoad(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.DecisionSeqs) != len(b.DecisionSeqs) {
+		t.Fatalf("stream counts differ: %d vs %d", len(a.DecisionSeqs), len(b.DecisionSeqs))
+	}
+	for s := range a.DecisionSeqs {
+		if a.DecisionSeqs[s] != b.DecisionSeqs[s] {
+			t.Errorf("stream %d decision sequences differ", s)
+		}
+		if a.DecisionSeqs[s] == "" {
+			t.Errorf("stream %d produced no decisions", s)
+		}
+	}
+	if a.SLOAttainment != b.SLOAttainment || a.MissRate != b.MissRate ||
+		a.P50 != b.P50 || a.P95 != b.P95 || a.P99 != b.P99 {
+		t.Error("aggregate metrics differ between identical runs")
+	}
+}
+
+// TestRecordReplay closes the loop: a trace recorded by one run and
+// replayed by another must reproduce the original decision sequences
+// exactly — the trace file carries everything environment-shaped.
+func TestRecordReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+
+	cfg := testConfig()
+	original, err := runLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := original.Trace.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	replayCfg := cfg
+	replayCfg.scenarioName = ""
+	replayCfg.replayPath = path
+	replayed, err := runLoad(replayCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range original.DecisionSeqs {
+		if original.DecisionSeqs[s] != replayed.DecisionSeqs[s] {
+			t.Errorf("stream %d: replayed decisions differ from the recorded run", s)
+		}
+	}
+	if replayed.Trace.Scenario != original.Trace.Scenario {
+		t.Errorf("replayed scenario %q, want %q", replayed.Trace.Scenario, original.Trace.Scenario)
+	}
+}
+
+// TestStreamsAreIndependent: each stream pins to its own shard, so adding
+// streams must not perturb an existing stream's decisions.
+func TestStreamsAreIndependent(t *testing.T) {
+	small := testConfig()
+	small.streams = 2
+	big := testConfig()
+	big.streams = 4
+
+	a, err := runLoad(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runLoad(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < small.streams; s++ {
+		if a.DecisionSeqs[s] != b.DecisionSeqs[s] {
+			t.Errorf("stream %d decisions changed when fleet grew", s)
+		}
+	}
+}
+
+// TestRunSmoke drives the CLI end-to-end, including -record.
+func TestRunSmoke(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rec.json")
+	var out strings.Builder
+	err := run([]string{
+		"-scenario", "thermal", "-streams", "2", "-inputs", "60", "-record", path,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"SLO attainment", "deadline-miss", "p50", "p95", "p99", "trace recorded"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output lacks %q:\n%s", want, got)
+		}
+	}
+
+	var replay strings.Builder
+	if err := run([]string{"-replay", path, "-streams", "2", "-inputs", "60"}, &replay); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(replay.String(), "scenario=thermal") {
+		t.Errorf("replay lost the scenario name:\n%s", replay.String())
+	}
+	if strings.Contains(replay.String(), "note:") {
+		t.Errorf("matching-seed replay should not warn:\n%s", replay.String())
+	}
+
+	// A replay under a different -seed cannot reproduce the recording's
+	// decisions; the banner must say which seed ran and point at the
+	// recording's.
+	var mismatched strings.Builder
+	if err := run([]string{"-replay", path, "-streams", "2", "-inputs", "60", "-seed", "99"}, &mismatched); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(mismatched.String(), "seed=99") {
+		t.Errorf("banner must report the driving seed:\n%s", mismatched.String())
+	}
+	if !strings.Contains(mismatched.String(), "note: replayed trace was recorded with seed=1") {
+		t.Errorf("mismatched-seed replay must warn:\n%s", mismatched.String())
+	}
+}
+
+// TestClosedLoopMode forces closed-loop pacing: with no queueing the
+// response time equals the service time, so misses can only come from slow
+// service, never arrival bursts.
+func TestClosedLoopMode(t *testing.T) {
+	open := testConfig()
+	open.mode = "open"
+	closed := testConfig()
+	closed.mode = "closed"
+
+	or, err := runLoad(open)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := runLoad(closed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decisions are driven by the environment, not the arrival process.
+	for s := range or.DecisionSeqs {
+		if or.DecisionSeqs[s] != cr.DecisionSeqs[s] {
+			t.Errorf("stream %d: arrival mode changed decisions", s)
+		}
+	}
+	// Queueing can only hurt: open-loop p99 response >= closed-loop p99.
+	if or.P99 < cr.P99-1e-12 {
+		t.Errorf("open-loop p99 %g below closed-loop %g", or.P99, cr.P99)
+	}
+}
+
+func TestFlagErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-no-such-flag"}, &out); err == nil {
+		t.Error("unknown flag must error")
+	}
+	if err := run([]string{"-scenario", "nope"}, &out); err == nil {
+		t.Error("unknown scenario must error")
+	}
+	if err := run([]string{"-streams", "0"}, &out); err == nil {
+		t.Error("zero streams must error")
+	}
+	if err := run([]string{"-mode", "sideways"}, &out); err == nil {
+		t.Error("bad mode must error")
+	}
+	if err := run([]string{"-replay", "/does/not/exist.json"}, &out); err == nil {
+		t.Error("missing replay file must error")
+	}
+}

@@ -9,6 +9,7 @@
 //	experiments -exp fig3,fig9      # a subset
 //	experiments -exp table4 -quick  # reduced grid for a fast look
 //	experiments -exp table4 -parallel 8   # 8 settings per cell at once
+//	experiments -exp scenario -scenario phased,thermal  # dynamic environments
 package main
 
 import (
@@ -36,8 +37,10 @@ func main() {
 // end-to-end without a subprocess.
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
-	exps := fs.String("exp", "all", "comma-separated experiment ids: fig2,fig3,fig4,fig5,fig6,fig7,fig8,fig9,fig10,fig11,table4,table5 or all")
+	exps := fs.String("exp", "all", "comma-separated experiment ids: fig2,fig3,fig4,fig5,fig6,fig7,fig8,fig9,fig10,fig11,table4,table5,scenario or all")
 	quick := fs.Bool("quick", false, "use the reduced grid (faster, noisier)")
+	scenarios := fs.String("scenario", "all",
+		"comma-separated environment scenarios for -exp scenario (see internal/scenario; all = every built-in)")
 	seed := fs.Int64("seed", 42, "experiment seed")
 	csvDir := fs.String("csv", "", "also export CSV files into this directory")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0),
@@ -55,7 +58,7 @@ func run(args []string, stdout io.Writer) error {
 
 	known := map[string]bool{"all": true}
 	for _, id := range []string{"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-		"fig9", "fig10", "fig11", "table4", "table5"} {
+		"fig9", "fig10", "fig11", "table4", "table5", "scenario"} {
 		known[id] = true
 	}
 	want := map[string]bool{}
@@ -119,6 +122,16 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	run("fig11", func() (fmt.Stringer, error) { return wrap(experiment.RunFig11(sc)) })
+	run("scenario", func() (fmt.Stringer, error) {
+		var names []string // nil = every built-in
+		if s := strings.TrimSpace(strings.ToLower(*scenarios)); s != "" && s != "all" {
+			names = strings.Split(s, ",")
+			for i := range names {
+				names[i] = strings.TrimSpace(names[i])
+			}
+		}
+		return wrap(experiment.RunScenarioSweep(names, sc))
+	})
 	if firstErr != nil {
 		return firstErr
 	}

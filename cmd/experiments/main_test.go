@@ -44,6 +44,27 @@ func TestRunParallelDeterminism(t *testing.T) {
 	}
 }
 
+// TestRunScenarioSweep exercises the -scenario dimension end-to-end: a
+// named-scenario subset must render one row per scenario.
+func TestRunScenarioSweep(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-exp", "scenario", "-scenario", "thermal,bursty", "-quick"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "==== scenario") {
+		t.Fatalf("missing scenario banner in:\n%s", got)
+	}
+	for _, name := range []string{"thermal", "bursty"} {
+		if !strings.Contains(got, name) {
+			t.Errorf("missing %s row in:\n%s", name, got)
+		}
+	}
+	if err := run([]string{"-exp", "scenario", "-scenario", "nope"}, &out); err == nil {
+		t.Error("unknown scenario name: want error, got nil")
+	}
+}
+
 // TestRunFlagErrors checks bad invocations surface as errors, not exits.
 func TestRunFlagErrors(t *testing.T) {
 	var out strings.Builder

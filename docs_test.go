@@ -1,0 +1,72 @@
+package alert
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches inline markdown links/images: [text](target).
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestDocLinks walks every markdown file in the repository and checks that
+// relative links resolve to files or directories that exist — the docs
+// link-check gate CI runs, so README/ARCHITECTURE references cannot rot as
+// files move.
+func TestDocLinks(t *testing.T) {
+	root, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var checked int
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".md") {
+			return nil
+		}
+		switch d.Name() {
+		case "PAPER.md", "PAPERS.md", "SNIPPETS.md", "ISSUE.md":
+			// Generated source-paper artifacts, not maintained docs; their
+			// links point at assets that were never vendored.
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue // external; a network check does not belong in tests
+			}
+			target = strings.SplitN(target, "#", 2)[0]
+			if target == "" {
+				continue // pure fragment link within the same file
+			}
+			resolved := filepath.Join(filepath.Dir(path), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				rel, _ := filepath.Rel(root, path)
+				t.Errorf("%s: broken link %q (resolved %s)", rel, m[1], resolved)
+			}
+			checked++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checked == 0 {
+		t.Error("no links checked; the walker is likely broken")
+	}
+}

@@ -31,6 +31,11 @@ func NewAlert(name string, prof *dnn.ProfileTable, spec core.Spec, opts core.Opt
 // Name implements runner.Scheduler.
 func (a *Alert) Name() string { return a.name }
 
+// SetSpec implements runner.SpecSetter: scenario spec churn retargets the
+// controller's requirement mid-stream. The Kalman filter state is
+// deliberately kept — the environment did not change, only the goal.
+func (a *Alert) SetSpec(spec core.Spec) { a.spec = spec }
+
 // Controller exposes the wrapped controller for trace instrumentation.
 func (a *Alert) Controller() *core.Controller { return a.ctl }
 

@@ -58,6 +58,11 @@ func NewNoCoord(prof *dnn.ProfileTable, spec core.Spec) *NoCoord {
 // Name implements runner.Scheduler.
 func (n *NoCoord) Name() string { return "No-coord" }
 
+// SetSpec implements runner.SpecSetter (scenario spec churn). Both
+// uncoordinated layers see the new requirement, as they would via the same
+// user-facing knob, but still not each other.
+func (n *NoCoord) SetSpec(spec core.Spec) { n.spec = spec }
+
 // Decide implements runner.Scheduler.
 func (n *NoCoord) Decide(_ *sim.Env, _ workload.Input, goal float64) sim.Decision {
 	m := n.prof.Models[n.model]

@@ -43,6 +43,10 @@ func NewSysOracle(spec core.Spec, modelIdx int) *Oracle {
 // Name implements runner.Scheduler.
 func (o *Oracle) Name() string { return o.name }
 
+// SetSpec implements runner.SpecSetter (scenario spec churn): the oracle is
+// clairvoyant about the environment and always optimizes the live spec.
+func (o *Oracle) SetSpec(spec core.Spec) { o.spec = spec }
+
 // FoundFeasible reports whether the last Decide found any configuration
 // meeting all constraints; Figure 6 renders ∞ when a single-layer oracle
 // cannot meet a setting at all.

@@ -51,6 +51,10 @@ func NewSysOnly(prof *dnn.ProfileTable, spec core.Spec) *SysOnly {
 // Name implements runner.Scheduler.
 func (s *SysOnly) Name() string { return "Sys-only" }
 
+// SetSpec implements runner.SpecSetter (scenario spec churn). The pinned
+// model stays pinned — this baseline only ever adapts the cap.
+func (s *SysOnly) SetSpec(spec core.Spec) { s.spec = spec }
+
 // Decide implements runner.Scheduler: cheapest cap whose predicted latency
 // fits the goal (and, in the accuracy-maximizing task, whose predicted
 // energy fits the budget); the top cap if nothing fits.

@@ -10,6 +10,23 @@
 // on, calibrated so the observed global-slowdown-factor histograms match
 // Figure 11: Default ≈ 1.00–1.06, Compute ≈ 1.1–1.7, Memory ≈ 1.1–1.9
 // (narrower on the GPU, which the paper observes to be much quieter).
+//
+// Invariants every Source implementation maintains:
+//
+//   - Exactly one Effect is produced per inference input, in input order;
+//     sim.Env draws it lazily and caches it so peeking (oracles) and
+//     stepping agree on the same draw.
+//   - Effect.Slowdown >= 1: co-located load never speeds inference up.
+//   - Sources are deterministic functions of their seed. Two sources built
+//     with the same (scenario, kind, seed) produce identical Effect
+//     sequences, which is what makes every cross-scheme comparison in the
+//     evaluation apples-to-apples.
+//
+// The stock sources here model co-runner contention only. Richer
+// environment dynamics — phase-switching contention, thermal/power-cap
+// throttling ramps, spec churn — are composed by internal/scenario, whose
+// compiled traces replay through the same Source interface (Effect's
+// CapLimitW field is the throttling hook).
 package contention
 
 import (
@@ -59,6 +76,11 @@ type Effect struct {
 	// Active reports whether the co-runner is currently scheduled, exposed
 	// so traces (Fig. 9) can mark the burst window.
 	Active bool
+	// CapLimitW, when positive, is a power ceiling the environment enforces
+	// beneath the scheduler: thermal or power-budget throttling clamps the
+	// applied cap to min(chosen, CapLimitW). The stock Markov and Scripted
+	// sources never set it; scenario traces (internal/scenario) do.
+	CapLimitW float64
 }
 
 // Source yields one Effect per inference input.
@@ -137,6 +159,23 @@ func NewSource(sc Scenario, kind platform.Kind, seed int64) Source {
 	// burst arrives after a geometric delay.
 	m.on = false
 	m.left = m.sojourn(p.offMean)
+	return m
+}
+
+// NewActiveSource is NewSource with the co-runner initially scheduled:
+// scenario contention phases use it so a phase labelled "compute" or
+// "memory" actually begins with the co-runner present (it still stops and
+// restarts within the phase), instead of idling through a geometric
+// warm-up that can outlast a short phase entirely.
+func NewActiveSource(sc Scenario, kind platform.Kind, seed int64) Source {
+	if sc == Default {
+		return NewSource(sc, kind, seed)
+	}
+	p := scenarioParams(sc, kind)
+	m := &Markov{p: p, rng: mathx.NewRand(seed)}
+	m.on = true
+	m.left = m.sojourn(p.onMean)
+	m.level = m.rng.TruncNormal(p.mean, p.levelSigma, p.lo+p.jitter*3, p.hi-p.jitter*3)
 	return m
 }
 

@@ -10,6 +10,7 @@ import (
 	"github.com/alert-project/alert/internal/metrics"
 	"github.com/alert-project/alert/internal/platform"
 	"github.com/alert-project/alert/internal/runner"
+	"github.com/alert-project/alert/internal/scenario"
 )
 
 // CellKey identifies one Table 4 cell: a platform, a task (DNN family), and
@@ -66,6 +67,13 @@ type CellOptions struct {
 	// simulation, so the cell's results are identical at any parallelism;
 	// values below 2 run serially, 0 keeps the serial default.
 	Parallelism int
+	// Scenario, when non-empty, names a built-in environment scenario
+	// (internal/scenario). Every setting then runs against a trace of that
+	// scenario compiled for the setting's deadline and seed — the scenario
+	// dimension of the grid — instead of the stock CellKey.Scenario
+	// co-runner source, and the trace's spec churn applies. CellKey.Scenario
+	// still sets the grid's achievability margin.
+	Scenario string
 }
 
 // RunCell executes one Table 4 cell: for every constraint setting in the
@@ -86,6 +94,12 @@ func RunCell(key CellKey, obj core.Objective, sc Scale, opt CellOptions) (*Cell,
 	}
 	if opt.Parallelism == 0 {
 		opt.Parallelism = sc.Parallelism
+	}
+	var scenSpec scenario.Spec
+	if opt.Scenario != "" {
+		if scenSpec, err = scenario.ByName(opt.Scenario); err != nil {
+			return nil, err
+		}
 	}
 
 	grid := GridFor(obj, profs.Full, key.Scenario, sc)
@@ -125,6 +139,16 @@ func RunCell(key CellKey, obj core.Objective, sc Scale, opt CellOptions) (*Cell,
 			Seed:      seed,
 		}
 		out := settingOut{results: make(map[string]metrics.SettingResult, len(schemes)+1)}
+		if opt.Scenario != "" {
+			// One trace per setting, shared by every scheme: the scenario
+			// dimension stays apples-to-apples across the roster.
+			tr, err := scenario.Compile(scenSpec, plat, sc.Inputs, setting.Spec.Deadline, seed)
+			if err != nil {
+				out.err = err
+				return out
+			}
+			baseCfg.Trace = tr
+		}
 		if opt.KeepRecords {
 			out.records = make(map[string]*metrics.Record, len(schemes)+1)
 		}
@@ -192,9 +216,11 @@ func RunCell(key CellKey, obj core.Objective, sc Scale, opt CellOptions) (*Cell,
 
 func settingResult(scheme string, rec *metrics.Record) metrics.SettingResult {
 	return metrics.SettingResult{
-		Scheme:    scheme,
-		AvgEnergy: rec.AvgEnergy(),
-		AvgError:  rec.AvgError(),
-		Violated:  rec.SettingViolated(),
+		Scheme:        scheme,
+		AvgEnergy:     rec.AvgEnergy(),
+		AvgError:      rec.AvgError(),
+		Violated:      rec.SettingViolated(),
+		ViolationRate: rec.ViolationRate(),
+		MissRate:      rec.DeadlineMissRate(),
 	}
 }

@@ -3,7 +3,24 @@
 // does: per-input constraint violations, the ">10 % of inputs" rule that
 // marks a whole setting as violated (Table 4's superscripts), averages
 // normalized against OracleStatic, harmonic means across rows, and whisker
-// statistics for the Figure 8/10 plots.
+// statistics for the Figure 8/10 plots. The serving layer reports through
+// the same package: latency percentiles and SLO attainment over Records
+// (the load-generator headline numbers), and ServeCounters for the
+// concurrent pool's throughput/latency counters.
+//
+// Semantics worth pinning down:
+//
+//   - A Record is single-writer: Add is not safe for concurrent use. The
+//     concurrent serving path therefore keeps one Record per stream and
+//     merges, while ServeCounters — a handful of atomics — are the only
+//     metrics shared across goroutines.
+//   - A Sample's violation flags are judged against the requirement that
+//     was in force for that input; under scenario spec churn the goal
+//     moves mid-stream and the flags follow it.
+//   - ServeCounters record completed work: RecordDecide runs before the
+//     reply unblocks the caller, so any Stats read that follows a
+//     completed Decide observes it; Snapshot reads each counter atomically
+//     but is not a single atomic cut across counters.
 package metrics
 
 import (
@@ -97,6 +114,27 @@ func (r *Record) DeadlineMissRate() float64 {
 // setting when more than 10 % of inputs violate it.
 func (r *Record) SettingViolated() bool { return r.ViolationRate() > 0.10 }
 
+// SLOAttainment returns the fraction of inputs that met every applicable
+// constraint — the serving-layer headline, 1 − ViolationRate.
+func (r *Record) SLOAttainment() float64 { return 1 - r.ViolationRate() }
+
+// LatencyPercentile returns the p-th percentile (0–100) of the measured
+// latencies, the p50/p95/p99 numbers the load generator reports. It sorts a
+// copy per call; callers wanting several percentiles of a large record
+// should go through Latencies and mathx directly.
+func (r *Record) LatencyPercentile(p float64) float64 {
+	return mathx.Percentile(r.Latencies(), p)
+}
+
+// Merge folds every sample of other into r, preserving sample order within
+// each record. The load generator uses it to aggregate per-stream records
+// into one fleet-wide view.
+func (r *Record) Merge(other *Record) {
+	for _, s := range other.Samples {
+		r.Add(s)
+	}
+}
+
 // Energies returns the per-input energy series (no copy; treat as
 // read-only).
 func (r *Record) Energies() []float64 {
@@ -141,6 +179,11 @@ type SettingResult struct {
 	AvgEnergy float64
 	AvgError  float64
 	Violated  bool
+	// ViolationRate and MissRate echo the per-input rates behind Violated,
+	// for reports (scenario sweeps, load tests) that need more resolution
+	// than the 10 % rule.
+	ViolationRate float64
+	MissRate      float64
 }
 
 // CellResult aggregates a scheme over a grid of constraint settings into

@@ -10,6 +10,7 @@ import (
 	"github.com/alert-project/alert/internal/core"
 	"github.com/alert-project/alert/internal/dnn"
 	"github.com/alert-project/alert/internal/metrics"
+	"github.com/alert-project/alert/internal/scenario"
 	"github.com/alert-project/alert/internal/sim"
 	"github.com/alert-project/alert/internal/workload"
 )
@@ -28,6 +29,15 @@ type Scheduler interface {
 	Observe(in workload.Input, d sim.Decision, out sim.Outcome)
 }
 
+// SpecSetter is implemented by schedulers that can retarget to a changed
+// requirement mid-stream (scenario spec churn). Schedulers without it keep
+// optimizing for the spec they were built with while the accounting follows
+// the churned spec — the honest model of a runtime that was never told the
+// requirement moved.
+type SpecSetter interface {
+	SetSpec(core.Spec)
+}
+
 // Config describes one run: a profiled candidate set on a platform, an
 // environment scenario, the constraint spec, and the stream length.
 type Config struct {
@@ -36,6 +46,12 @@ type Config struct {
 	Spec      core.Spec
 	NumInputs int
 	Seed      int64
+	// Trace, when set, replaces Scenario as the disturbance source (the
+	// compiled scenario trace replays through the same contention.Source
+	// interface) and supplies per-input spec churn, which Run applies to
+	// the deadline tracker, the violation accounting, and any scheduler
+	// implementing SpecSetter.
+	Trace *scenario.Trace
 }
 
 // streamSeed/contSeed/envSeed derive the three independent substream seeds
@@ -46,8 +62,13 @@ func (c Config) streamSeed() int64 { return c.Seed*3 + 1 }
 func (c Config) contSeed() int64   { return c.Seed*3 + 2 }
 func (c Config) envSeed() int64    { return c.Seed*3 + 3 }
 
-// NewEnv builds the simulation environment for this config.
+// NewEnv builds the simulation environment for this config: a fresh replay
+// cursor over the scenario trace when one is set, the stock stochastic
+// co-runner source otherwise.
 func (c Config) NewEnv() *sim.Env {
+	if c.Trace != nil {
+		return sim.NewEnv(c.Prof, c.Trace.Source(), c.envSeed())
+	}
 	cont := contention.NewSource(c.Scenario, c.Prof.Platform.Kind, c.contSeed())
 	return sim.NewEnv(c.Prof, cont, c.envSeed())
 }
@@ -73,14 +94,28 @@ func RunEnv(cfg Config, env *sim.Env, sched Scheduler, trace func(in workload.In
 	tracker := workload.NewDeadlineTracker(task, cfg.Spec.Deadline, 0)
 	rec := metrics.NewRecord(sched.Name())
 
+	// cur is the requirement in force for the current input; scenario spec
+	// churn moves it mid-stream, and everything downstream — goal
+	// adjustment, the scheduler (when it can listen), and the violation
+	// accounting — follows the same churned spec.
+	cur := cfg.Spec
 	for {
 		in, ok := stream.Next()
 		if !ok {
 			break
 		}
+		if cfg.Trace != nil {
+			if next := cfg.Trace.SpecFor(in.ID, cfg.Spec); next != cur {
+				cur = next
+				tracker.SetPerInput(cur.Deadline)
+				if ss, ok := sched.(SpecSetter); ok {
+					ss.SetSpec(cur)
+				}
+			}
+		}
 		goal := tracker.GoalFor(in)
 		d := sched.Decide(env, in, goal)
-		out := env.Step(d, in, goal, cfg.Spec.Deadline)
+		out := env.Step(d, in, goal, cur.Deadline)
 		tracker.Observe(in, out.Latency)
 		sched.Observe(in, d, out)
 
@@ -94,11 +129,11 @@ func RunEnv(cfg Config, env *sim.Env, sched Scheduler, trace func(in workload.In
 			Cap:             out.CapApplied,
 			LatencyViolated: out.Latency > goal,
 		}
-		switch cfg.Spec.Objective {
+		switch cur.Objective {
 		case core.MinimizeEnergy:
-			s.AccuracyViolated = out.Quality < cfg.Spec.AccuracyGoal
+			s.AccuracyViolated = out.Quality < cur.AccuracyGoal
 		case core.MaximizeAccuracy:
-			s.EnergyViolated = cfg.Spec.EnergyBudget > 0 && out.Energy > cfg.Spec.EnergyBudget
+			s.EnergyViolated = cur.EnergyBudget > 0 && out.Energy > cur.EnergyBudget
 		}
 		rec.Add(s)
 		if trace != nil {

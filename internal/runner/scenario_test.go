@@ -1,0 +1,123 @@
+// Scenario-trace tests live in an external test package because they use
+// internal/baselines, which itself imports runner.
+package runner_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/alert-project/alert/internal/baselines"
+	"github.com/alert-project/alert/internal/core"
+	"github.com/alert-project/alert/internal/dnn"
+	"github.com/alert-project/alert/internal/platform"
+	"github.com/alert-project/alert/internal/runner"
+	"github.com/alert-project/alert/internal/scenario"
+	"github.com/alert-project/alert/internal/sim"
+	"github.com/alert-project/alert/internal/workload"
+)
+
+// pinned is a trivial scheduler holding one configuration.
+type pinned struct{ model, cap int }
+
+func (pinned) Name() string { return "pinned" }
+func (p pinned) Decide(_ *sim.Env, _ workload.Input, _ float64) sim.Decision {
+	return sim.Decision{Model: p.model, Cap: p.cap}
+}
+func (pinned) Observe(workload.Input, sim.Decision, sim.Outcome) {}
+
+// traceConfig builds a scenario-trace-driven config for a built-in
+// scenario on CPU1 image classification.
+func traceConfig(t *testing.T, name string, seed int64) runner.Config {
+	t.Helper()
+	prof, err := dnn.Profile(platform.CPU1(), dnn.CandidatesFor(dnn.ImageClassification))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := runner.Config{
+		Prof:      prof,
+		Spec:      core.Spec{Objective: core.MinimizeEnergy, Deadline: 0.1, AccuracyGoal: 0.9},
+		NumInputs: 150,
+		Seed:      seed,
+	}
+	spec, err := scenario.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := scenario.Compile(spec, prof.Platform, cfg.NumInputs, cfg.Spec.Deadline, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Trace = tr
+	return cfg
+}
+
+// decisionString flattens a run's decision sequence for byte-exact
+// comparison.
+func decisionString(cfg runner.Config, sched runner.Scheduler) string {
+	var b strings.Builder
+	runner.Run(cfg, sched, func(_ workload.Input, d sim.Decision, _ sim.Outcome) {
+		fmt.Fprintf(&b, "%d,%d,%.17g,%.17g;", d.Model, d.Cap, d.PlannedStop, d.Overhead)
+	})
+	return b.String()
+}
+
+// TestTraceReplayIdenticalDecisions pins the scenario acceptance property
+// at the runner level: the same trace and seed yield a byte-identical
+// decision sequence from the full adaptive scheduler.
+func TestTraceReplayIdenticalDecisions(t *testing.T) {
+	for _, name := range []string{"phased", "thermal", "churn"} {
+		mk := func() (runner.Config, runner.Scheduler) {
+			cfg := traceConfig(t, name, 11)
+			return cfg, baselines.NewAlert("ALERT", cfg.Prof, cfg.Spec, core.DefaultOptions())
+		}
+		cfgA, schedA := mk()
+		cfgB, schedB := mk()
+		a, b := decisionString(cfgA, schedA), decisionString(cfgB, schedB)
+		if a == "" {
+			t.Fatalf("%s: empty decision sequence", name)
+		}
+		if a != b {
+			t.Errorf("%s: same trace + same seed produced different decision sequences", name)
+		}
+	}
+}
+
+// TestTraceChurnMovesAccounting: under the churn scenario the goal moves
+// mid-stream, and both the deadline tracker and the violation accounting
+// must follow it.
+func TestTraceChurnMovesAccounting(t *testing.T) {
+	cfg := traceConfig(t, "churn", 3)
+	rec := runner.Run(cfg, pinned{0, 0}, nil)
+	seen := map[float64]bool{}
+	for _, s := range rec.Samples {
+		seen[s.Goal] = true
+	}
+	// churn cycles deadline factors {1, 0.7, 1.5} every 90 inputs; a
+	// 150-input run crosses one boundary, so at least two distinct goals.
+	if len(seen) < 2 {
+		t.Errorf("goals never moved under churn: %v", seen)
+	}
+}
+
+// TestTraceThrottleClampsCap: under the thermal scenario the applied cap
+// must drop below the requested top cap during throttle windows — and only
+// then.
+func TestTraceThrottleClampsCap(t *testing.T) {
+	cfg := traceConfig(t, "thermal", 5)
+	top := len(cfg.Prof.Caps) - 1
+	topW := cfg.Prof.Caps[top]
+	rec := runner.Run(cfg, pinned{0, top}, nil)
+	var clamped int
+	for _, s := range rec.Samples {
+		if s.Cap < topW-1e-9 {
+			clamped++
+		}
+	}
+	if clamped == 0 {
+		t.Error("thermal trace never clamped the applied cap")
+	}
+	if clamped == len(rec.Samples) {
+		t.Error("cap clamped on every input; throttle duty cycle missing")
+	}
+}

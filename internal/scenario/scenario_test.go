@@ -1,0 +1,274 @@
+package scenario
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/alert-project/alert/internal/contention"
+	"github.com/alert-project/alert/internal/core"
+	"github.com/alert-project/alert/internal/platform"
+)
+
+func compileBuiltin(t *testing.T, name string, n int, seed int64) *Trace {
+	t.Helper()
+	spec, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Compile(spec, platform.CPU1(), n, 0.1, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestNamesAndByName(t *testing.T) {
+	names := Names()
+	if len(names) < 5 {
+		t.Fatalf("too few built-in scenarios: %v", names)
+	}
+	for _, name := range names {
+		spec, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if spec.Name != name {
+			t.Errorf("spec %q registered under %q", spec.Name, name)
+		}
+		if err := spec.Validate(); err != nil {
+			t.Errorf("built-in %q invalid: %v", name, err)
+		}
+	}
+	if _, err := ByName("no-such-scenario"); err == nil {
+		t.Error("unknown name must error")
+	}
+}
+
+func TestCompileDeterminism(t *testing.T) {
+	for _, name := range Names() {
+		a := compileBuiltin(t, name, 500, 7)
+		b := compileBuiltin(t, name, 500, 7)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: same-seed compiles differ", name)
+		}
+		c := compileBuiltin(t, name, 500, 8)
+		if name != "steady" && name != "churn" && reflect.DeepEqual(a.Ticks, c.Ticks) {
+			t.Errorf("%s: different seeds produced identical ticks", name)
+		}
+	}
+}
+
+func TestTraceJSONRoundTrip(t *testing.T) {
+	for _, name := range Names() {
+		tr := compileBuiltin(t, name, 300, 3)
+		var buf1 bytes.Buffer
+		if err := tr.Encode(&buf1); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(bytes.NewReader(buf1.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(tr, got) {
+			t.Fatalf("%s: decoded trace differs from original", name)
+		}
+		var buf2 bytes.Buffer
+		if err := got.Encode(&buf2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+			t.Fatalf("%s: JSON round-trip is not byte-identical", name)
+		}
+	}
+}
+
+func TestTraceFileRoundTrip(t *testing.T) {
+	tr := compileBuiltin(t, "bursty", 200, 11)
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, got) {
+		t.Fatal("file round-trip changed the trace")
+	}
+}
+
+func TestDecodeRejectsSpeedups(t *testing.T) {
+	bad := `{"scenario":"x","platform":"CPU1","arrival":"closed","seed":1,"period":0.1,"ticks":[{"slow":0.5}]}`
+	if _, err := Decode(bytes.NewReader([]byte(bad))); err == nil {
+		t.Fatal("slowdown < 1 must be rejected")
+	}
+}
+
+func TestSourceReplaysIdentically(t *testing.T) {
+	tr := compileBuiltin(t, "phased", 400, 5)
+	a, b := tr.Source(), tr.Source()
+	for i := 0; i < 450; i++ { // past the end: cycling must match too
+		ea, eb := a.Next(), b.Next()
+		if ea != eb {
+			t.Fatalf("cursors diverged at %d: %+v vs %+v", i, ea, eb)
+		}
+		if ea.Slowdown < 1 {
+			t.Fatalf("tick %d slowdown %g < 1", i, ea.Slowdown)
+		}
+	}
+}
+
+func TestPhasedContentionSwitches(t *testing.T) {
+	tr := compileBuiltin(t, "phased", 215, 9)
+	// Phases: default [0,45), compute [45,115), default [115,145),
+	// memory [145,215). Named contention phases start with the co-runner
+	// scheduled (NewActiveSource), so their first input must already show
+	// power draw; the default phases must never show any.
+	var activeInPhase, activeBefore int
+	for i, tick := range tr.Ticks {
+		if tick.ExtraPowerW > 0 {
+			if i >= 45 && i < 115 {
+				activeInPhase++
+			}
+			if i < 45 || (i >= 115 && i < 145) {
+				activeBefore++
+			}
+		}
+	}
+	if activeInPhase == 0 {
+		t.Error("compute phase never showed co-runner power draw")
+	}
+	if activeBefore > 0 {
+		t.Errorf("default phases showed co-runner draw %d times", activeBefore)
+	}
+	if tr.Ticks[45].ExtraPowerW == 0 {
+		t.Error("compute phase does not start with the co-runner scheduled")
+	}
+	if tr.Ticks[145].ExtraPowerW == 0 {
+		t.Error("memory phase does not start with the co-runner scheduled")
+	}
+}
+
+func TestThrottleCeilingShape(t *testing.T) {
+	plat := platform.CPU1()
+	spec, _ := ByName("thermal")
+	tr, err := Compile(spec, plat, spec.Throttle.Period*2, 0.1, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	floor := math.Max(plat.PMin, spec.Throttle.MinCapFrac*plat.PMax)
+	var throttled int
+	for i, tick := range tr.Ticks {
+		if tick.CapLimitW == 0 {
+			continue
+		}
+		throttled++
+		if tick.CapLimitW < floor-1e-9 || tick.CapLimitW > plat.PMax+1e-9 {
+			t.Fatalf("tick %d ceiling %g outside [%g, %g]", i, tick.CapLimitW, floor, plat.PMax)
+		}
+		if !tick.Active {
+			t.Fatalf("tick %d throttled but not marked active", i)
+		}
+	}
+	duty := float64(throttled) / float64(len(tr.Ticks))
+	// Duty window plus the recovery ramp, with slack for jitter.
+	if duty < 0.3 || duty > 0.85 {
+		t.Errorf("throttled fraction %g implausible for duty %g", duty, spec.Throttle.Duty)
+	}
+}
+
+func TestChurnOverrides(t *testing.T) {
+	tr := compileBuiltin(t, "churn", 300, 17)
+	base := core.Spec{Objective: core.MinimizeEnergy, Deadline: 0.1, AccuracyGoal: 0.9}
+
+	// Phase 0: factors (1, 0) leave the spec unchanged.
+	if got := tr.SpecFor(0, base); got != base {
+		t.Fatalf("phase 0 spec changed: %+v", got)
+	}
+	// Phase 1 (inputs 90..179): deadline × 0.7, accuracy − 0.03.
+	got := tr.SpecFor(95, base)
+	if math.Abs(got.Deadline-0.07) > 1e-12 || math.Abs(got.AccuracyGoal-0.87) > 1e-12 {
+		t.Fatalf("phase 1 spec wrong: %+v", got)
+	}
+	// Phase 2 (inputs 180..269): deadline × 1.5, accuracy + 0.015.
+	got = tr.SpecFor(200, base)
+	if math.Abs(got.Deadline-0.15) > 1e-12 || math.Abs(got.AccuracyGoal-0.915) > 1e-12 {
+		t.Fatalf("phase 2 spec wrong: %+v", got)
+	}
+}
+
+func TestArrivalGaps(t *testing.T) {
+	cases := []struct {
+		name      string
+		openLoop  bool
+		meanLo    float64
+		meanHi    float64
+		identical bool // every gap equal (periodic)
+	}{
+		{"steady", true, 0.1, 0.1, true},
+		{"bursty", true, 0.05, 0.25, false},
+		{"diurnal", true, 0.08, 0.3, false},
+		{"churn", true, 0.1, 0.1, true},
+	}
+	for _, tc := range cases {
+		tr := compileBuiltin(t, tc.name, 2000, 23)
+		if tr.OpenLoop() != tc.openLoop {
+			t.Errorf("%s: OpenLoop = %v", tc.name, tr.OpenLoop())
+		}
+		var sum float64
+		allEqual := true
+		for _, tick := range tr.Ticks {
+			sum += tick.Gap
+			if tick.Gap != tr.Ticks[0].Gap {
+				allEqual = false
+			}
+		}
+		mean := sum / float64(len(tr.Ticks))
+		if mean < tc.meanLo-1e-9 || mean > tc.meanHi+1e-9 {
+			t.Errorf("%s: mean gap %g outside [%g, %g]", tc.name, mean, tc.meanLo, tc.meanHi)
+		}
+		if allEqual != tc.identical {
+			t.Errorf("%s: allEqual = %v, want %v", tc.name, allEqual, tc.identical)
+		}
+	}
+}
+
+func TestValidateCatchesBadSpecs(t *testing.T) {
+	bad := []Spec{
+		{Name: "p", Contention: []ContentionPhase{{Inputs: 0, Environment: "compute"}}},
+		{Name: "e", Contention: []ContentionPhase{{Inputs: 10, Environment: "martian"}}},
+		{Name: "t", Throttle: &Throttle{Period: 0, Duty: 0.5, MinCapFrac: 0.5}},
+		{Name: "d", Throttle: &Throttle{Period: 10, Duty: 1.5, MinCapFrac: 0.5}},
+		{Name: "f", Throttle: &Throttle{Period: 10, Duty: 0.5, MinCapFrac: 0}},
+		{Name: "a", Arrival: Arrival{Process: "fractal"}},
+		{Name: "s", Arrival: Arrival{Process: ArrivalDiurnal, Swing: 1.0}},
+		{Name: "c", Churn: &Churn{Every: 0}},
+		{Name: "n", Churn: &Churn{Every: 10, DeadlineFactors: []float64{-1}}},
+	}
+	for _, spec := range bad {
+		if err := spec.Validate(); err == nil {
+			t.Errorf("spec %q should fail validation", spec.Name)
+		}
+	}
+	if _, err := Compile(builtin["steady"], platform.CPU1(), 0, 0.1, 1); err == nil {
+		t.Error("zero-length compile should fail")
+	}
+	if _, err := Compile(builtin["steady"], platform.CPU1(), 10, 0, 1); err == nil {
+		t.Error("zero period compile should fail")
+	}
+}
+
+func TestHeaviestEnvironment(t *testing.T) {
+	if got := builtin["steady"].HeaviestEnvironment(); got != contention.Default {
+		t.Errorf("steady heaviest = %v", got)
+	}
+	if got := builtin["phased"].HeaviestEnvironment(); got != contention.Memory {
+		t.Errorf("phased heaviest = %v", got)
+	}
+	if got := builtin["bursty"].HeaviestEnvironment(); got != contention.Compute {
+		t.Errorf("bursty heaviest = %v", got)
+	}
+}

@@ -1,0 +1,153 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/alert-project/alert/internal/contention"
+	"github.com/alert-project/alert/internal/core"
+	"github.com/alert-project/alert/internal/mathx"
+)
+
+// Tick is the environment's state for one input: the disturbance the input
+// experiences, when it arrives, and which requirement spec is in force.
+// Zero-valued optional fields mean "no effect" so steady stretches compress
+// well in JSON.
+type Tick struct {
+	// Slowdown is the co-runner latency multiplier (>= 1).
+	Slowdown float64 `json:"slow"`
+	// ExtraPowerW is the wattage the co-runner adds to the system draw.
+	ExtraPowerW float64 `json:"xpw,omitempty"`
+	// CapLimitW, when positive, is the throttled power ceiling in watts.
+	CapLimitW float64 `json:"cap,omitempty"`
+	// Active mirrors whether any disturbance (co-runner or throttle) is on.
+	Active bool `json:"act,omitempty"`
+	// Gap is the inter-arrival time in seconds before this input
+	// (open-loop arrival processes only; 0 for closed loop).
+	Gap float64 `json:"gap,omitempty"`
+	// DeadlineFactor, when positive, multiplies the base deadline.
+	DeadlineFactor float64 `json:"dlf,omitempty"`
+	// AccuracyDelta is added to the base accuracy goal.
+	AccuracyDelta float64 `json:"accd,omitempty"`
+}
+
+// Trace is a compiled, materialized scenario: one Tick per input, plus the
+// header identifying what it was compiled from. Traces are immutable once
+// compiled; every consumer reads through At or a Source cursor, so one
+// trace can back any number of concurrent replays.
+type Trace struct {
+	// Scenario is the Spec.Name this trace was compiled from.
+	Scenario string `json:"scenario"`
+	// Platform is the platform name the throttle ceilings are in watts for.
+	Platform string `json:"platform"`
+	// Arrival is the arrival-process kind (one of the Arrival* constants).
+	Arrival string `json:"arrival"`
+	// Seed is the compile seed; (Scenario, Platform, len, Period, Seed)
+	// fully determine the tick sequence.
+	Seed int64 `json:"seed"`
+	// Period is the nominal seconds-per-input the gaps were scaled by.
+	Period float64 `json:"period"`
+	// Ticks is the per-input sequence.
+	Ticks []Tick `json:"ticks"`
+}
+
+// Len returns the number of compiled ticks.
+func (t *Trace) Len() int { return len(t.Ticks) }
+
+// At returns the tick for input i, cycling when the stream outruns the
+// trace so a short recorded trace can drive an arbitrarily long run.
+func (t *Trace) At(i int) Tick {
+	if len(t.Ticks) == 0 {
+		return Tick{Slowdown: 1}
+	}
+	return t.Ticks[i%len(t.Ticks)]
+}
+
+// OpenLoop reports whether the trace carries an open-loop arrival process
+// (inter-arrival gaps); closed-loop traces pace requests by completion.
+func (t *Trace) OpenLoop() bool { return t.Arrival != "" && t.Arrival != ArrivalClosed }
+
+// SpecFor returns the requirement spec in force for input i: the base spec
+// with the tick's churn overrides applied. Traces without churn return base
+// unchanged, so callers can cheaply detect changes by comparing specs.
+func (t *Trace) SpecFor(i int, base core.Spec) core.Spec {
+	tick := t.At(i)
+	s := base
+	if tick.DeadlineFactor > 0 {
+		s.Deadline = base.Deadline * tick.DeadlineFactor
+	}
+	if tick.AccuracyDelta != 0 {
+		s.AccuracyGoal = mathx.Clamp(base.AccuracyGoal+tick.AccuracyDelta, 0, 1)
+	}
+	return s
+}
+
+// cursor replays a trace as a contention.Source, cycling past the end.
+type cursor struct {
+	t *Trace
+	i int
+}
+
+// Source returns a fresh replay cursor over the trace. Each call starts at
+// tick 0, so every scheme (or stream) gets the identical disturbance
+// sequence — the property all cross-scheme comparisons rest on.
+func (t *Trace) Source() contention.Source { return &cursor{t: t} }
+
+// Next implements contention.Source.
+func (c *cursor) Next() contention.Effect {
+	tick := c.t.At(c.i)
+	c.i++
+	return contention.Effect{
+		Slowdown:   tick.Slowdown,
+		ExtraPower: tick.ExtraPowerW,
+		Active:     tick.Active,
+		CapLimitW:  tick.CapLimitW,
+	}
+}
+
+// Encode writes the trace as indented JSON. Encoding is deterministic:
+// encoding the same trace always yields the same bytes, and a decoded
+// trace re-encodes byte-identically (Go's float64 JSON round-trip is
+// exact), which is what makes recorded traces a stable artifact.
+func (t *Trace) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(t)
+}
+
+// Decode reads a trace written by Encode.
+func Decode(r io.Reader) (*Trace, error) {
+	var t Trace
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&t); err != nil {
+		return nil, fmt.Errorf("scenario: decoding trace: %w", err)
+	}
+	for i, tick := range t.Ticks {
+		if tick.Slowdown < 1 {
+			return nil, fmt.Errorf("scenario: trace tick %d has slowdown %g < 1", i, tick.Slowdown)
+		}
+	}
+	return &t, nil
+}
+
+// WriteFile records the trace at path.
+func (t *Trace) WriteFile(path string) error {
+	var buf bytes.Buffer
+	if err := t.Encode(&buf); err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
+}
+
+// ReadFile loads a trace recorded by WriteFile.
+func ReadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Decode(f)
+}

@@ -11,6 +11,24 @@
 // stream against a lone Controller serially. Cross-shard throughput scales
 // with cores because shards never contend on anything but the counters,
 // which are atomic.
+//
+// The invariants, precisely:
+//
+//   - Per-stream FIFO: all submissions for one stream land on one shard's
+//     queue and are applied in submission order. An Observe returns before
+//     it is applied, but a later Decide on the same stream is ordered
+//     behind it and therefore sees the updated filter state.
+//   - Shard isolation: streams mapping to different shards never affect
+//     each other's decisions. Streams sharing a shard share its controller
+//     (one ξ filter), so their interleaving — which is scheduling-
+//     dependent — feeds one merged observation sequence; byte-exact
+//     replayability across runs requires at most one stream per shard
+//     (cmd/alertload's deterministic default).
+//   - Reads run on the owning worker: XiEstimate and Drain enqueue like
+//     any task, so they observe a prefix-consistent controller state and
+//     never race with mutations.
+//   - Backpressure, not shedding: a full queue blocks the submitter; the
+//     pool never drops or reorders work.
 package serve
 
 import (

@@ -18,6 +18,15 @@
 // Because the multiplier is configuration-independent per input, the Oracle
 // baseline can evaluate every configuration an input *would* have
 // experienced — the same exhaustive-measurement construction §2.3 uses.
+//
+// The disturbance source is the contention.Source interface: the stock
+// Markov/Scripted co-runner models, or a compiled internal/scenario trace
+// (phase-switching contention, thermal/power-cap throttling, spec churn)
+// replayed through the same interface. The one exception to per-input
+// configuration independence is environment-enforced power throttling
+// (Effect.CapLimitW): clamping the applied cap slows only the
+// configurations above the limit, so for those the realized ξ includes the
+// throttle penalty.
 package sim
 
 import (
@@ -162,8 +171,25 @@ func (e *Env) Step(d Decision, in workload.Input, goal, period float64) Outcome 
 // outcome is the pure measurement model shared by Step and EvaluateAt.
 func (e *Env) outcome(d Decision, in workload.Input, goal, period float64, eff contention.Effect, noise float64) Outcome {
 	m := e.Prof.Models[d.Model]
-	cap := e.Prof.Caps[d.Cap]
 	xi := eff.Slowdown * in.SizeFactor * noise
+
+	// Environment-enforced power throttling (scenario traces): the applied
+	// cap is clamped to the highest ladder rung within the current limit,
+	// so the work executes at the clamped rung's speed and power. From the
+	// runtime's viewpoint the extra slowdown is indistinguishable from any
+	// other environmental disturbance, so it folds into ξ — for throttled
+	// configurations TrueXi/ObservedXi carry the (configuration-dependent)
+	// throttle penalty on top of the global multiplier.
+	capIdx := d.Cap
+	if eff.CapLimitW > 0 {
+		for capIdx > 0 && e.Prof.Caps[capIdx] > eff.CapLimitW {
+			capIdx--
+		}
+	}
+	cap := e.Prof.Caps[capIdx]
+	if capIdx != d.Cap {
+		xi *= e.Prof.At(d.Model, capIdx) / e.Prof.At(d.Model, d.Cap)
+	}
 
 	tProf := e.Prof.At(d.Model, d.Cap)
 	tFull := tProf * xi

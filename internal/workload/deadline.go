@@ -32,6 +32,12 @@ func NewDeadlineTracker(task dnn.Task, perInput, overhead float64) *DeadlineTrac
 // PerInput returns the nominal (unadjusted) per-input goal.
 func (d *DeadlineTracker) PerInput() float64 { return d.perInput }
 
+// SetPerInput retargets the nominal per-input goal mid-stream — scenario
+// spec churn. The new goal takes effect from the next GoalFor; for sentence
+// prediction the current sentence's remaining budget is recomputed against
+// the new goal while the time already spent stays booked.
+func (d *DeadlineTracker) SetPerInput(goal float64) { d.perInput = goal }
+
 // GoalFor returns the adjusted latency goal for the given input.
 func (d *DeadlineTracker) GoalFor(in Input) float64 {
 	goal := d.perInput

@@ -4,6 +4,26 @@
 // processed one at a time under a shared per-sentence deadline — the
 // structure that makes NLP1 the high-variance task in Figure 4 and
 // exercises ALERT's goal-adjustment step (§3.2 step 2).
+//
+// The package also owns that goal-adjustment step: DeadlineTracker turns
+// the nominal per-input deadline into the adjusted goal each input must
+// meet. Its contract:
+//
+//   - Image and QA inputs get an independent goal — the nominal deadline
+//     minus the reserved controller overhead — that never depends on
+//     history.
+//   - Sentence-prediction words share one sentence-wise budget
+//     (deadline × sentence length): each word's goal is the remaining
+//     budget spread over the remaining words, so overruns tighten and
+//     fast words relax every later word's goal; the booked time resets at
+//     each sentence boundary.
+//   - The goal is floored at 5 % of the nominal deadline: an exhausted
+//     budget still asks for the fastest feasible configuration rather
+//     than an impossible zero-or-negative window (tested in
+//     deadline_test.go's edge cases).
+//   - Streams are deterministic functions of (task, n, seed); the same
+//     arguments always produce the identical input sequence, which is the
+//     foundation of every cross-scheme and replay comparison.
 package workload
 
 import (
