@@ -79,6 +79,7 @@ func coreOptions(opts Options) (core.Options, error) {
 		o.OverheadFrac = opts.OverheadFrac
 	}
 	o.UseVariance = !opts.DisableVariance
+	o.ReferenceScorer = opts.ReferenceScorer
 	return o, nil
 }
 
@@ -97,6 +98,11 @@ type Options struct {
 	// mean-only ALERT* variant the paper ablates in Figure 10. Only useful
 	// for studies.
 	DisableVariance bool
+	// ReferenceScorer scores candidates with the naive pre-optimization
+	// estimator and no decision cache. Decisions are identical to the
+	// default fast path — the differential tests pin exactly that — so the
+	// knob exists only for those tests, benchmarks, and debugging.
+	ReferenceScorer bool
 }
 
 // Models returns the profiled candidate set in index order; Decision.Model

@@ -65,6 +65,11 @@ type loadConfig struct {
 	deadlineFactor float64
 	accuracy       float64
 	budgetW        float64
+
+	// referenceScorer swaps every shard controller onto the naive
+	// pre-optimization scorer; replays are byte-identical either way
+	// (pinned in main_test.go), so this exists for differential testing.
+	referenceScorer bool
 }
 
 // streamResult is one stream's contribution to the report.
@@ -150,6 +155,8 @@ func parseFlags(args []string) (loadConfig, error) {
 	fs.Float64Var(&cfg.deadlineFactor, "deadline-factor", 1.25, "deadline as a multiple of the slowest model's latency")
 	fs.Float64Var(&cfg.accuracy, "accuracy", 0.92, "accuracy goal (energy objective)")
 	fs.Float64Var(&cfg.budgetW, "budget-watts", 0, "energy budget as avg watts over the deadline window (error objective; 0 = platform default cap)")
+	fs.BoolVar(&cfg.referenceScorer, "reference-scorer", false,
+		"score with the naive reference scorer instead of the optimized hot path (differential testing; decisions are identical)")
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
 	}
@@ -228,7 +235,10 @@ func runLoad(cfg loadConfig) (*loadReport, error) {
 	if shards <= 0 {
 		shards = cfg.streams
 	}
-	srv, err := alert.NewServer(plat, models, alert.ServerOptions{Shards: shards})
+	srv, err := alert.NewServer(plat, models, alert.ServerOptions{
+		Shards:  shards,
+		Options: alert.Options{ReferenceScorer: cfg.referenceScorer},
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -77,6 +77,36 @@ func TestRecordReplay(t *testing.T) {
 	}
 }
 
+// TestReferenceScorerReplayIdentical is the load-generator leg of the
+// decide-fast-path differential criterion: the same scenario replay must
+// produce byte-identical per-stream decision sequences and aggregates
+// whether the server's shard controllers use the optimized hot path or the
+// naive reference scorer (-reference-scorer).
+func TestReferenceScorerReplayIdentical(t *testing.T) {
+	fast, err := runLoad(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed, err := parseFlags([]string{"-reference-scorer"}); err != nil || !parsed.referenceScorer {
+		t.Fatalf("-reference-scorer flag did not parse: %v", err)
+	}
+	refCfg := testConfig()
+	refCfg.referenceScorer = true
+	ref, err := runLoad(refCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range fast.DecisionSeqs {
+		if fast.DecisionSeqs[s] != ref.DecisionSeqs[s] {
+			t.Errorf("stream %d: fast-path decisions diverge from the reference scorer", s)
+		}
+	}
+	if fast.SLOAttainment != ref.SLOAttainment || fast.MissRate != ref.MissRate ||
+		fast.AvgEnergy != ref.AvgEnergy || fast.AvgQuality != ref.AvgQuality {
+		t.Error("aggregate metrics diverge between fast and reference runs")
+	}
+}
+
 // TestStreamsAreIndependent: each stream pins to its own shard, so adding
 // streams must not perturb an existing stream's decisions.
 func TestStreamsAreIndependent(t *testing.T) {

@@ -1,0 +1,295 @@
+// Command benchreport is the perf-trajectory harness: it runs the decide
+// and serving benchmarks with -benchmem, parses the results, and emits a
+// BENCH_<n>.json snapshot (ns/op, allocs/op, and the decisions/s metric the
+// benchmarks report) so hot-path regressions are visible PR over PR.
+//
+// Because BenchmarkDecide measures the retained naive scorer ("naive")
+// alongside the optimized scan ("uncached") and the memoized steady state
+// ("cached") in the same run, every snapshot carries its own baseline: the
+// derived speedup entries need no stored history to be meaningful, and
+// -check can gate on them no matter how fast or slow the machine is.
+//
+// Usage:
+//
+//	benchreport -out BENCH_3.json                 # run benchmarks, write snapshot
+//	benchreport -out BENCH_3.json -check          # also enforce the perf gates
+//	benchreport -input bench.txt -out BENCH_3.json # parse captured `go test -bench` output
+//
+// The -check gates:
+//
+//   - BenchmarkDecide/cached must report 0 allocs/op (the steady-state
+//     serve path is contractually allocation-free), and
+//   - BenchmarkDecide/uncached and /cached must be at least -min-speedup
+//     times faster than BenchmarkDecide/naive from the same run.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+}
+
+// Entry is one benchmark result (or derived metric) in the JSON snapshot.
+type Entry struct {
+	// Name is the benchmark path with the -GOMAXPROCS suffix stripped,
+	// e.g. "BenchmarkDecide/cached".
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations,omitempty"`
+	NsPerOp    float64 `json:"ns_per_op,omitempty"`
+	// BytesPerOp and AllocsPerOp are pointers so a genuine 0 (the value the
+	// gates care about) survives JSON encoding while absent -benchmem data
+	// is omitted.
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+type config struct {
+	bench          string
+	benchtime      string
+	count          int
+	heavyBench     string
+	heavyBenchtime string
+	pkgs           string
+	out            string
+	input          string
+	check          bool
+	minSpeedup     float64
+}
+
+func run(args []string, stdout io.Writer) error {
+	var cfg config
+	fs := flag.NewFlagSet("benchreport", flag.ContinueOnError)
+	fs.StringVar(&cfg.bench, "bench",
+		"^(BenchmarkDecide|BenchmarkDecideZoo|BenchmarkDecideAtCap|BenchmarkPoolDecide|BenchmarkPoolDecideObserve|BenchmarkPoolDecideBatch|BenchmarkServeBatch)$",
+		"benchmark regex passed to go test -bench")
+	fs.StringVar(&cfg.benchtime, "benchtime", "300x", "benchtime passed to go test")
+	fs.IntVar(&cfg.count, "count", 3,
+		"go test -count for the fast benchmarks; duplicate results merge by min ns/op, damping scheduler noise before the speedup gates")
+	fs.StringVar(&cfg.heavyBench, "heavy-bench", "^BenchmarkServerUnderScenario$",
+		"benchmark regex for the second, slower pass (empty disables it)")
+	fs.StringVar(&cfg.heavyBenchtime, "heavy-benchtime", "20x", "benchtime for the heavy pass")
+	fs.StringVar(&cfg.pkgs, "pkgs", "./...", "packages passed to go test")
+	fs.StringVar(&cfg.out, "out", "", "write the JSON snapshot to this path (default stdout)")
+	fs.StringVar(&cfg.input, "input", "", "parse this captured `go test -bench` output instead of running go test")
+	fs.BoolVar(&cfg.check, "check", false, "enforce the decide perf gates (0 allocs cached, min speedups)")
+	fs.Float64Var(&cfg.minSpeedup, "min-speedup", 2.0,
+		"minimum BenchmarkDecide speedup over the same run's naive baseline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var text string
+	if cfg.input != "" {
+		b, err := os.ReadFile(cfg.input)
+		if err != nil {
+			return err
+		}
+		text = string(b)
+	} else {
+		// Two passes: the microsecond-scale decide/serve benchmarks run
+		// -count times each (min-merged below), the millisecond-scale
+		// scenario benchmarks once with a smaller benchtime.
+		fast, err := goTestBench(cfg.bench, cfg.benchtime, cfg.count, cfg.pkgs)
+		if err != nil {
+			return err
+		}
+		text = fast
+		if cfg.heavyBench != "" {
+			heavy, err := goTestBench(cfg.heavyBench, cfg.heavyBenchtime, 1, cfg.pkgs)
+			if err != nil {
+				return err
+			}
+			text += "\n" + heavy
+		}
+	}
+
+	entries, err := parseBenchOutput(text)
+	if err != nil {
+		return err
+	}
+	entries = mergeMin(entries)
+	if len(entries) == 0 {
+		return fmt.Errorf("no benchmark results found")
+	}
+	entries = append(entries, derived(entries)...)
+
+	js, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	js = append(js, '\n')
+	if cfg.out != "" {
+		if err := os.WriteFile(cfg.out, js, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %d entries to %s\n", len(entries), cfg.out)
+	} else {
+		stdout.Write(js)
+	}
+
+	if cfg.check {
+		if err := checkGates(entries, cfg.minSpeedup); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, "perf gates passed")
+	}
+	return nil
+}
+
+// goTestBench runs one `go test -bench` pass and returns its output.
+func goTestBench(bench, benchtime string, count int, pkgs string) (string, error) {
+	args := []string{"test", "-run", "^$", "-bench", bench, "-benchmem",
+		"-benchtime", benchtime, "-count", strconv.Itoa(count), pkgs}
+	out, err := exec.Command("go", args...).CombinedOutput()
+	if err != nil {
+		return "", fmt.Errorf("go %s failed: %v\n%s", strings.Join(args, " "), err, out)
+	}
+	return string(out), nil
+}
+
+// mergeMin collapses repeated results for one benchmark (-count > 1) into
+// the fastest run: min ns/op is the standard noise-damping estimator, and
+// it is applied symmetrically to the naive baseline and its replacements,
+// so the derived speedups compare best case against best case.
+func mergeMin(entries []Entry) []Entry {
+	byName := map[string]int{}
+	var out []Entry
+	for _, e := range entries {
+		if i, ok := byName[e.Name]; ok {
+			if e.NsPerOp < out[i].NsPerOp {
+				out[i] = e
+			}
+			continue
+		}
+		byName[e.Name] = len(out)
+		out = append(out, e)
+	}
+	return out
+}
+
+// benchLine matches one `go test -bench` result line: name, iterations,
+// ns/op, then any sequence of "<value> <unit>" pairs (-benchmem columns and
+// custom b.ReportMetric units).
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.e+]+) ns/op(.*)$`)
+
+// metricPair matches one trailing "<value> <unit>" column.
+var metricPair = regexp.MustCompile(`([0-9.e+-]+) (\S+)`)
+
+// procSuffix is the -GOMAXPROCS decoration go test appends to parallel-
+// capable benchmark names.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBenchOutput extracts benchmark entries from `go test -bench` output,
+// ignoring every non-benchmark line (package headers, PASS/ok, etc.).
+func parseBenchOutput(text string) ([]Entry, error) {
+	var out []Entry
+	for _, line := range strings.Split(text, "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad iteration count in %q: %v", line, err)
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %v", line, err)
+		}
+		e := Entry{Name: procSuffix.ReplaceAllString(m[1], ""), Iterations: iters, NsPerOp: ns}
+		for _, pair := range metricPair.FindAllStringSubmatch(m[4], -1) {
+			v, err := strconv.ParseFloat(pair[1], 64)
+			if err != nil {
+				continue
+			}
+			switch pair[2] {
+			case "B/op":
+				b := v
+				e.BytesPerOp = &b
+			case "allocs/op":
+				a := v
+				e.AllocsPerOp = &a
+			default:
+				if e.Metrics == nil {
+					e.Metrics = map[string]float64{}
+				}
+				e.Metrics[pair[2]] = v
+			}
+		}
+		out = append(out, e)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// find returns the entry with the given normalized name.
+func find(entries []Entry, name string) *Entry {
+	for i := range entries {
+		if entries[i].Name == name {
+			return &entries[i]
+		}
+	}
+	return nil
+}
+
+// derived appends the same-run speedup entries the gates (and the BENCH
+// trajectory) read: how much faster the optimized scan and the memoized
+// steady state are than the naive baseline measured moments earlier.
+func derived(entries []Entry) []Entry {
+	var out []Entry
+	naive := find(entries, "BenchmarkDecide/naive")
+	for _, tt := range []struct{ name, against string }{
+		{"derived/decide-speedup-uncached-vs-naive", "BenchmarkDecide/uncached"},
+		{"derived/decide-speedup-cached-vs-naive", "BenchmarkDecide/cached"},
+	} {
+		if e := find(entries, tt.against); naive != nil && e != nil && e.NsPerOp > 0 {
+			out = append(out, Entry{
+				Name:    tt.name,
+				Metrics: map[string]float64{"x": naive.NsPerOp / e.NsPerOp},
+			})
+		}
+	}
+	return out
+}
+
+// checkGates enforces the decide-path perf contract on a parsed snapshot.
+func checkGates(entries []Entry, minSpeedup float64) error {
+	cached := find(entries, "BenchmarkDecide/cached")
+	if cached == nil {
+		return fmt.Errorf("gate: BenchmarkDecide/cached missing from results")
+	}
+	if cached.AllocsPerOp == nil {
+		return fmt.Errorf("gate: BenchmarkDecide/cached has no allocs/op (run with -benchmem)")
+	}
+	if *cached.AllocsPerOp != 0 {
+		return fmt.Errorf("gate: BenchmarkDecide/cached allocates %g/op, want 0", *cached.AllocsPerOp)
+	}
+	for _, name := range []string{
+		"derived/decide-speedup-uncached-vs-naive",
+		"derived/decide-speedup-cached-vs-naive",
+	} {
+		e := find(entries, name)
+		if e == nil {
+			return fmt.Errorf("gate: %s missing (need BenchmarkDecide naive/uncached/cached in one run)", name)
+		}
+		if x := e.Metrics["x"]; x < minSpeedup {
+			return fmt.Errorf("gate: %s = %.2fx, want >= %.2fx", name, x, minSpeedup)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// canned is a representative `go test -bench -benchmem` transcript: mixed
+// packages, -GOMAXPROCS suffixes, custom metrics, and non-benchmark noise.
+const canned = `goos: linux
+goarch: amd64
+pkg: github.com/alert-project/alert/internal/core
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkDecide/naive-8         	     500	     58683 ns/op	     17041 decisions/s	       0 B/op	       0 allocs/op
+BenchmarkDecide/uncached-8      	     500	     22777 ns/op	     43904 decisions/s	       0 B/op	       0 allocs/op
+BenchmarkDecide/cached-8        	     500	        17.52 ns/op	  57077626 decisions/s	       0 B/op	       0 allocs/op
+PASS
+ok  	github.com/alert-project/alert/internal/core	0.092s
+pkg: github.com/alert-project/alert/internal/serve
+BenchmarkPoolDecideBatch-8   	     300	     15729 ns/op	   4069029 decisions/s	   12048 B/op	      28 allocs/op
+ok  	github.com/alert-project/alert/internal/serve	0.018s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	entries, err := parseBenchOutput(canned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 {
+		t.Fatalf("parsed %d entries, want 4", len(entries))
+	}
+	cached := find(entries, "BenchmarkDecide/cached")
+	if cached == nil {
+		t.Fatal("BenchmarkDecide/cached not found (proc suffix not stripped?)")
+	}
+	if cached.NsPerOp != 17.52 || cached.Iterations != 500 {
+		t.Errorf("cached ns/op = %g iters = %d", cached.NsPerOp, cached.Iterations)
+	}
+	if cached.AllocsPerOp == nil || *cached.AllocsPerOp != 0 {
+		t.Errorf("cached allocs/op = %v, want explicit 0", cached.AllocsPerOp)
+	}
+	if got := cached.Metrics["decisions/s"]; got != 57077626 {
+		t.Errorf("cached decisions/s = %g", got)
+	}
+	batch := find(entries, "BenchmarkPoolDecideBatch")
+	if batch == nil || batch.AllocsPerOp == nil || *batch.AllocsPerOp != 28 {
+		t.Errorf("batch entry wrong: %+v", batch)
+	}
+}
+
+func TestMergeMinKeepsFastestRun(t *testing.T) {
+	text := canned + `
+BenchmarkDecide/uncached-8      	     500	     19909 ns/op	     50227 decisions/s	       0 B/op	       0 allocs/op
+BenchmarkDecide/naive-8         	     500	     60001 ns/op	     16000 decisions/s	       0 B/op	       0 allocs/op
+`
+	entries, err := parseBenchOutput(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := mergeMin(entries)
+	if len(merged) != 4 {
+		t.Fatalf("merged to %d entries, want 4", len(merged))
+	}
+	if un := find(merged, "BenchmarkDecide/uncached"); un == nil || un.NsPerOp != 19909 {
+		t.Errorf("uncached merge kept %+v, want the 19909 ns/op run", un)
+	}
+	if nv := find(merged, "BenchmarkDecide/naive"); nv == nil || nv.NsPerOp != 58683 {
+		t.Errorf("naive merge kept %+v, want the 58683 ns/op run", nv)
+	}
+}
+
+func TestDerivedSpeedups(t *testing.T) {
+	entries, err := parseBenchOutput(canned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := derived(entries)
+	if len(d) != 2 {
+		t.Fatalf("derived %d entries, want 2", len(d))
+	}
+	un := d[0].Metrics["x"]
+	if un < 2.5 || un > 2.7 {
+		t.Errorf("uncached speedup = %g, want ~2.58", un)
+	}
+	if ca := d[1].Metrics["x"]; ca < 3000 {
+		t.Errorf("cached speedup = %g, want thousands", ca)
+	}
+}
+
+func TestCheckGates(t *testing.T) {
+	entries, _ := parseBenchOutput(canned)
+	entries = append(entries, derived(entries)...)
+	if err := checkGates(entries, 2.0); err != nil {
+		t.Errorf("gates should pass on the canned snapshot: %v", err)
+	}
+	if err := checkGates(entries, 10.0); err == nil {
+		t.Error("uncached speedup 2.58x must fail a 10x gate")
+	}
+
+	// An alloc regression on the cached path must fail.
+	regressed, _ := parseBenchOutput(strings.Replace(canned,
+		"17.52 ns/op	  57077626 decisions/s	       0 B/op	       0 allocs/op",
+		"17.52 ns/op	  57077626 decisions/s	      48 B/op	       2 allocs/op", 1))
+	regressed = append(regressed, derived(regressed)...)
+	if err := checkGates(regressed, 2.0); err == nil ||
+		!strings.Contains(err.Error(), "allocates") {
+		t.Errorf("alloc regression not caught: %v", err)
+	}
+
+	// A snapshot without the decide benchmarks cannot be gated.
+	if err := checkGates(nil, 2.0); err == nil {
+		t.Error("empty snapshot must fail the gate")
+	}
+}
+
+// TestRunFromInput drives the CLI end-to-end in parse mode: captured
+// output in, JSON snapshot out, gates enforced.
+func TestRunFromInput(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	out := filepath.Join(dir, "BENCH_test.json")
+	if err := os.WriteFile(in, []byte(canned), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := run([]string{"-input", in, "-out", out, "-check"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "perf gates passed") {
+		t.Errorf("missing gate confirmation in output: %q", buf.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries []Entry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if len(entries) != 6 { // 4 parsed + 2 derived
+		t.Errorf("snapshot has %d entries, want 6", len(entries))
+	}
+
+	// And a failing gate must surface as an error.
+	if err := run([]string{"-input", in, "-out", out, "-check", "-min-speedup", "1e9"}, &buf); err == nil {
+		t.Error("impossible min-speedup should fail")
+	}
+}
+
+func TestRunNoResults(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "empty.txt")
+	if err := os.WriteFile(in, []byte("PASS\nok x 0.1s\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := run([]string{"-input", in}, &buf); err == nil {
+		t.Error("no benchmark results should be an error")
+	}
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/alert-project/alert/internal/dnn"
+	"github.com/alert-project/alert/internal/platform"
+	"github.com/alert-project/alert/internal/sim"
+)
+
+// The decide benchmarks measure the three hot-path regimes side by side so
+// one run carries its own baseline: "naive" is the retained pre-optimization
+// scorer (Options.ReferenceScorer), "uncached" is the SoA scan with hoisted
+// quantile math (every iteration Observes first, so the cache never hits),
+// and "cached" is the steady-state memoized path. cmd/benchreport parses
+// these into BENCH_<pr>.json and gates on cached allocs/op == 0 and the
+// uncached- and cached-vs-naive speedups.
+
+func benchProfile(b *testing.B) *dnn.ProfileTable {
+	b.Helper()
+	prof, err := dnn.Profile(platform.CPU1(), dnn.ImageCandidates())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return prof
+}
+
+func benchSpec() Spec {
+	return Spec{Objective: MinimizeEnergy, Deadline: 0.2, AccuracyGoal: 0.93}
+}
+
+func reportRate(b *testing.B) {
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(b.N)/sec, "decisions/s")
+	}
+}
+
+// BenchmarkDecide is the headline hot-path benchmark: one full decision on
+// the mixed traditional+anytime image candidate set.
+func BenchmarkDecide(b *testing.B) {
+	prof := benchProfile(b)
+	spec := benchSpec()
+	out := sim.Outcome{ObservedXi: 1.05, IdlePower: 6, CapApplied: 30}
+
+	run := func(b *testing.B, reference, observeEachIter bool) {
+		opts := DefaultOptions()
+		opts.ReferenceScorer = reference
+		ctl := New(prof, opts)
+		ctl.Observe(out)
+		ctl.Decide(spec) // warm scratch + cache
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if observeEachIter {
+				ctl.Observe(out)
+			}
+			ctl.Decide(spec)
+		}
+		b.StopTimer()
+		reportRate(b)
+	}
+
+	// The pre-PR scorer, measured in the same run as its replacements; the
+	// Observe per iteration matches "uncached" so the comparison isolates
+	// the scan itself (the reference path never caches anyway).
+	b.Run("naive", func(b *testing.B) { run(b, true, true) })
+	// The optimized scan with the cache busted by an Observe per iteration.
+	b.Run("uncached", func(b *testing.B) { run(b, false, true) })
+	// The steady-state memoized path: same spec, no filter movement.
+	b.Run("cached", func(b *testing.B) { run(b, false, false) })
+}
+
+// BenchmarkDecideZoo is BenchmarkDecide/uncached over the 42-model
+// all-traditional zoo — the large-space case the SoA layout targets.
+func BenchmarkDecideZoo(b *testing.B) {
+	prof, err := dnn.Profile(platform.CPU2(), dnn.ImageNetZoo(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := Spec{Objective: MinimizeEnergy, Deadline: 0.2, AccuracyGoal: 0.9}
+	out := sim.Outcome{ObservedXi: 1.05, IdlePower: 20, CapApplied: 60}
+	for _, ref := range []struct {
+		name string
+		on   bool
+	}{{"naive", true}, {"fast", false}} {
+		b.Run(ref.name, func(b *testing.B) {
+			opts := DefaultOptions()
+			opts.ReferenceScorer = ref.on
+			ctl := New(prof, opts)
+			ctl.Observe(out)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ctl.Observe(out)
+				ctl.Decide(spec)
+			}
+			b.StopTimer()
+			reportRate(b)
+		})
+	}
+}
+
+// BenchmarkDecideAtCap measures the rung-restricted primitive the multi-job
+// coordinator calls in its greedy loop; the fast path scans the rung's
+// precomputed index list instead of filtering the whole space.
+func BenchmarkDecideAtCap(b *testing.B) {
+	prof := benchProfile(b)
+	spec := benchSpec()
+	for _, ref := range []struct {
+		name string
+		on   bool
+	}{{"naive", true}, {"fast", false}} {
+		b.Run(ref.name, func(b *testing.B) {
+			opts := DefaultOptions()
+			opts.ReferenceScorer = ref.on
+			ctl := New(prof, opts)
+			ctl.Observe(sim.Outcome{ObservedXi: 1.05, IdlePower: 6, CapApplied: 30})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ctl.DecideAtCap(spec, i%prof.NumCaps())
+			}
+			b.StopTimer()
+			reportRate(b)
+		})
+	}
+}

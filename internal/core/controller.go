@@ -96,6 +96,13 @@ type Options struct {
 	// decision and pre-subtracted from the goal (§3.2 step 2, §4 measures
 	// 0.6–1.7 %).
 	OverheadFrac float64
+	// ReferenceScorer makes Decide/DecideAtCap score candidates with the
+	// naive per-candidate estimator (estimate) and no decision cache — the
+	// pre-optimization hot path retained as the differential-testing
+	// oracle. Decisions and estimates are identical either way; that
+	// identity is exactly what the differential tests pin. Only useful for
+	// tests, benchmarks, and debugging.
+	ReferenceScorer bool
 }
 
 // DefaultOptions returns the paper's configuration.
@@ -168,6 +175,30 @@ type Controller struct {
 	// hot path's time on allocation; Decide now walks this slice.
 	candidates []Candidate
 
+	// space is the structure-of-arrays view of candidates with the
+	// per-candidate profile invariants precomputed (see fastpath.go).
+	space candSpace
+
+	// scratch holds the anytime ladder's per-stage completion
+	// probabilities during one estimateFast call; sized to the longest
+	// stage ladder so the hot path never allocates. The ladder* fields
+	// memoize which (ladder, cut, µ, σ) the scratch prefix of length
+	// ladderN currently holds, letting consecutive stop-stage candidates
+	// reuse it (see estimateFast).
+	scratch     []float64
+	ladderNom   *float64
+	ladderCut   float64
+	ladderMu    float64
+	ladderSigma float64
+	ladderN     int
+
+	// epoch counts Observe calls (starting at 1). The decision cache keys
+	// on it: a cached (spec, epoch) decision is valid exactly until the
+	// next Observe moves the filters.
+	epoch     uint64
+	cache     [decideCacheSize]decideCacheEntry
+	cacheNext int
+
 	decisions int
 }
 
@@ -202,6 +233,10 @@ func New(prof *dnn.ProfileTable, opts Options) *Controller {
 	c.meanProfLat = sum / float64(prof.NumModels())
 	c.overhead = opts.OverheadFrac * c.meanProfLat
 	c.candidates = enumerateCandidates(prof)
+	c.space = newCandSpace(prof, c.candidates)
+	c.scratch = make([]float64, c.space.maxStages)
+	// Epoch 0 is reserved so zero-valued cache entries can never match.
+	c.epoch = 1
 	return c
 }
 
@@ -249,16 +284,34 @@ func (c *Controller) XiStd() float64 { return c.xi.Std() }
 // IdleRatio returns the current idle-power ratio estimate φ.
 func (c *Controller) IdleRatio() float64 { return c.idle.Ratio() }
 
-// Decisions returns how many Decide calls have been served.
+// Decisions returns how many Decide and DecideAtCap calls have been served
+// (including cache hits).
 func (c *Controller) Decisions() int { return c.decisions }
 
+// FilterEpoch returns the decision cache's epoch: it advances on every
+// Observe, invalidating all memoized decisions.
+func (c *Controller) FilterEpoch() uint64 { return c.epoch }
+
 // Observe feeds back the measurement of the input just executed (§3.2
-// step 1).
+// step 1). It advances the filter epoch, invalidating every memoized
+// decision — the filters may move, so every spec must be re-scored.
 func (c *Controller) Observe(out sim.Outcome) {
+	c.epoch++
 	c.xi.Observe(out.ObservedXi)
 	if out.CapApplied > 0 {
 		c.idle.Observe(out.IdlePower / out.CapApplied)
 	}
+}
+
+// adjustedGoal is the shared §3.2-step-2 deadline adjustment: the
+// controller pre-subtracts its own worst-case decision cost, falling back
+// to half the deadline when the overhead would consume it entirely.
+func (c *Controller) adjustedGoal(deadline float64) float64 {
+	goal := deadline - c.overhead
+	if goal <= 0 {
+		goal = deadline * 0.5
+	}
+	return goal
 }
 
 // sigmaForPrediction returns the ξ standard deviation used in predictions:
@@ -274,6 +327,11 @@ func (c *Controller) sigmaForPrediction() float64 {
 
 // estimate scores a single candidate under the spec. goal is the adjusted
 // deadline (overhead already subtracted by the caller).
+//
+// This is the naive reference scorer, kept verbatim as the oracle the
+// optimized hot path (fastpath.go) is differentially tested against:
+// estimateFast must reproduce these Estimates bit-for-bit. EstimateAll and
+// Options.ReferenceScorer score with it directly.
 func (c *Controller) estimate(cand Candidate, goal float64, spec Spec) Estimate {
 	m := c.prof.Models[cand.Model]
 	power := c.prof.PowerAt(cand.Model, cand.Cap)
@@ -414,86 +472,45 @@ func (c *Controller) energyAt(power, lat, goal float64) float64 {
 
 // Decide selects the configuration for the next input (§3.2 steps 2–4).
 // The returned Estimate describes the chosen candidate's predictions.
+//
+// The scan walks the precomputed SoA candidate space with the per-Decide
+// quantile math hoisted (fastpath.go); the feasibility rules are the
+// chance constraints of Eq. 1/2 (10/11 with a threshold), and the
+// infeasible fallback follows §4's latency > accuracy > power hierarchy:
+// maximizing expected quality already privileges deadline-meeting (missing
+// collapses quality to QFail), so the fallback is the quality-maximal
+// candidate with energy as the tiebreaker. Results are memoized per
+// (spec, filter epoch): a steady-state stream whose spec did not change
+// since the last Observe skips the scan entirely.
 func (c *Controller) Decide(spec Spec) (sim.Decision, Estimate) {
 	c.decisions++
-	goal := spec.Deadline - c.overhead
-	if goal <= 0 {
-		goal = spec.Deadline * 0.5
+	goal := c.adjustedGoal(spec.Deadline)
+	if c.opts.ReferenceScorer {
+		best, fb, ok := c.scanReference(c.space.all, goal, spec)
+		if !ok {
+			best = fb
+		}
+		return c.decisionFor(best), best
 	}
-
-	var best Estimate
-	bestSet := false
-	better := func(a, b Estimate) bool { // is a better than b under the objective
-		if spec.Objective == MinimizeEnergy {
-			return a.Energy < b.Energy
-		}
-		return a.Quality > b.Quality
+	if d, est, ok := c.cacheGet(spec); ok {
+		return d, est
 	}
-	conf := c.opts.Confidence
-	if spec.Prth > 0 {
-		conf = spec.Prth
-	}
-	feasible := func(e Estimate) bool {
-		if spec.Prth > 0 && e.PrDeadline < spec.Prth {
-			return false
-		}
-		// Latency is a constraint in both tasks. Anytime candidates are
-		// exempt: the runtime cuts them at the goal, so they cannot be
-		// late — they degrade to an earlier stage instead.
-		if e.StopStage < 0 && e.PrDeadline < conf {
-			return false
-		}
-		switch spec.Objective {
-		case MinimizeEnergy:
-			// Chance-constraint form of q_{i,j} ≥ Q_goal. Requiring the
-			// *expected* quality to clear the goal would be vacuous near
-			// the top of the accuracy range: with q_fail ≈ 0 even a 99.8 %
-			// completion probability drags q̂ below a goal set at the best
-			// model's own accuracy.
-			return e.PrQuality >= conf
-		default:
-			return spec.EnergyBudget <= 0 || e.Energy <= spec.EnergyBudget
-		}
-	}
-
-	// Fallback tracking for the infeasible case, per §4's hierarchy:
-	// latency first, then accuracy, then power. Maximizing expected
-	// quality already privileges deadline-meeting (missing collapses
-	// quality to QFail), so the fallback is the quality-maximal candidate
-	// with energy as the tiebreaker.
-	var fb Estimate
-	fbSet := false
-
-	c.forEachCandidate(func(cand Candidate) {
-		e := c.estimate(cand, goal, spec)
-		if !fbSet || e.Quality > fb.Quality ||
-			(e.Quality == fb.Quality && e.Energy < fb.Energy) {
-			fb, fbSet = e, true
-		}
-		if !feasible(e) {
-			return
-		}
-		if !bestSet || better(e, best) {
-			best, bestSet = e, true
-		}
-	})
-
-	if !bestSet {
+	best, fb, ok := c.scan(c.space.all, goal, spec, c.scoreParamsFor(spec))
+	if !ok {
 		best = fb
 	}
-	d := sim.Decision{
+	d := c.decisionFor(best)
+	c.cachePut(spec, d, best)
+	return d, best
+}
+
+// decisionFor projects the winning estimate onto the executor's decision.
+func (c *Controller) decisionFor(best Estimate) sim.Decision {
+	return sim.Decision{
 		Model:       best.Model,
 		Cap:         best.Cap,
 		PlannedStop: best.PlannedStop,
 		Overhead:    c.overhead,
-	}
-	return d, best
-}
-
-// forEachCandidate walks the precomputed joint space in enumeration order.
-func (c *Controller) forEachCandidate(fn func(Candidate)) {
-	for _, cand := range c.candidates {
-		fn(cand)
 	}
 }
 
@@ -503,67 +520,34 @@ func (c *Controller) forEachCandidate(fn func(Candidate)) {
 // answers "what is the best you can do with exactly this much power", and
 // the coordinator searches over the split. ok is false when no candidate at
 // this cap satisfies the constraints (the returned fallback still serves).
+// It counts toward Decisions() like any served decision, and scans only
+// its rung's precomputed index list rather than filtering the whole space.
 func (c *Controller) DecideAtCap(spec Spec, cap int) (d sim.Decision, est Estimate, ok bool) {
-	goal := spec.Deadline - c.overhead
-	if goal <= 0 {
-		goal = spec.Deadline * 0.5
+	c.decisions++
+	goal := c.adjustedGoal(spec.Deadline)
+	var idxs []int32
+	if cap >= 0 && cap < len(c.space.byCap) {
+		idxs = c.space.byCap[cap]
 	}
-	conf := c.opts.Confidence
-	if spec.Prth > 0 {
-		conf = spec.Prth
-	}
-
 	var best, fb Estimate
-	bestSet, fbSet := false, false
-	c.forEachCandidate(func(cand Candidate) {
-		if cand.Cap != cap {
-			return
-		}
-		e := c.estimate(cand, goal, spec)
-		if !fbSet || e.Quality > fb.Quality ||
-			(e.Quality == fb.Quality && e.Energy < fb.Energy) {
-			fb, fbSet = e, true
-		}
-		if spec.Prth > 0 && e.PrDeadline < spec.Prth {
-			return
-		}
-		if e.StopStage < 0 && e.PrDeadline < conf {
-			return
-		}
-		switch spec.Objective {
-		case MinimizeEnergy:
-			if e.PrQuality < conf {
-				return
-			}
-		default:
-			if spec.EnergyBudget > 0 && e.Energy > spec.EnergyBudget {
-				return
-			}
-		}
-		if !bestSet ||
-			(spec.Objective == MinimizeEnergy && e.Energy < best.Energy) ||
-			(spec.Objective == MaximizeAccuracy && e.Quality > best.Quality) {
-			best, bestSet = e, true
-		}
-	})
+	var bestSet bool
+	if c.opts.ReferenceScorer {
+		best, fb, bestSet = c.scanReference(idxs, goal, spec)
+	} else {
+		best, fb, bestSet = c.scan(idxs, goal, spec, c.scoreParamsFor(spec))
+	}
 	if !bestSet {
 		best = fb
 	}
-	return sim.Decision{
-		Model:       best.Model,
-		Cap:         best.Cap,
-		PlannedStop: best.PlannedStop,
-		Overhead:    c.overhead,
-	}, best, bestSet
+	return c.decisionFor(best), best, bestSet
 }
 
 // EstimateAll returns estimates for the full candidate space under the
-// spec; used by tests and the Figure 9 trace tooling.
+// spec, scored with the naive reference estimator; used by tests, the
+// Figure 9 trace tooling, and as the oracle the differential tests compare
+// the optimized scan against.
 func (c *Controller) EstimateAll(spec Spec) []Estimate {
-	goal := spec.Deadline - c.overhead
-	if goal <= 0 {
-		goal = spec.Deadline * 0.5
-	}
+	goal := c.adjustedGoal(spec.Deadline)
 	out := make([]Estimate, len(c.candidates))
 	for i, cand := range c.candidates {
 		out[i] = c.estimate(cand, goal, spec)

@@ -1,0 +1,299 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/alert-project/alert/internal/dnn"
+	"github.com/alert-project/alert/internal/mathx"
+	"github.com/alert-project/alert/internal/platform"
+	"github.com/alert-project/alert/internal/sim"
+)
+
+// The optimized scan (fastpath.go) must be indistinguishable from the naive
+// reference scorer: identical Estimates (compared with ==, i.e. bit-for-bit)
+// and identical decision sequences under any interleaving of Observe, spec
+// churn, and repeated (cached) Decides. These tests are the contract that
+// lets every other layer trust the fast path blindly.
+
+// specGen draws a random but plausible spec: both objectives, anytime and
+// traditional feasibility regimes, optional energy budgets and Prth.
+func specGen(rng *mathx.Rand) Spec {
+	s := Spec{Deadline: 0.01 + 0.49*rng.Float64()}
+	if rng.Float64() < 0.5 {
+		s.Objective = MinimizeEnergy
+		s.AccuracyGoal = 0.80 + 0.19*rng.Float64()
+	} else {
+		s.Objective = MaximizeAccuracy
+		if rng.Float64() < 0.7 {
+			s.EnergyBudget = 40 * s.Deadline * rng.Float64()
+		}
+	}
+	if rng.Float64() < 0.3 {
+		s.Prth = 0.9 + 0.099*rng.Float64()
+	}
+	return s
+}
+
+// diffProfiles returns the candidate sets the differential tests sweep:
+// mixed traditional+anytime, and a large all-traditional zoo.
+func diffProfiles(t *testing.T) []*dnn.ProfileTable {
+	t.Helper()
+	mixed, err := dnn.Profile(platform.CPU1(), dnn.ImageCandidates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	zoo, err := dnn.Profile(platform.CPU2(), dnn.ImageNetZoo(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []*dnn.ProfileTable{mixed, zoo}
+}
+
+// TestEstimateFastMatchesReference fuzzes filter states and specs and
+// requires estimateFast to reproduce the naive estimate bit-for-bit on
+// every candidate.
+func TestEstimateFastMatchesReference(t *testing.T) {
+	for _, prof := range diffProfiles(t) {
+		for _, variance := range []bool{true, false} {
+			opts := DefaultOptions()
+			opts.UseVariance = variance
+			c := New(prof, opts)
+			rng := mathx.NewRand(42)
+			for trial := 0; trial < 60; trial++ {
+				// Random walk the filters between trials so mu/sigma sweep
+				// calm and volatile regimes.
+				for i := 0; i < 3; i++ {
+					c.Observe(sim.Outcome{
+						ObservedXi: 0.6 + 1.8*rng.Float64(),
+						IdlePower:  10 * rng.Float64(),
+						CapApplied: 30,
+					})
+				}
+				spec := specGen(rng)
+				goal := c.adjustedGoal(spec.Deadline)
+				p := c.scoreParamsFor(spec)
+				for i, cand := range c.candidates {
+					want := c.estimate(cand, goal, spec)
+					got := c.estimateFast(int32(i), goal, spec, p)
+					if got != want {
+						t.Fatalf("prof %s candidate %+v spec %+v:\nfast %+v\nref  %+v",
+							prof.Platform.Name, cand, spec, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// refDecide replays one Decide on a ReferenceScorer twin.
+type pairedControllers struct {
+	fast, ref *Controller
+}
+
+func newPair(prof *dnn.ProfileTable, opts Options) pairedControllers {
+	refOpts := opts
+	refOpts.ReferenceScorer = true
+	return pairedControllers{fast: New(prof, opts), ref: New(prof, refOpts)}
+}
+
+func (p pairedControllers) observe(out sim.Outcome) {
+	p.fast.Observe(out)
+	p.ref.Observe(out)
+}
+
+// TestDecideMatchesReferenceUnderChurn drives paired controllers through a
+// random interleaving of Observe, spec churn, and repeated Decides (the
+// repeats hit the cache), requiring identical decisions and estimates at
+// every step — the cached results must match uncached reference results
+// after every Observe/SetSpec-like transition.
+func TestDecideMatchesReferenceUnderChurn(t *testing.T) {
+	for _, prof := range diffProfiles(t) {
+		pair := newPair(prof, DefaultOptions())
+		rng := mathx.NewRand(7)
+		spec := specGen(rng)
+		for step := 0; step < 400; step++ {
+			switch {
+			case rng.Float64() < 0.4:
+				pair.observe(sim.Outcome{
+					ObservedXi: 0.7 + rng.Float64(),
+					IdlePower:  8 * rng.Float64(),
+					CapApplied: prof.Caps[rng.Intn(prof.NumCaps())],
+				})
+			case rng.Float64() < 0.3:
+				spec = specGen(rng) // mid-stream churn
+			}
+			dFast, eFast := pair.fast.Decide(spec)
+			dRef, eRef := pair.ref.Decide(spec)
+			if dFast != dRef || eFast != eRef {
+				t.Fatalf("step %d spec %+v: fast (%+v, %+v) != ref (%+v, %+v)",
+					step, spec, dFast, eFast, dRef, eRef)
+			}
+			// Immediate repeat: a guaranteed cache hit on the fast side must
+			// still equal a full reference rescan.
+			dHit, eHit := pair.fast.Decide(spec)
+			if dHit != dRef || eHit != eRef {
+				t.Fatalf("step %d: cached decide diverged from reference", step)
+			}
+		}
+	}
+}
+
+// TestDecideAtCapMatchesReference checks the rung-restricted scan against
+// the reference scorer on every cap, including the ok flag.
+func TestDecideAtCapMatchesReference(t *testing.T) {
+	for _, prof := range diffProfiles(t) {
+		pair := newPair(prof, DefaultOptions())
+		rng := mathx.NewRand(99)
+		for trial := 0; trial < 40; trial++ {
+			pair.observe(sim.Outcome{ObservedXi: 0.8 + 0.8*rng.Float64(), IdlePower: 5, CapApplied: 30})
+			spec := specGen(rng)
+			for cap := 0; cap < prof.NumCaps(); cap++ {
+				dF, eF, okF := pair.fast.DecideAtCap(spec, cap)
+				dR, eR, okR := pair.ref.DecideAtCap(spec, cap)
+				if dF != dR || eF != eR || okF != okR {
+					t.Fatalf("cap %d spec %+v: fast (%+v, %v) != ref (%+v, %v)",
+						cap, spec, dF, okF, dR, okR)
+				}
+			}
+		}
+	}
+}
+
+// TestEstimateAllMatchesFastScan pins EstimateAll (the exported oracle) to
+// the fast per-candidate scorer over random states, so external consumers
+// of EstimateAll see exactly what Decide scored.
+func TestEstimateAllMatchesFastScan(t *testing.T) {
+	prof := diffProfiles(t)[0]
+	c := New(prof, DefaultOptions())
+	rng := mathx.NewRand(5)
+	for trial := 0; trial < 30; trial++ {
+		c.Observe(sim.Outcome{ObservedXi: 0.9 + 0.5*rng.Float64(), IdlePower: 6, CapApplied: 30})
+		spec := specGen(rng)
+		goal := c.adjustedGoal(spec.Deadline)
+		p := c.scoreParamsFor(spec)
+		for i, want := range c.EstimateAll(spec) {
+			if got := c.estimateFast(int32(i), goal, spec, p); got != want {
+				t.Fatalf("candidate %d: fast %+v != EstimateAll %+v", i, got, want)
+			}
+		}
+	}
+}
+
+// TestDecideCacheEpochInvalidation checks the memoization contract
+// directly: hits within an epoch, invalidation on Observe, correctness
+// across spec churn, and the epoch counter itself.
+func TestDecideCacheEpochInvalidation(t *testing.T) {
+	prof := diffProfiles(t)[0]
+	c := New(prof, DefaultOptions())
+	specA := Spec{Objective: MinimizeEnergy, Deadline: 0.2, AccuracyGoal: 0.92}
+	specB := Spec{Objective: MinimizeEnergy, Deadline: 0.3, AccuracyGoal: 0.9}
+
+	if e := c.FilterEpoch(); e != 1 {
+		t.Fatalf("fresh epoch = %d, want 1", e)
+	}
+	dA1, eA1 := c.Decide(specA)
+	if _, _, ok := c.cacheGet(specA); !ok {
+		t.Fatal("decision not memoized")
+	}
+	if _, _, ok := c.cacheGet(specB); ok {
+		t.Fatal("unseen spec reported cached")
+	}
+	dA2, eA2 := c.Decide(specA)
+	if dA1 != dA2 || eA1 != eA2 {
+		t.Fatal("cache hit returned a different decision")
+	}
+
+	// Churn to B and back to A within one epoch: both must be served, both
+	// memoized.
+	c.Decide(specB)
+	if _, _, ok := c.cacheGet(specA); !ok {
+		t.Fatal("spec A evicted by one churn (cache too small)")
+	}
+
+	before := c.FilterEpoch()
+	c.Observe(sim.Outcome{ObservedXi: 1.6, IdlePower: 6, CapApplied: 30})
+	if c.FilterEpoch() != before+1 {
+		t.Fatalf("Observe did not advance the epoch: %d -> %d", before, c.FilterEpoch())
+	}
+	if _, _, ok := c.cacheGet(specA); ok {
+		t.Fatal("stale decision survived Observe")
+	}
+	// Post-Observe decide must re-scan against the moved filter, not serve
+	// the stale plan.
+	dA3, _ := c.Decide(specA)
+	// Replay the same observation history on a reference twin.
+	refOpts := DefaultOptions()
+	refOpts.ReferenceScorer = true
+	ref := New(prof, refOpts)
+	ref.Observe(sim.Outcome{ObservedXi: 1.6, IdlePower: 6, CapApplied: 30})
+	dRef, _ := ref.Decide(specA)
+	if dA3 != dRef {
+		t.Fatalf("post-Observe decide %+v != reference %+v", dA3, dRef)
+	}
+	if c.Decisions() != 4 {
+		t.Fatalf("Decisions() = %d, want 4 (cache hits count)", c.Decisions())
+	}
+}
+
+// TestDecideAtCapCountsDecisions is the regression test for the multi-job
+// coordinator undercount: DecideAtCap must increment the decision counter
+// like Decide does.
+func TestDecideAtCapCountsDecisions(t *testing.T) {
+	c := New(diffProfiles(t)[0], DefaultOptions())
+	spec := Spec{Objective: MinimizeEnergy, Deadline: 0.2, AccuracyGoal: 0.9}
+	c.Decide(spec)
+	c.DecideAtCap(spec, 0)
+	c.DecideAtCap(spec, 1)
+	if got := c.Decisions(); got != 3 {
+		t.Fatalf("Decisions() = %d after Decide + 2×DecideAtCap, want 3", got)
+	}
+}
+
+// TestDecideAllocFree asserts the steady-state allocation contract: both
+// the cached path and a full uncached scan allocate nothing.
+func TestDecideAllocFree(t *testing.T) {
+	prof := diffProfiles(t)[0]
+	c := New(prof, DefaultOptions())
+	spec := Spec{Objective: MinimizeEnergy, Deadline: 0.2, AccuracyGoal: 0.92}
+	out := sim.Outcome{ObservedXi: 1.05, IdlePower: 6, CapApplied: 30}
+	c.Observe(out)
+	c.Decide(spec) // warm
+
+	if n := testing.AllocsPerRun(200, func() { c.Decide(spec) }); n != 0 {
+		t.Errorf("cached Decide allocates %.1f/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		c.Observe(out) // busts the cache: every Decide below is a full scan
+		c.Decide(spec)
+	}); n != 0 {
+		t.Errorf("uncached Decide allocates %.1f/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() { c.DecideAtCap(spec, 2) }); n != 0 {
+		t.Errorf("DecideAtCap allocates %.1f/op, want 0", n)
+	}
+}
+
+// TestAdjustedGoalFallback pins the shared goal-adjustment helper,
+// including the degenerate deadline ≤ overhead branch that used to be
+// copy-pasted across Decide, DecideAtCap, and EstimateAll.
+func TestAdjustedGoalFallback(t *testing.T) {
+	c := New(diffProfiles(t)[0], DefaultOptions())
+	if c.overhead <= 0 {
+		t.Fatal("overhead model missing")
+	}
+	big := 1.0
+	if got, want := c.adjustedGoal(big), big-c.overhead; got != want {
+		t.Errorf("adjustedGoal(%g) = %g, want %g", big, got, want)
+	}
+	tiny := c.overhead * 0.5
+	if got, want := c.adjustedGoal(tiny), tiny*0.5; got != want {
+		t.Errorf("adjustedGoal(%g) = %g, want %g", tiny, got, want)
+	}
+	if got := c.adjustedGoal(0); got != 0 {
+		t.Errorf("adjustedGoal(0) = %g, want 0", got)
+	}
+	if math.IsNaN(c.adjustedGoal(c.overhead)) {
+		t.Error("adjustedGoal(overhead) is NaN")
+	}
+}

@@ -1,0 +1,395 @@
+package core
+
+// The decide hot path. Decide runs once per inference input on every
+// serving layer (runner, experiment grid, serve.Pool shards, cmd/alertload),
+// so the per-candidate scoring here is the single hottest loop in the
+// repository. This file restructures it around three ideas, none of which
+// may change a single decision:
+//
+//  1. Structure-of-arrays candidate space (candSpace): everything about a
+//     candidate that depends only on the profile table — t_prof, p_{i,j},
+//     the anytime stage ladders as nominal latencies, the per-cap index
+//     lists DecideAtCap scans — is precomputed once at New and laid out in
+//     flat parallel slices, so the scan loop touches no *dnn.Model pointers
+//     and recomputes no products.
+//  2. Loop-invariant hoisting (scoreParams): the standard-normal quantiles
+//     behind the Eq. 12 energy estimate and the §3.5 anytime stop plan
+//     depend only on (spec, filter state), not on the candidate, yet the
+//     naive scorer paid one mathx.NormQuantile per candidate. They are now
+//     computed once per Decide. The anytime quality ladder likewise
+//     evaluates each stage's completion probability once instead of twice
+//     (the naive ladder recomputes stage si+1's CDF as it advances).
+//  3. Bit-exactness over micro-tricks: the scan must stay byte-identical to
+//     the naive estimate/EstimateAll oracle (the differential tests compare
+//     Estimates with ==), so only transformations that reproduce the exact
+//     same float64 operation sequence are admitted. In particular the
+//     (x−µ)/σ standardization keeps the division: multiplying by a
+//     precomputed 1/σ (or 1/t_prof) is faster but perturbs the last ulp,
+//     which can flip a near-tie between candidates.
+//
+// On top of the faster scan, Decide memoizes (spec, filter epoch) →
+// (Decision, Estimate): Observe bumps the epoch, so steady-state streams
+// whose spec did not change between observations skip the scan entirely.
+// See decideCache below.
+
+import (
+	"math"
+
+	"github.com/alert-project/alert/internal/dnn"
+	"github.com/alert-project/alert/internal/mathx"
+	"github.com/alert-project/alert/internal/sim"
+)
+
+// candSpace is the structure-of-arrays view of the candidate slice, indexed
+// by the same candidate index as Controller.candidates.
+type candSpace struct {
+	// model/capIdx/stop/runToDL mirror the Candidate fields.
+	model   []int32
+	capIdx  []int32
+	stop    []int32
+	runToDL []bool
+	// tProf and power are the profile-table lookups t_prof[i][j] and
+	// p_{i,j} for the candidate's (model, cap).
+	tProf []float64
+	power []float64
+	// acc and qFail are the candidate model's final accuracy and
+	// deadline-miss quality.
+	acc   []float64
+	qFail []float64
+	// stageNom[i][si] is stage si's nominal latency LatencyFrac·t_prof at
+	// the candidate's (model, cap); stageAcc[i][si] its accuracy. nil for
+	// traditional candidates. Candidates sharing (model, cap) share the
+	// backing slice.
+	stageNom [][]float64
+	stageAcc [][]float64
+	// all is the identity index list (scan order = enumeration order);
+	// byCap[j] lists the candidates at cap rung j in enumeration order, so
+	// DecideAtCap scans only its rung yet breaks ties exactly like a scan
+	// of the full space filtered to the rung.
+	byCap [][]int32
+	all   []int32
+	// maxStages sizes the per-controller scratch buffer for ladder CDFs.
+	maxStages int
+}
+
+// newCandSpace precomputes the SoA layout from the enumerated candidates.
+func newCandSpace(prof *dnn.ProfileTable, cands []Candidate) candSpace {
+	n := len(cands)
+	s := candSpace{
+		model:    make([]int32, n),
+		capIdx:   make([]int32, n),
+		stop:     make([]int32, n),
+		runToDL:  make([]bool, n),
+		tProf:    make([]float64, n),
+		power:    make([]float64, n),
+		acc:      make([]float64, n),
+		qFail:    make([]float64, n),
+		stageNom: make([][]float64, n),
+		stageAcc: make([][]float64, n),
+		byCap:    make([][]int32, prof.NumCaps()),
+		all:      make([]int32, n),
+	}
+	// Shared stage ladders per (model, cap): LatencyFrac·t_prof is the same
+	// two-operand product the naive scorer computes, so sharing the
+	// precomputed slice is bit-exact.
+	type mc struct{ m, c int }
+	noms := make(map[mc][]float64)
+	accs := make(map[int][]float64)
+	for i, cand := range cands {
+		m := prof.Models[cand.Model]
+		tp := prof.At(cand.Model, cand.Cap)
+		s.model[i] = int32(cand.Model)
+		s.capIdx[i] = int32(cand.Cap)
+		s.stop[i] = int32(cand.StopStage)
+		s.runToDL[i] = cand.RunToDeadline
+		s.tProf[i] = tp
+		s.power[i] = prof.PowerAt(cand.Model, cand.Cap)
+		s.acc[i] = m.Accuracy
+		s.qFail[i] = m.QFail
+		s.all[i] = int32(i)
+		s.byCap[cand.Cap] = append(s.byCap[cand.Cap], int32(i))
+		if !m.IsAnytime() {
+			continue
+		}
+		key := mc{cand.Model, cand.Cap}
+		nom, ok := noms[key]
+		if !ok {
+			nom = make([]float64, len(m.Stages))
+			for si, st := range m.Stages {
+				nom[si] = st.LatencyFrac * tp
+			}
+			noms[key] = nom
+		}
+		acc, ok := accs[cand.Model]
+		if !ok {
+			acc = make([]float64, len(m.Stages))
+			for si, st := range m.Stages {
+				acc[si] = st.Accuracy
+			}
+			accs[cand.Model] = acc
+		}
+		s.stageNom[i] = nom
+		s.stageAcc[i] = acc
+		if len(m.Stages) > s.maxStages {
+			s.maxStages = len(m.Stages)
+		}
+	}
+	return s
+}
+
+// scoreParams are the per-Decide invariants of candidate scoring: the
+// current ξ belief and the two standard-normal quantiles the naive scorer
+// recomputed per candidate.
+type scoreParams struct {
+	mu, sigma float64
+	// zEnergy is NormQuantile(energyQuantile(spec), µ, σ): the Eq. 12
+	// latency quantile per unit of nominal work.
+	zEnergy float64
+	// zStop is NormQuantile(q, µ, σ) for the §3.5 stop quantile (Prth when
+	// the spec sets one): the planned-stop budget per unit of nominal work.
+	zStop float64
+}
+
+// scoreParamsFor computes the per-Decide invariants once.
+func (c *Controller) scoreParamsFor(spec Spec) scoreParams {
+	p := scoreParams{mu: c.xi.Mean(), sigma: c.sigmaForPrediction()}
+	p.zEnergy = mathx.NormQuantile(c.energyQuantile(spec), p.mu, p.sigma)
+	q := c.opts.StopQuantile
+	if spec.Prth > 0 {
+		q = spec.Prth
+	}
+	p.zStop = mathx.NormQuantile(q, p.mu, p.sigma)
+	return p
+}
+
+// prWithin is Eq. 6's building block: the probability that a work chunk of
+// nominal duration d completes within budget b, Pr[ξ·d ≤ b].
+func prWithin(d, b, mu, sigma float64) float64 {
+	if d <= 0 {
+		return 1
+	}
+	return mathx.NormCDF(b/d, mu, sigma)
+}
+
+// estimateFast scores candidate i under the spec, producing the exact
+// Estimate the naive estimate() produces (the differential tests in
+// differential_test.go pin the equality with ==). goal is the adjusted
+// deadline; p the hoisted per-Decide invariants.
+func (c *Controller) estimateFast(i int32, goal float64, spec Spec, p scoreParams) Estimate {
+	est := Estimate{Candidate: c.candidates[i]}
+	tp := c.space.tProf[i]
+
+	if c.space.stageNom[i] == nil {
+		est.LatMean = p.mu * tp
+		est.PrDeadline = prWithin(tp, goal, p.mu, p.sigma)
+		est.Quality = est.PrDeadline*c.space.acc[i] + (1-est.PrDeadline)*c.space.qFail[i]
+		switch {
+		case spec.AccuracyGoal <= 0 || c.space.qFail[i] >= spec.AccuracyGoal:
+			est.PrQuality = 1
+		case c.space.acc[i] >= spec.AccuracyGoal:
+			est.PrQuality = est.PrDeadline
+		default:
+			est.PrQuality = 0
+		}
+		lat := p.zEnergy * tp
+		if lat < est.LatMean {
+			lat = est.LatMean
+		}
+		est.Energy = c.energyAt(c.space.power[i], lat, goal)
+		return est
+	}
+
+	nom := c.space.stageNom[i]
+	accs := c.space.stageAcc[i]
+	k := int(c.space.stop[i])
+
+	var stop float64
+	if c.space.runToDL[i] {
+		stop = goal
+	} else {
+		stop = p.zStop * nom[k]
+		if stop > goal {
+			stop = goal
+		}
+		if stop <= 0 {
+			stop = goal
+		}
+	}
+	est.PlannedStop = stop
+	cut := math.Min(stop, goal)
+
+	// Raw (unclamped) per-stage completion probabilities, each evaluated
+	// once; the naive ladder evaluates stage si+1's CDF as the look-ahead of
+	// iteration si and again as iteration si+1's own term.
+	//
+	// Consecutive candidates in enumeration order share (model, cap) —
+	// hence the same nominal-latency ladder — and differ only in stop
+	// stage. Whenever they also share the cut (tight deadlines clamp every
+	// stop to the goal), the raw CDFs already sitting in scratch are
+	// bit-exact for this candidate too: raws[si] depends only on
+	// (nom, cut, µ, σ). The memo keys on exactly those, so a K-stage
+	// ladder's scan degrades from O(K²) CDF evaluations to O(K) when cuts
+	// coincide, with zero effect otherwise.
+	raws := c.scratch[:k+1]
+	start := 0
+	if c.ladderN > 0 && &nom[0] == c.ladderNom && cut == c.ladderCut &&
+		p.mu == c.ladderMu && p.sigma == c.ladderSigma {
+		start = c.ladderN
+	} else {
+		c.ladderNom, c.ladderCut, c.ladderMu, c.ladderSigma = &nom[0], cut, p.mu, p.sigma
+		c.ladderN = 0
+	}
+	for si := start; si <= k; si++ {
+		c.scratch[si] = prWithin(nom[si], cut, p.mu, p.sigma)
+	}
+	if k+1 > c.ladderN {
+		c.ladderN = k + 1
+	}
+
+	// Quality ladder under the cut. The clamped probability of iteration
+	// si+1 equals iteration si's look-ahead term, so one running value
+	// carries the whole recurrence.
+	pr := raws[0] // min(raws[0], 1) — a CDF never exceeds 1
+	quality := 0.0
+	for si := 0; si <= k; si++ {
+		nextPr := 0.0
+		if si < k {
+			nextPr = math.Min(raws[si+1], pr)
+		}
+		quality += accs[si] * (pr - nextPr)
+		pr = nextPr
+	}
+	quality += c.space.qFail[i] * (1 - raws[0])
+	est.Quality = quality
+	est.PrDeadline = raws[k]
+
+	switch {
+	case spec.AccuracyGoal <= 0 || c.space.qFail[i] >= spec.AccuracyGoal:
+		est.PrQuality = 1
+	default:
+		est.PrQuality = 0
+		for si := 0; si <= k; si++ {
+			if accs[si] >= spec.AccuracyGoal {
+				est.PrQuality = raws[si]
+				break
+			}
+		}
+	}
+
+	meanExec := math.Min(p.mu*nom[k], cut)
+	est.LatMean = meanExec
+	qExec := math.Min(p.zEnergy*nom[k], cut)
+	if qExec < meanExec {
+		qExec = meanExec
+	}
+	est.Energy = c.energyAt(c.space.power[i], qExec, goal)
+	return est
+}
+
+// selector accumulates the feasible optimum under the spec's objective
+// plus the infeasibility fallback (quality-maximal, energy tiebreak — §4's
+// latency > accuracy > power hierarchy). One implementation serves both
+// the fast and the reference scan, so the selection semantics cannot
+// silently diverge between them.
+type selector struct {
+	spec           Spec
+	conf           float64
+	minimizeEnergy bool
+	best, fb       Estimate
+	bestSet, fbSet bool
+}
+
+func (c *Controller) newSelector(spec Spec) selector {
+	s := selector{spec: spec, conf: c.opts.Confidence,
+		minimizeEnergy: spec.Objective == MinimizeEnergy}
+	if spec.Prth > 0 {
+		s.conf = spec.Prth
+	}
+	return s
+}
+
+// consider folds one candidate's estimate into the running selection,
+// reproducing the pre-optimization Decide/DecideAtCap semantics exactly
+// (candidates must arrive in enumeration order for identical tie breaks).
+func (s *selector) consider(e Estimate) {
+	if !s.fbSet || e.Quality > s.fb.Quality ||
+		(e.Quality == s.fb.Quality && e.Energy < s.fb.Energy) {
+		s.fb, s.fbSet = e, true
+	}
+	if s.spec.Prth > 0 && e.PrDeadline < s.spec.Prth {
+		return
+	}
+	// Latency is a constraint in both tasks; anytime candidates are
+	// exempt (the runtime cuts them at the goal).
+	if e.StopStage < 0 && e.PrDeadline < s.conf {
+		return
+	}
+	if s.minimizeEnergy {
+		if e.PrQuality < s.conf {
+			return
+		}
+	} else if s.spec.EnergyBudget > 0 && e.Energy > s.spec.EnergyBudget {
+		return
+	}
+	if !s.bestSet ||
+		(s.minimizeEnergy && e.Energy < s.best.Energy) ||
+		(!s.minimizeEnergy && e.Quality > s.best.Quality) {
+		s.best, s.bestSet = e, true
+	}
+}
+
+// scan scores the candidates in idxs (which must be in enumeration order)
+// with the optimized estimator. ok is false when no candidate is feasible
+// (the fallback still serves). DecideAtCap reuses it over a single rung's
+// index list.
+func (c *Controller) scan(idxs []int32, goal float64, spec Spec, p scoreParams) (best, fb Estimate, ok bool) {
+	sel := c.newSelector(spec)
+	for _, i := range idxs {
+		sel.consider(c.estimateFast(i, goal, spec, p))
+	}
+	return sel.best, sel.fb, sel.bestSet
+}
+
+// scanReference is scan with the naive per-candidate estimate() — the
+// pre-optimization scorer retained as the differential-testing oracle and
+// selectable at runtime via Options.ReferenceScorer.
+func (c *Controller) scanReference(idxs []int32, goal float64, spec Spec) (best, fb Estimate, ok bool) {
+	sel := c.newSelector(spec)
+	for _, i := range idxs {
+		sel.consider(c.estimate(c.candidates[i], goal, spec))
+	}
+	return sel.best, sel.fb, sel.bestSet
+}
+
+// decideCacheSize bounds the per-epoch memoization: one slot per distinct
+// spec seen since the last Observe. Steady-state streams use one; a shard
+// multiplexing a few streams with differing specs uses a few. Slots are
+// recycled round-robin, so pathological spec churn degrades to the plain
+// scan, never to unbounded growth.
+const decideCacheSize = 4
+
+// decideCacheEntry memoizes one (spec, epoch) → (Decision, Estimate).
+type decideCacheEntry struct {
+	epoch uint64
+	spec  Spec
+	d     sim.Decision
+	est   Estimate
+}
+
+// cacheGet returns the memoized decision for spec at the current filter
+// epoch, if any. Entries from earlier epochs are dead: Observe moved the
+// filters, so the scan could rank candidates differently.
+func (c *Controller) cacheGet(spec Spec) (sim.Decision, Estimate, bool) {
+	for i := range c.cache {
+		if c.cache[i].epoch == c.epoch && c.cache[i].spec == spec {
+			return c.cache[i].d, c.cache[i].est, true
+		}
+	}
+	return sim.Decision{}, Estimate{}, false
+}
+
+// cachePut memoizes a freshly scanned decision at the current epoch.
+func (c *Controller) cachePut(spec Spec, d sim.Decision, est Estimate) {
+	c.cache[c.cacheNext] = decideCacheEntry{epoch: c.epoch, spec: spec, d: d, est: est}
+	c.cacheNext = (c.cacheNext + 1) % decideCacheSize
+}

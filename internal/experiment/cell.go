@@ -74,6 +74,11 @@ type CellOptions struct {
 	// co-runner source, and the trace's spec churn applies. CellKey.Scenario
 	// still sets the grid's achievability margin.
 	Scenario string
+	// ReferenceScorer runs every ALERT-variant controller with the naive
+	// pre-optimization scorer instead of the fast path. Grid results are
+	// identical either way — the differential tests pin it — so this is a
+	// testing/debugging knob only.
+	ReferenceScorer bool
 }
 
 // RunCell executes one Table 4 cell: for every constraint setting in the
@@ -160,7 +165,7 @@ func RunCell(key CellKey, obj core.Objective, sc Scale, opt CellOptions) (*Cell,
 		}
 		keep(SchemeOracleSt, baselines.OracleStatic(baseCfg).Record)
 		for _, id := range schemes {
-			sched, prof, err := NewScheme(id, profs, setting.Spec)
+			sched, prof, err := newScheme(id, profs, setting.Spec, opt.ReferenceScorer)
 			if err != nil {
 				out.err = err
 				return out

@@ -226,6 +226,23 @@ func TestObserveIsolatesFilters(t *testing.T) {
 	}
 }
 
+// TestAllocateCountsDecisions is the coordinator-path regression for the
+// DecideAtCap undercount: every arbitration round serves real decisions
+// through each job's controller, and Decisions() must say so.
+func TestAllocateCountsDecisions(t *testing.T) {
+	a := newJob(t, "a", accSpec(0.2), 0)
+	b := newJob(t, "b", accSpec(0.1), 0)
+	coord, err := NewCoordinator(120, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord.Allocate()
+	if a.Ctl.Decisions() == 0 || b.Ctl.Decisions() == 0 {
+		t.Errorf("DecideAtCap served decisions but Decisions() = (%d, %d); the coordinator path undercounts",
+			a.Ctl.Decisions(), b.Ctl.Decisions())
+	}
+}
+
 func TestMinBudgetW(t *testing.T) {
 	a := newJob(t, "a", accSpec(0.15), 0)
 	b := newJob(t, "b", accSpec(0.15), 0)

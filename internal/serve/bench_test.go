@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"testing"
+
+	"github.com/alert-project/alert/internal/core"
+	"github.com/alert-project/alert/internal/sim"
+)
+
+// Pool-level benchmarks for cmd/benchreport's BENCH trajectory: the
+// steady-state single-decide round trip (pooled reply channel + cached
+// controller fast path) and the grouped batch dispatch (one channel
+// operation per shard per batch).
+
+// BenchmarkPoolDecide measures the submit→decide→reply round trip on one
+// shard in steady state (same spec, no feedback): the controller serves
+// from its decision cache, so this is the serving layer's own overhead.
+func BenchmarkPoolDecide(b *testing.B) {
+	pool := NewPool(testProfile(b), core.DefaultOptions(), Config{Shards: 1})
+	defer pool.Close()
+	spec := core.Spec{Objective: core.MinimizeEnergy, Deadline: 0.2, AccuracyGoal: 0.93}
+	pool.Decide(0, spec)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pool.Decide(0, spec)
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(b.N)/sec, "decisions/s")
+	}
+}
+
+// BenchmarkPoolDecideObserve is the paper's full per-input loop through the
+// pool: decide, then feed back an observation (which busts the decision
+// cache, so every decide is a full scan).
+func BenchmarkPoolDecideObserve(b *testing.B) {
+	prof := testProfile(b)
+	pool := NewPool(prof, core.DefaultOptions(), Config{Shards: 1})
+	defer pool.Close()
+	spec := core.Spec{Objective: core.MinimizeEnergy, Deadline: 0.2, AccuracyGoal: 0.93}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, _ := pool.Decide(0, spec)
+		pool.Observe(0, sim.Outcome{ObservedXi: 1.05, IdlePower: 6, CapApplied: prof.Caps[d.Cap]})
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(b.N)/sec, "decisions/s")
+	}
+}
+
+// BenchmarkPoolDecideBatch measures grouped dispatch of a 64-request batch
+// over 8 shards (8 channel operations per batch instead of 64).
+func BenchmarkPoolDecideBatch(b *testing.B) {
+	pool := NewPool(testProfile(b), core.DefaultOptions(), Config{Shards: 8, QueueDepth: 256})
+	defer pool.Close()
+	spec := core.Spec{Objective: core.MinimizeEnergy, Deadline: 0.2, AccuracyGoal: 0.93}
+	reqs := make([]Request, 64)
+	for i := range reqs {
+		reqs[i] = Request{Stream: i, Spec: spec}
+	}
+	pool.DecideBatch(reqs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pool.DecideBatch(reqs)
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(b.N*len(reqs))/sec, "decisions/s")
+	}
+}

@@ -27,8 +27,17 @@
 //   - Reads run on the owning worker: XiEstimate and Drain enqueue like
 //     any task, so they observe a prefix-consistent controller state and
 //     never race with mutations.
+//   - Batched dispatch is shard-atomic: DecideBatch hands each shard one
+//     group task carrying all of that shard's requests in batch order (one
+//     channel operation per shard per batch), so a concurrent Observe
+//     orders before or after the whole group, never inside it. Results
+//     still come back in request order.
 //   - Backpressure, not shedding: a full queue blocks the submitter; the
 //     pool never drops or reorders work.
+//
+// Steady-state Decide is allocation-free: reply channels are pooled and
+// tasks travel the shard channels by value, so the only per-request work is
+// the controller's own (also allocation-free) decision.
 package serve
 
 import (
@@ -71,6 +80,7 @@ type taskKind int
 
 const (
 	taskDecide taskKind = iota
+	taskDecideGroup
 	taskObserve
 	taskBarrier
 	taskXi
@@ -81,11 +91,33 @@ type decideReply struct {
 	est core.Estimate
 }
 
+// replyPool recycles the buffered-1 reply channels of the single-decide
+// path. A fresh channel per Decide was the steady state's only allocation;
+// pooling makes the whole submit→decide→reply round allocation-free. A
+// pooled channel is always empty when Put back: the caller receives the one
+// buffered reply before returning it.
+var replyPool = sync.Pool{New: func() any { return make(chan decideReply, 1) }}
+
+// batchGroup is one shard's slice of a DecideBatch dispatch: the shard's
+// requests in batch order, plus where each result lands in the caller's
+// request-ordered output. One group is one channel operation per shard per
+// batch — the worker scores the whole group before touching the channel
+// again, and writes results directly into the shared out slice (indices are
+// disjoint across shards; wg.Wait gives the reader its happens-before).
+type batchGroup struct {
+	specs []core.Spec
+	idx   []int32
+	out   []Result
+	wg    *sync.WaitGroup
+	start time.Time
+}
+
 type task struct {
 	kind    taskKind
 	spec    core.Spec
 	out     sim.Outcome
 	reply   chan decideReply // decide: buffered 1, worker never blocks
+	group   *batchGroup      // decide group: one per shard per batch
 	done    chan struct{}    // barrier: closed when the shard reaches it
 	xiReply chan [2]float64  // xi read: buffered 1
 	start   time.Time
@@ -134,6 +166,14 @@ func (p *Pool) work(s *shard) {
 			// Stats read that follows a completed Decide always sees it.
 			p.counters.RecordDecide(time.Since(t.start))
 			t.reply <- decideReply{d: d, est: est}
+		case taskDecideGroup:
+			g := t.group
+			for j, spec := range g.specs {
+				d, est := s.ctl.Decide(spec)
+				p.counters.RecordDecide(time.Since(g.start))
+				g.out[g.idx[j]] = Result{Decision: d, Estimate: est}
+			}
+			g.wg.Done()
 		case taskObserve:
 			s.ctl.Observe(t.out)
 			p.counters.RecordObserve()
@@ -153,21 +193,29 @@ func (p *Pool) NumShards() int { return len(p.shards) }
 // Counters exposes the pool's throughput/latency counters.
 func (p *Pool) Counters() *metrics.ServeCounters { return p.counters }
 
-// shardFor pins a stream to a shard.
-func (p *Pool) shardFor(stream int) *shard {
+// shardIndex maps a stream id onto a shard slot.
+func (p *Pool) shardIndex(stream int) int {
 	i := stream % len(p.shards)
 	if i < 0 {
 		i += len(p.shards)
 	}
-	return p.shards[i]
+	return i
+}
+
+// shardFor pins a stream to a shard.
+func (p *Pool) shardFor(stream int) *shard {
+	return p.shards[p.shardIndex(stream)]
 }
 
 // Decide routes the spec to the stream's shard and blocks for the decision.
-// Requests submitted to one shard are served in submission order.
+// Requests submitted to one shard are served in submission order. The
+// steady-state round trip is allocation-free: the reply channel comes from
+// a pool and the task rides the shard channel by value.
 func (p *Pool) Decide(stream int, spec core.Spec) (sim.Decision, core.Estimate) {
-	reply := make(chan decideReply, 1)
+	reply := replyPool.Get().(chan decideReply)
 	p.shardFor(stream).ch <- task{kind: taskDecide, spec: spec, reply: reply, start: time.Now()}
 	r := <-reply
+	replyPool.Put(reply)
 	return r.d, r.est
 }
 
@@ -197,22 +245,53 @@ type Result struct {
 // every decision is in. Requests that share a stream are served in batch
 // order; requests on different streams run concurrently. Results are
 // returned in request order.
+//
+// The batch is grouped by shard before dispatch: each shard receives one
+// task carrying all of its requests (one channel operation per shard per
+// batch, not per request), scores them back-to-back on its worker, and
+// writes results straight into the shared request-ordered output. Within a
+// shard the batch is atomic with respect to other submissions — an Observe
+// submitted concurrently lands before or after the shard's whole group,
+// never between two of its decisions.
 func (p *Pool) DecideBatch(reqs []Request) []Result {
 	if len(reqs) == 0 {
 		return nil
 	}
 	p.counters.RecordBatch()
-	replies := make([]chan decideReply, len(reqs))
-	start := time.Now()
-	for i, r := range reqs {
-		replies[i] = make(chan decideReply, 1)
-		p.shardFor(r.Stream).ch <- task{kind: taskDecide, spec: r.Spec, reply: replies[i], start: start}
-	}
+	n := len(p.shards)
 	out := make([]Result, len(reqs))
-	for i := range replies {
-		r := <-replies[i]
-		out[i] = Result{Decision: r.d, Estimate: r.est}
+
+	// Size each shard's group first so the spec/index slices are exact.
+	counts := make([]int, n)
+	for i := range reqs {
+		counts[p.shardIndex(reqs[i].Stream)]++
 	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	groups := make([]*batchGroup, n)
+	for si, cnt := range counts {
+		if cnt > 0 {
+			groups[si] = &batchGroup{
+				specs: make([]core.Spec, 0, cnt),
+				idx:   make([]int32, 0, cnt),
+				out:   out,
+				wg:    &wg,
+				start: start,
+			}
+		}
+	}
+	for i, r := range reqs {
+		g := groups[p.shardIndex(r.Stream)]
+		g.specs = append(g.specs, r.Spec)
+		g.idx = append(g.idx, int32(i))
+	}
+	for si, g := range groups {
+		if g != nil {
+			wg.Add(1)
+			p.shards[si].ch <- task{kind: taskDecideGroup, group: g}
+		}
+	}
+	wg.Wait()
 	return out
 }
 

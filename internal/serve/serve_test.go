@@ -183,6 +183,144 @@ func TestDecideBatch(t *testing.T) {
 	}
 }
 
+// TestDecideBatchRequestOrder checks that the per-shard grouped dispatch
+// still returns results in request order with the right per-request
+// decision: distinct specs per request make a misplaced result visible.
+func TestDecideBatchRequestOrder(t *testing.T) {
+	prof := testProfile(t)
+	pool := NewPool(prof, core.DefaultOptions(), Config{Shards: 4})
+	defer pool.Close()
+
+	// Mixed streams in a deliberately non-contiguous shard pattern, each
+	// with its own deadline so expected decisions differ across requests.
+	reqs := make([]Request, 41)
+	for i := range reqs {
+		reqs[i] = Request{
+			Stream: (i * 7) % 13,
+			Spec: core.Spec{
+				Objective:    core.MinimizeEnergy,
+				Deadline:     0.08 + 0.02*float64(i%6),
+				AccuracyGoal: 0.9,
+			},
+		}
+	}
+	got := pool.DecideBatch(reqs)
+
+	// The oracle: one lone controller per stream replaying that stream's
+	// requests in batch order (shards share no state, and within a shard
+	// requests are served in batch order — so per-stream replay suffices).
+	ctls := map[int]*core.Controller{}
+	for i, r := range reqs {
+		// Streams mapping to the same shard share its controller replica.
+		si := pool.shardIndex(r.Stream)
+		ctl, ok := ctls[si]
+		if !ok {
+			ctl = core.New(prof, core.DefaultOptions())
+			ctls[si] = ctl
+		}
+		d, est := ctl.Decide(r.Spec)
+		if got[i].Decision != d || got[i].Estimate != est {
+			t.Fatalf("request %d (stream %d): result %+v, want %+v", i, r.Stream, got[i].Decision, d)
+		}
+	}
+}
+
+// TestDecideBatchFIFOWithObserves interleaves batches with per-stream
+// Observes and checks each stream's decision sequence against serial
+// execution: the grouped dispatch must preserve per-stream FIFO with
+// feedback applied between batches.
+func TestDecideBatchFIFOWithObserves(t *testing.T) {
+	prof := testProfile(t)
+	const streams, rounds = 3, 25
+	pool := NewPool(prof, core.DefaultOptions(), Config{Shards: streams})
+	defer pool.Close()
+
+	scripts := make([][]step, streams)
+	for s := range scripts {
+		scripts[s] = script(s, rounds)
+	}
+	got := make([][]sim.Decision, streams)
+	for r := 0; r < rounds; r++ {
+		reqs := make([]Request, streams)
+		for s := 0; s < streams; s++ {
+			reqs[s] = Request{Stream: s, Spec: scripts[s][r].spec}
+		}
+		res := pool.DecideBatch(reqs)
+		for s := 0; s < streams; s++ {
+			got[s] = append(got[s], res[s].Decision)
+			pool.Observe(s, outcomeFor(prof, res[s].Decision, scripts[s][r].xi))
+		}
+	}
+	for s := 0; s < streams; s++ {
+		want := serialRun(prof, scripts[s])
+		if !reflect.DeepEqual(got[s], want) {
+			t.Errorf("stream %d: batched decisions diverge from serial execution", s)
+		}
+	}
+}
+
+// TestDecideBatchStress races batched dispatch, single decides, and
+// observes over more streams than shards; under -race this pins the grouped
+// path's memory safety (disjoint result writes, wg-published reads).
+func TestDecideBatchStress(t *testing.T) {
+	prof := testProfile(t)
+	pool := NewPool(prof, core.DefaultOptions(), Config{Shards: 3, QueueDepth: 8})
+	defer pool.Close()
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			spec := core.Spec{Objective: core.MinimizeEnergy, Deadline: 0.15, AccuracyGoal: 0.9}
+			for i := 0; i < 30; i++ {
+				reqs := make([]Request, 11)
+				for j := range reqs {
+					reqs[j] = Request{Stream: g*31 + j, Spec: spec}
+				}
+				res := pool.DecideBatch(reqs)
+				for j, r := range res {
+					if r.Decision.Model < 0 || r.Decision.Model >= prof.NumModels() {
+						t.Errorf("bad model %d", r.Decision.Model)
+						return
+					}
+					pool.Observe(reqs[j].Stream, outcomeFor(prof, r.Decision, 1.1))
+				}
+				d, _ := pool.Decide(g, spec)
+				pool.Observe(g, outcomeFor(prof, d, 0.95))
+			}
+		}(g)
+	}
+	wg.Wait()
+	pool.Drain()
+	snap := pool.Counters().Snapshot()
+	wantDecides := int64(goroutines * 30 * (11 + 1))
+	if snap.Decisions != wantDecides {
+		t.Errorf("decisions counter = %d, want %d", snap.Decisions, wantDecides)
+	}
+	if snap.Batches != int64(goroutines*30) {
+		t.Errorf("batches counter = %d, want %d", snap.Batches, goroutines*30)
+	}
+}
+
+// TestPoolDecideSteadyStateAllocs asserts the serve-layer allocation
+// contract: with the reply channel pooled and the controller's cached fast
+// path, a steady-state Decide round trip allocates nothing. The worker
+// goroutine's allocations count too (AllocsPerRun reads the global
+// counter), so an occasional sync.Pool refill after GC is tolerated but
+// systematic per-call allocation is not.
+func TestPoolDecideSteadyStateAllocs(t *testing.T) {
+	prof := testProfile(t)
+	pool := NewPool(prof, core.DefaultOptions(), Config{Shards: 1})
+	defer pool.Close()
+	spec := core.Spec{Objective: core.MinimizeEnergy, Deadline: 0.2, AccuracyGoal: 0.92}
+	pool.Decide(0, spec) // warm pool, cache, scratch
+	if n := testing.AllocsPerRun(500, func() { pool.Decide(0, spec) }); n >= 1 {
+		t.Errorf("steady-state pool Decide allocates %.2f/op, want ~0", n)
+	}
+}
+
 // TestShardPinning checks the stream→shard map, including negative streams.
 func TestShardPinning(t *testing.T) {
 	prof := testProfile(t)
