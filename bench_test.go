@@ -254,9 +254,10 @@ func BenchmarkControllerDecisionZoo(b *testing.B) {
 
 // BenchmarkServeThroughput measures the concurrent serving layer's
 // decisions/sec at 1 shard (the serial baseline) and at one shard per core.
-// Shards never share controller state, so on a multi-core runner the
-// per-core variant should deliver ≥ 2× the single-shard rate; the
-// decisions/sec metric makes the ratio directly readable from the output.
+// Shards never contend on anything but atomic counters, so on a multi-core
+// runner the per-core variant should deliver ≥ 2× the single-shard rate;
+// the decisions/sec metric makes the ratio directly readable from the
+// output.
 func BenchmarkServeThroughput(b *testing.B) {
 	spec := Spec{Objective: MinimizeEnergy, Deadline: 0.2, AccuracyGoal: 0.93}
 	bench := func(b *testing.B, shards int) {

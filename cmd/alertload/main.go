@@ -17,11 +17,13 @@
 //	alertload -scenario thermal -record trace.json           # record the trace
 //	alertload -replay trace.json                             # replay a recording
 //
-// Replays are deterministic: the same trace, seed, and stream count yield
-// byte-identical per-stream decision sequences (verified in main_test.go).
-// Determinism requires one shard per stream (the default): with fewer
-// shards, streams that share a shard also share a controller, and the
-// cross-stream interleaving becomes schedule-dependent.
+// Replays are deterministic: the same trace and seed yield byte-identical
+// per-stream decision sequences (verified in main_test.go) at ANY shard
+// count — every stream owns its own session (filter state + decision
+// cache) on the server's shared decision engine, so the scheduling-
+// dependent interleaving of streams on a shard changes service order but
+// never decisions. -shards therefore defaults to one worker per CPU and is
+// purely a throughput knob.
 package main
 
 import (
@@ -149,7 +151,7 @@ func parseFlags(args []string) (loadConfig, error) {
 	fs.IntVar(&cfg.streams, "streams", 8, "concurrent inference streams")
 	fs.IntVar(&cfg.inputs, "inputs", 300, "inputs per stream")
 	fs.Int64Var(&cfg.seed, "seed", 1, "seed for trace compilation and stream noise")
-	fs.IntVar(&cfg.shards, "shards", 0, "server shards (0 = one per stream, the deterministic default)")
+	fs.IntVar(&cfg.shards, "shards", 0, "server stream-table shards (0 = one per CPU; decisions are shard-count-invariant)")
 	fs.StringVar(&cfg.mode, "mode", "auto", "auto | open | closed loop")
 	fs.StringVar(&cfg.objective, "objective", "energy", "energy (minimize energy) | error (minimize error)")
 	fs.Float64Var(&cfg.deadlineFactor, "deadline-factor", 1.25, "deadline as a multiple of the slowest model's latency")
@@ -231,12 +233,11 @@ func runLoad(cfg loadConfig) (*loadReport, error) {
 		open = false
 	}
 
-	shards := cfg.shards
-	if shards <= 0 {
-		shards = cfg.streams
-	}
+	// Shards bound only worker concurrency; every stream gets its own
+	// session either way, so the shard count never changes decisions and
+	// 0 can safely mean "one per CPU" (the alert.NewServer default).
 	srv, err := alert.NewServer(plat, models, alert.ServerOptions{
-		Shards:  shards,
+		Shards:  cfg.shards,
 		Options: alert.Options{ReferenceScorer: cfg.referenceScorer},
 	})
 	if err != nil {

@@ -107,7 +107,45 @@ func TestReferenceScorerReplayIdentical(t *testing.T) {
 	}
 }
 
-// TestStreamsAreIndependent: each stream pins to its own shard, so adding
+// TestShardCountInvariance is the alertload-level differential criterion
+// for the Engine/Session split: the same replay must produce byte-identical
+// per-stream decision sequences whether every stream has a private shard or
+// all streams are multiplexed onto a single shard's worker. With one shard,
+// every stream's session lives on one goroutine and the cross-stream
+// interleaving is maximally schedule-dependent — decisions must not care.
+func TestShardCountInvariance(t *testing.T) {
+	solo := testConfig()
+	solo.shards = solo.streams // one stream per shard, the pre-session layout
+	oneShard := testConfig()
+	oneShard.shards = 1      // every stream on one worker
+	defaults := testConfig() // 0 = one per CPU
+
+	a, err := runLoad(solo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runLoad(oneShard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := runLoad(defaults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range a.DecisionSeqs {
+		if a.DecisionSeqs[s] != b.DecisionSeqs[s] {
+			t.Errorf("stream %d: decisions differ between one-shard-per-stream and single-shard runs", s)
+		}
+		if a.DecisionSeqs[s] != c.DecisionSeqs[s] {
+			t.Errorf("stream %d: decisions differ between explicit and default shard counts", s)
+		}
+	}
+	if a.SLOAttainment != b.SLOAttainment || a.AvgEnergy != b.AvgEnergy || a.AvgQuality != b.AvgQuality {
+		t.Error("aggregate metrics changed with the shard count")
+	}
+}
+
+// TestStreamsAreIndependent: streams never share session state, so adding
 // streams must not perturb an existing stream's decisions.
 func TestStreamsAreIndependent(t *testing.T) {
 	small := testConfig()

@@ -11,16 +11,20 @@
 //
 // Usage:
 //
-//	benchreport -out BENCH_3.json                 # run benchmarks, write snapshot
-//	benchreport -out BENCH_3.json -check          # also enforce the perf gates
-//	benchreport -input bench.txt -out BENCH_3.json # parse captured `go test -bench` output
+//	benchreport -out BENCH_4.json                 # run benchmarks, write snapshot
+//	benchreport -out BENCH_4.json -check          # also enforce the perf gates
+//	benchreport -input bench.txt -out BENCH_4.json # parse captured `go test -bench` output
 //
 // The -check gates:
 //
 //   - BenchmarkDecide/cached must report 0 allocs/op (the steady-state
-//     serve path is contractually allocation-free), and
+//     serve path is contractually allocation-free),
 //   - BenchmarkDecide/uncached and /cached must be at least -min-speedup
-//     times faster than BenchmarkDecide/naive from the same run.
+//     times faster than BenchmarkDecide/naive from the same run, and
+//   - BenchmarkPoolManyStreams/shared-engine must use at least
+//     -min-mem-reduction times fewer bytes per stream than the same run's
+//     naive one-Controller-per-stream construction (the Engine/Session
+//     memory contract at 10k streams).
 package main
 
 import (
@@ -59,23 +63,24 @@ type Entry struct {
 }
 
 type config struct {
-	bench          string
-	benchtime      string
-	count          int
-	heavyBench     string
-	heavyBenchtime string
-	pkgs           string
-	out            string
-	input          string
-	check          bool
-	minSpeedup     float64
+	bench           string
+	benchtime       string
+	count           int
+	heavyBench      string
+	heavyBenchtime  string
+	pkgs            string
+	out             string
+	input           string
+	check           bool
+	minSpeedup      float64
+	minMemReduction float64
 }
 
 func run(args []string, stdout io.Writer) error {
 	var cfg config
 	fs := flag.NewFlagSet("benchreport", flag.ContinueOnError)
 	fs.StringVar(&cfg.bench, "bench",
-		"^(BenchmarkDecide|BenchmarkDecideZoo|BenchmarkDecideAtCap|BenchmarkPoolDecide|BenchmarkPoolDecideObserve|BenchmarkPoolDecideBatch|BenchmarkServeBatch)$",
+		"^(BenchmarkDecide|BenchmarkDecideZoo|BenchmarkDecideAtCap|BenchmarkPoolDecide|BenchmarkPoolDecideObserve|BenchmarkPoolDecideBatch|BenchmarkPoolManyStreams|BenchmarkServeBatch)$",
 		"benchmark regex passed to go test -bench")
 	fs.StringVar(&cfg.benchtime, "benchtime", "300x", "benchtime passed to go test")
 	fs.IntVar(&cfg.count, "count", 3,
@@ -89,6 +94,8 @@ func run(args []string, stdout io.Writer) error {
 	fs.BoolVar(&cfg.check, "check", false, "enforce the decide perf gates (0 allocs cached, min speedups)")
 	fs.Float64Var(&cfg.minSpeedup, "min-speedup", 2.0,
 		"minimum BenchmarkDecide speedup over the same run's naive baseline")
+	fs.Float64Var(&cfg.minMemReduction, "min-mem-reduction", 10.0,
+		"minimum BenchmarkPoolManyStreams bytes-per-stream reduction of the shared engine over the same run's naive per-stream controllers")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -143,7 +150,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	if cfg.check {
-		if err := checkGates(entries, cfg.minSpeedup); err != nil {
+		if err := checkGates(entries, cfg.minSpeedup, cfg.minMemReduction); err != nil {
 			return err
 		}
 		fmt.Fprintln(stdout, "perf gates passed")
@@ -247,9 +254,11 @@ func find(entries []Entry, name string) *Entry {
 	return nil
 }
 
-// derived appends the same-run speedup entries the gates (and the BENCH
+// derived appends the same-run comparison entries the gates (and the BENCH
 // trajectory) read: how much faster the optimized scan and the memoized
-// steady state are than the naive baseline measured moments earlier.
+// steady state are than the naive baseline measured moments earlier, and
+// how many times fewer bytes per stream the shared-engine stream table
+// costs than one controller per stream.
 func derived(entries []Entry) []Entry {
 	var out []Entry
 	naive := find(entries, "BenchmarkDecide/naive")
@@ -264,11 +273,21 @@ func derived(entries []Entry) []Entry {
 			})
 		}
 	}
+	shared := find(entries, "BenchmarkPoolManyStreams/shared-engine")
+	perCtl := find(entries, "BenchmarkPoolManyStreams/naive-controllers")
+	if shared != nil && perCtl != nil &&
+		shared.Metrics["bytes/stream"] > 0 && perCtl.Metrics["bytes/stream"] > 0 {
+		out = append(out, Entry{
+			Name:    "derived/manystreams-bytes-reduction",
+			Metrics: map[string]float64{"x": perCtl.Metrics["bytes/stream"] / shared.Metrics["bytes/stream"]},
+		})
+	}
 	return out
 }
 
-// checkGates enforces the decide-path perf contract on a parsed snapshot.
-func checkGates(entries []Entry, minSpeedup float64) error {
+// checkGates enforces the decide-path perf and stream-table memory
+// contracts on a parsed snapshot.
+func checkGates(entries []Entry, minSpeedup, minMemReduction float64) error {
 	cached := find(entries, "BenchmarkDecide/cached")
 	if cached == nil {
 		return fmt.Errorf("gate: BenchmarkDecide/cached missing from results")
@@ -290,6 +309,13 @@ func checkGates(entries []Entry, minSpeedup float64) error {
 		if x := e.Metrics["x"]; x < minSpeedup {
 			return fmt.Errorf("gate: %s = %.2fx, want >= %.2fx", name, x, minSpeedup)
 		}
+	}
+	mem := find(entries, "derived/manystreams-bytes-reduction")
+	if mem == nil {
+		return fmt.Errorf("gate: derived/manystreams-bytes-reduction missing (need BenchmarkPoolManyStreams shared-engine/naive-controllers in one run)")
+	}
+	if x := mem.Metrics["x"]; x < minMemReduction {
+		return fmt.Errorf("gate: derived/manystreams-bytes-reduction = %.2fx, want >= %.2fx", x, minMemReduction)
 	}
 	return nil
 }

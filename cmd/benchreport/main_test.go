@@ -21,6 +21,8 @@ PASS
 ok  	github.com/alert-project/alert/internal/core	0.092s
 pkg: github.com/alert-project/alert/internal/serve
 BenchmarkPoolDecideBatch-8   	     300	     15729 ns/op	   4069029 decisions/s	   12048 B/op	      28 allocs/op
+BenchmarkPoolManyStreams/shared-engine-8         	     300	     22440 ns/op	       846.9 bytes/stream	     44563 decisions/s	   1927862 streams/s	       1 B/op	       0 allocs/op
+BenchmarkPoolManyStreams/naive-controllers-8     	     300	     23445 ns/op	     32272 bytes/stream	     42653 decisions/s	     36624 streams/s	       0 B/op	       0 allocs/op
 ok  	github.com/alert-project/alert/internal/serve	0.018s
 `
 
@@ -29,8 +31,12 @@ func TestParseBenchOutput(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(entries) != 4 {
-		t.Fatalf("parsed %d entries, want 4", len(entries))
+	if len(entries) != 6 {
+		t.Fatalf("parsed %d entries, want 6", len(entries))
+	}
+	shared := find(entries, "BenchmarkPoolManyStreams/shared-engine")
+	if shared == nil || shared.Metrics["bytes/stream"] != 846.9 {
+		t.Errorf("shared-engine bytes/stream entry wrong: %+v", shared)
 	}
 	cached := find(entries, "BenchmarkDecide/cached")
 	if cached == nil {
@@ -61,8 +67,8 @@ BenchmarkDecide/naive-8         	     500	     60001 ns/op	     16000 decisions/
 		t.Fatal(err)
 	}
 	merged := mergeMin(entries)
-	if len(merged) != 4 {
-		t.Fatalf("merged to %d entries, want 4", len(merged))
+	if len(merged) != 6 {
+		t.Fatalf("merged to %d entries, want 6", len(merged))
 	}
 	if un := find(merged, "BenchmarkDecide/uncached"); un == nil || un.NsPerOp != 19909 {
 		t.Errorf("uncached merge kept %+v, want the 19909 ns/op run", un)
@@ -78,8 +84,8 @@ func TestDerivedSpeedups(t *testing.T) {
 		t.Fatal(err)
 	}
 	d := derived(entries)
-	if len(d) != 2 {
-		t.Fatalf("derived %d entries, want 2", len(d))
+	if len(d) != 3 {
+		t.Fatalf("derived %d entries, want 3", len(d))
 	}
 	un := d[0].Metrics["x"]
 	if un < 2.5 || un > 2.7 {
@@ -88,16 +94,25 @@ func TestDerivedSpeedups(t *testing.T) {
 	if ca := d[1].Metrics["x"]; ca < 3000 {
 		t.Errorf("cached speedup = %g, want thousands", ca)
 	}
+	if mem := d[2].Metrics["x"]; mem < 38 || mem > 39 {
+		t.Errorf("manystreams bytes reduction = %g, want ~38.1 (32272/846.9)", mem)
+	}
+	if d[2].Name != "derived/manystreams-bytes-reduction" {
+		t.Errorf("third derived entry is %q", d[2].Name)
+	}
 }
 
 func TestCheckGates(t *testing.T) {
 	entries, _ := parseBenchOutput(canned)
 	entries = append(entries, derived(entries)...)
-	if err := checkGates(entries, 2.0); err != nil {
+	if err := checkGates(entries, 2.0, 10.0); err != nil {
 		t.Errorf("gates should pass on the canned snapshot: %v", err)
 	}
-	if err := checkGates(entries, 10.0); err == nil {
+	if err := checkGates(entries, 10.0, 10.0); err == nil {
 		t.Error("uncached speedup 2.58x must fail a 10x gate")
+	}
+	if err := checkGates(entries, 2.0, 100.0); err == nil {
+		t.Error("38x memory reduction must fail a 100x gate")
 	}
 
 	// An alloc regression on the cached path must fail.
@@ -105,13 +120,22 @@ func TestCheckGates(t *testing.T) {
 		"17.52 ns/op	  57077626 decisions/s	       0 B/op	       0 allocs/op",
 		"17.52 ns/op	  57077626 decisions/s	      48 B/op	       2 allocs/op", 1))
 	regressed = append(regressed, derived(regressed)...)
-	if err := checkGates(regressed, 2.0); err == nil ||
+	if err := checkGates(regressed, 2.0, 10.0); err == nil ||
 		!strings.Contains(err.Error(), "allocates") {
 		t.Errorf("alloc regression not caught: %v", err)
 	}
 
+	// A snapshot missing the many-streams pair cannot assert the memory
+	// contract and must say so.
+	noMem, _ := parseBenchOutput(strings.ReplaceAll(canned, "BenchmarkPoolManyStreams", "BenchmarkGone"))
+	noMem = append(noMem, derived(noMem)...)
+	if err := checkGates(noMem, 2.0, 10.0); err == nil ||
+		!strings.Contains(err.Error(), "manystreams") {
+		t.Errorf("missing many-streams pair not caught: %v", err)
+	}
+
 	// A snapshot without the decide benchmarks cannot be gated.
-	if err := checkGates(nil, 2.0); err == nil {
+	if err := checkGates(nil, 2.0, 10.0); err == nil {
 		t.Error("empty snapshot must fail the gate")
 	}
 }
@@ -140,8 +164,8 @@ func TestRunFromInput(t *testing.T) {
 	if err := json.Unmarshal(data, &entries); err != nil {
 		t.Fatalf("snapshot is not valid JSON: %v", err)
 	}
-	if len(entries) != 6 { // 4 parsed + 2 derived
-		t.Errorf("snapshot has %d entries, want 6", len(entries))
+	if len(entries) != 9 { // 6 parsed + 3 derived
+		t.Errorf("snapshot has %d entries, want 9", len(entries))
 	}
 
 	// And a failing gate must surface as an error.

@@ -1,6 +1,7 @@
-// Serving: drive many concurrent inference streams through alert.Server,
-// the sharded front-end over independent scheduler replicas, then print
-// per-stream slowdown estimates and the server's throughput counters.
+// Serving: drive many concurrent inference streams through alert.Server —
+// one shared decision engine plus a per-stream session (private Kalman
+// filter state) in a sharded stream table — then print per-stream slowdown
+// estimates and the server's throughput counters.
 //
 //	go run ./examples/serving
 package main
@@ -14,10 +15,10 @@ import (
 )
 
 func main() {
-	// Four shards: stream s pins to shard s mod 4, so streams sharing a
-	// shard share its Kalman filter state (and nothing else). Here that
-	// mapping keeps even (lightly loaded) and odd (contended) streams on
-	// disjoint shards, exactly as dedicated Schedulers would behave.
+	// Four shards: stream s pins to shard s mod 4 for FIFO ordering, but
+	// every stream keeps its own session — its own Kalman filter state —
+	// so the lightly loaded and contended streams below learn independent
+	// slowdown estimates, exactly as dedicated Schedulers would.
 	plat := alert.CPU1()
 	srv, err := alert.NewServer(plat, alert.ImageCandidates(), alert.ServerOptions{Shards: 4})
 	if err != nil {

@@ -13,44 +13,52 @@ import (
 	"github.com/alert-project/alert/internal/workload"
 )
 
-// Alert adapts the core controller to the runner's Scheduler interface.
+// Alert adapts a core session to the runner's Scheduler interface.
 // The same wrapper serves the ALERT, ALERT-Any, ALERT-Trad and ALERT*
 // schemes — they differ only in candidate set and options, decided by the
 // profile table and options handed to the constructor.
 type Alert struct {
 	name string
-	ctl  *core.Controller
+	sess *core.Session
 	spec core.Spec
 }
 
-// NewAlert builds the scheme over an already-profiled candidate set.
+// NewAlert builds the scheme over an already-profiled candidate set: a
+// fresh engine with a single session. Schemes sharing a (profile, options)
+// pair can instead share an engine via NewAlertSession.
 func NewAlert(name string, prof *dnn.ProfileTable, spec core.Spec, opts core.Options) *Alert {
-	return &Alert{name: name, ctl: core.New(prof, opts), spec: spec}
+	return NewAlertSession(name, core.NewEngine(prof, opts).NewSession(), spec)
+}
+
+// NewAlertSession wraps an existing session (e.g. one of many on a shared
+// engine) as a runner scheme.
+func NewAlertSession(name string, sess *core.Session, spec core.Spec) *Alert {
+	return &Alert{name: name, sess: sess, spec: spec}
 }
 
 // Name implements runner.Scheduler.
 func (a *Alert) Name() string { return a.name }
 
 // SetSpec implements runner.SpecSetter: scenario spec churn retargets the
-// controller's requirement mid-stream. The Kalman filter state is
+// scheme's requirement mid-stream. The Kalman filter state is
 // deliberately kept — the environment did not change, only the goal.
 func (a *Alert) SetSpec(spec core.Spec) { a.spec = spec }
 
-// Controller exposes the wrapped controller for trace instrumentation.
-func (a *Alert) Controller() *core.Controller { return a.ctl }
+// Session exposes the wrapped session for trace instrumentation.
+func (a *Alert) Session() *core.Session { return a.sess }
 
 // Decide implements runner.Scheduler: the nominal spec with the adjusted
 // per-input goal substituted in.
 func (a *Alert) Decide(_ *sim.Env, _ workload.Input, goal float64) sim.Decision {
 	s := a.spec
 	s.Deadline = goal
-	d, _ := a.ctl.Decide(s)
+	d, _ := a.sess.Decide(s)
 	return d
 }
 
 // Observe implements runner.Scheduler.
 func (a *Alert) Observe(_ workload.Input, _ sim.Decision, out sim.Outcome) {
-	a.ctl.Observe(out)
+	a.sess.Observe(out)
 }
 
 var _ runner.Scheduler = (*Alert)(nil)

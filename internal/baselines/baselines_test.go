@@ -170,14 +170,14 @@ func TestRestrictedOracles(t *testing.T) {
 	}
 }
 
-func TestAlertSchedulerNameAndController(t *testing.T) {
+func TestAlertSchedulerNameAndSession(t *testing.T) {
 	prof, _ := dnn.Profile(platform.CPU1(), dnn.ImageCandidates())
 	spec := core.Spec{Objective: core.MinimizeEnergy, Deadline: 0.2, AccuracyGoal: 0.9}
 	a := NewAlert("ALERT-X", prof, spec, core.DefaultOptions())
 	if a.Name() != "ALERT-X" {
 		t.Error("name lost")
 	}
-	if a.Controller() == nil {
-		t.Error("controller not exposed")
+	if a.Session() == nil {
+		t.Error("session not exposed")
 	}
 }

@@ -8,16 +8,28 @@
 // the candidate that optimizes the user's objective subject to the
 // remaining constraints (Eq. 1/2, or 10/11 when a probability threshold is
 // set).
+//
+// The controller is split into two layers:
+//
+//   - Engine — the immutable, shareable half: the enumerated candidate
+//     space, its SoA fast-path view, the resolved options and overhead
+//     model. Built once per (ProfileTable, Options), safe for concurrent
+//     use, shared by every stream on a platform.
+//   - Session — the lightweight mutable per-stream half: the ξ and
+//     idle-power Kalman filters, the filter epoch, and the decision cache.
+//     A few hundred bytes per stream, one goroutine at a time.
+//
+// Controller is the paper's one-stream deployment (§3.6) preserved as a
+// thin facade: a private Engine serving exactly one Session. Multi-stream
+// layers (internal/serve, internal/multi) share one Engine and hold one
+// Session per stream or job.
 package core
 
 import (
 	"fmt"
-	"math"
 
 	"github.com/alert-project/alert/internal/dnn"
 	"github.com/alert-project/alert/internal/kalman"
-	"github.com/alert-project/alert/internal/mathx"
-	"github.com/alert-project/alert/internal/sim"
 )
 
 // Objective selects which dimension is optimized while the other two are
@@ -154,403 +166,18 @@ type Estimate struct {
 	PlannedStop float64
 }
 
-// Controller is the ALERT runtime for one task on one platform.
+// Controller is the ALERT runtime for one task on one platform: a private
+// Engine serving exactly one Session, the paper's one-stream-per-controller
+// deployment (§3.6) kept as a thin facade over the Engine/Session split.
+// Layers serving many streams should build one Engine and one Session per
+// stream instead (see Engine); the facade exists so single-stream callers
+// (alert.Scheduler, baselines, examples) need not see the split at all.
 type Controller struct {
-	prof *dnn.ProfileTable
-	opts Options
-
-	xi   *kalman.XiFilter
-	idle *kalman.IdlePowerFilter
-
-	// overhead is the precomputed per-decision cost in seconds.
-	overhead float64
-
-	// meanProfLat caches the candidate-set mean profiled latency at the
-	// top cap, the yardstick for the overhead model.
-	meanProfLat float64
-
-	// candidates is the full DNN × cap × stop-stage space, enumerated once
-	// at construction. The space depends only on the profile table, so
-	// re-deriving it on every Decide (as estimateAll once did) wasted the
-	// hot path's time on allocation; Decide now walks this slice.
-	candidates []Candidate
-
-	// space is the structure-of-arrays view of candidates with the
-	// per-candidate profile invariants precomputed (see fastpath.go).
-	space candSpace
-
-	// scratch holds the anytime ladder's per-stage completion
-	// probabilities during one estimateFast call; sized to the longest
-	// stage ladder so the hot path never allocates. The ladder* fields
-	// memoize which (ladder, cut, µ, σ) the scratch prefix of length
-	// ladderN currently holds, letting consecutive stop-stage candidates
-	// reuse it (see estimateFast).
-	scratch     []float64
-	ladderNom   *float64
-	ladderCut   float64
-	ladderMu    float64
-	ladderSigma float64
-	ladderN     int
-
-	// epoch counts Observe calls (starting at 1). The decision cache keys
-	// on it: a cached (spec, epoch) decision is valid exactly until the
-	// next Observe moves the filters.
-	epoch     uint64
-	cache     [decideCacheSize]decideCacheEntry
-	cacheNext int
-
-	decisions int
+	*Session
 }
 
-// New builds a controller over a profiled candidate set.
+// New builds a controller — a fresh single-session engine — over a profiled
+// candidate set.
 func New(prof *dnn.ProfileTable, opts Options) *Controller {
-	if opts.StopQuantile <= 0 || opts.StopQuantile >= 1 {
-		opts.StopQuantile = 0.9
-	}
-	if opts.Confidence <= 0 || opts.Confidence >= 1 {
-		opts.Confidence = 0.98
-	}
-	if opts.EnergyConfidence <= 0 || opts.EnergyConfidence >= 1 {
-		opts.EnergyConfidence = 0.9
-	}
-	if opts.Xi == (kalman.XiParams{}) {
-		opts.Xi = kalman.DefaultXiParams()
-	}
-	if opts.Idle == (kalman.IdleParams{}) {
-		opts.Idle = kalman.DefaultIdleParams()
-	}
-	c := &Controller{
-		prof: prof,
-		opts: opts,
-		xi:   kalman.NewXiFilter(opts.Xi),
-		idle: kalman.NewIdlePowerFilter(opts.Idle),
-	}
-	top := prof.NumCaps() - 1
-	var sum float64
-	for i := 0; i < prof.NumModels(); i++ {
-		sum += prof.At(i, top)
-	}
-	c.meanProfLat = sum / float64(prof.NumModels())
-	c.overhead = opts.OverheadFrac * c.meanProfLat
-	c.candidates = enumerateCandidates(prof)
-	c.space = newCandSpace(prof, c.candidates)
-	c.scratch = make([]float64, c.space.maxStages)
-	// Epoch 0 is reserved so zero-valued cache entries can never match.
-	c.epoch = 1
-	return c
-}
-
-// enumerateCandidates materializes the joint space: every model × cap,
-// expanded by stop stage for anytime models.
-func enumerateCandidates(prof *dnn.ProfileTable) []Candidate {
-	n := 0
-	for _, m := range prof.Models {
-		if m.IsAnytime() {
-			n += len(m.Stages) + 1
-		} else {
-			n++
-		}
-	}
-	out := make([]Candidate, 0, n*prof.NumCaps())
-	for i := 0; i < prof.NumModels(); i++ {
-		m := prof.Models[i]
-		for j := 0; j < prof.NumCaps(); j++ {
-			if !m.IsAnytime() {
-				out = append(out, Candidate{Model: i, Cap: j, StopStage: -1})
-				continue
-			}
-			for k := range m.Stages {
-				out = append(out, Candidate{Model: i, Cap: j, StopStage: k})
-			}
-			out = append(out, Candidate{Model: i, Cap: j, StopStage: len(m.Stages) - 1, RunToDeadline: true})
-		}
-	}
-	return out
-}
-
-// Candidates returns the precomputed joint configuration space in
-// enumeration order (read-only; shared by every Decide).
-func (c *Controller) Candidates() []Candidate { return c.candidates }
-
-// Overhead returns the per-decision cost the controller charges itself.
-func (c *Controller) Overhead() float64 { return c.overhead }
-
-// XiMean returns the current posterior mean of ξ.
-func (c *Controller) XiMean() float64 { return c.xi.Mean() }
-
-// XiStd returns the current posterior standard deviation of ξ.
-func (c *Controller) XiStd() float64 { return c.xi.Std() }
-
-// IdleRatio returns the current idle-power ratio estimate φ.
-func (c *Controller) IdleRatio() float64 { return c.idle.Ratio() }
-
-// Decisions returns how many Decide and DecideAtCap calls have been served
-// (including cache hits).
-func (c *Controller) Decisions() int { return c.decisions }
-
-// FilterEpoch returns the decision cache's epoch: it advances on every
-// Observe, invalidating all memoized decisions.
-func (c *Controller) FilterEpoch() uint64 { return c.epoch }
-
-// Observe feeds back the measurement of the input just executed (§3.2
-// step 1). It advances the filter epoch, invalidating every memoized
-// decision — the filters may move, so every spec must be re-scored.
-func (c *Controller) Observe(out sim.Outcome) {
-	c.epoch++
-	c.xi.Observe(out.ObservedXi)
-	if out.CapApplied > 0 {
-		c.idle.Observe(out.IdlePower / out.CapApplied)
-	}
-}
-
-// adjustedGoal is the shared §3.2-step-2 deadline adjustment: the
-// controller pre-subtracts its own worst-case decision cost, falling back
-// to half the deadline when the overhead would consume it entirely.
-func (c *Controller) adjustedGoal(deadline float64) float64 {
-	goal := deadline - c.overhead
-	if goal <= 0 {
-		goal = deadline * 0.5
-	}
-	return goal
-}
-
-// sigmaForPrediction returns the ξ standard deviation used in predictions:
-// the filter's predictive deviation for the next observation (posterior
-// variance of the mean plus measurement noise), or zero for the ALERT*
-// ablation. The posterior alone would under-margin every decision.
-func (c *Controller) sigmaForPrediction() float64 {
-	if !c.opts.UseVariance {
-		return 0
-	}
-	return c.xi.PredictiveStd()
-}
-
-// estimate scores a single candidate under the spec. goal is the adjusted
-// deadline (overhead already subtracted by the caller).
-//
-// This is the naive reference scorer, kept verbatim as the oracle the
-// optimized hot path (fastpath.go) is differentially tested against:
-// estimateFast must reproduce these Estimates bit-for-bit. EstimateAll and
-// Options.ReferenceScorer score with it directly.
-func (c *Controller) estimate(cand Candidate, goal float64, spec Spec) Estimate {
-	m := c.prof.Models[cand.Model]
-	power := c.prof.PowerAt(cand.Model, cand.Cap)
-	tProf := c.prof.At(cand.Model, cand.Cap)
-	mu, sigma := c.xi.Mean(), c.sigmaForPrediction()
-
-	est := Estimate{Candidate: cand}
-
-	// Probability that a work chunk of nominal duration d completes within
-	// budget b: Pr[ξ·d ≤ b] (Eq. 6).
-	prWithin := func(d, b float64) float64 {
-		if d <= 0 {
-			return 1
-		}
-		return mathx.NormCDF(b/d, mu, sigma)
-	}
-
-	if !m.IsAnytime() {
-		est.LatMean = mu * tProf
-		est.PrDeadline = prWithin(tProf, goal)
-		// Eq. 7: expectation over the deadline step function.
-		est.Quality = est.PrDeadline*m.Accuracy + (1-est.PrDeadline)*m.QFail
-		switch {
-		case spec.AccuracyGoal <= 0 || m.QFail >= spec.AccuracyGoal:
-			est.PrQuality = 1
-		case m.Accuracy >= spec.AccuracyGoal:
-			est.PrQuality = est.PrDeadline
-		default:
-			est.PrQuality = 0
-		}
-		// Latency used for the energy estimate: the Eq. 12 quantile form,
-		// at Prth when the user set one and at the default energy
-		// confidence otherwise.
-		lat := mathx.NormQuantile(c.energyQuantile(spec), mu, sigma) * tProf
-		if lat < est.LatMean {
-			lat = est.LatMean
-		}
-		est.Energy = c.energyAt(power, lat, goal)
-		return est
-	}
-
-	// Anytime candidate stopped after stage k: execution is cut at
-	// PlannedStop (never beyond the goal). Expected quality follows the
-	// Eq. 13 ladder under the cut.
-	k := cand.StopStage
-	stageNominal := func(si int) float64 { return m.Stages[si].LatencyFrac * tProf }
-
-	var stop float64
-	if cand.RunToDeadline {
-		stop = goal
-	} else {
-		q := c.opts.StopQuantile
-		if spec.Prth > 0 {
-			q = spec.Prth
-		}
-		stop = mathx.NormQuantile(q, mu, sigma) * stageNominal(k)
-		if stop > goal {
-			stop = goal
-		}
-		if stop <= 0 {
-			stop = goal
-		}
-	}
-	est.PlannedStop = stop
-
-	cut := math.Min(stop, goal)
-	// Quality ladder: Pr[stage si completes before cut], non-increasing in
-	// si; stages beyond the planned stop never complete.
-	prev := 1.0
-	quality := 0.0
-	prFirst := 0.0
-	for si := 0; si <= k; si++ {
-		pr := prWithin(stageNominal(si), cut)
-		if si == 0 {
-			prFirst = pr
-		}
-		if pr > prev {
-			pr = prev
-		}
-		nextPr := 0.0
-		if si < k {
-			nextPr = math.Min(prWithin(stageNominal(si+1), cut), pr)
-		}
-		quality += m.Stages[si].Accuracy * (pr - nextPr)
-		prev = pr
-	}
-	quality += m.QFail * (1 - prFirst)
-	est.Quality = quality
-	est.PrDeadline = prWithin(stageNominal(k), cut)
-
-	// Chance constraint on the realized quality: the first stage at or
-	// above the goal must complete inside the cut.
-	switch {
-	case spec.AccuracyGoal <= 0 || m.QFail >= spec.AccuracyGoal:
-		est.PrQuality = 1
-	default:
-		est.PrQuality = 0
-		for si := 0; si <= k; si++ {
-			if m.Stages[si].Accuracy >= spec.AccuracyGoal {
-				est.PrQuality = prWithin(stageNominal(si), cut)
-				break
-			}
-		}
-	}
-
-	// Executed time: the ladder runs until stage k finishes or the cut
-	// hits, whichever is first; its mean is E[min(ξ·d, cut)], approximated
-	// by min at the mean, the same first-order treatment Eq. 9 applies.
-	meanExec := math.Min(mu*stageNominal(k), cut)
-	est.LatMean = meanExec
-	// Energy at the Eq. 12 quantile (the cut bounds it from above).
-	qExec := math.Min(mathx.NormQuantile(c.energyQuantile(spec), mu, sigma)*stageNominal(k), cut)
-	if qExec < meanExec {
-		qExec = meanExec
-	}
-	est.Energy = c.energyAt(power, qExec, goal)
-	return est
-}
-
-// energyQuantile resolves the latency quantile for energy estimates.
-func (c *Controller) energyQuantile(spec Spec) float64 {
-	if spec.Prth > 0 {
-		return spec.Prth
-	}
-	return c.opts.EnergyConfidence
-}
-
-// energyAt is Eq. 9: inference at the configuration's profiled power p_{i,j}
-// for lat seconds, then idle at φ·p_{i,j} for the remainder of the goal
-// window.
-func (c *Controller) energyAt(power, lat, goal float64) float64 {
-	idleTime := goal - lat
-	if idleTime < 0 {
-		idleTime = 0
-	}
-	return power*lat + c.idle.Ratio()*power*idleTime
-}
-
-// Decide selects the configuration for the next input (§3.2 steps 2–4).
-// The returned Estimate describes the chosen candidate's predictions.
-//
-// The scan walks the precomputed SoA candidate space with the per-Decide
-// quantile math hoisted (fastpath.go); the feasibility rules are the
-// chance constraints of Eq. 1/2 (10/11 with a threshold), and the
-// infeasible fallback follows §4's latency > accuracy > power hierarchy:
-// maximizing expected quality already privileges deadline-meeting (missing
-// collapses quality to QFail), so the fallback is the quality-maximal
-// candidate with energy as the tiebreaker. Results are memoized per
-// (spec, filter epoch): a steady-state stream whose spec did not change
-// since the last Observe skips the scan entirely.
-func (c *Controller) Decide(spec Spec) (sim.Decision, Estimate) {
-	c.decisions++
-	goal := c.adjustedGoal(spec.Deadline)
-	if c.opts.ReferenceScorer {
-		best, fb, ok := c.scanReference(c.space.all, goal, spec)
-		if !ok {
-			best = fb
-		}
-		return c.decisionFor(best), best
-	}
-	if d, est, ok := c.cacheGet(spec); ok {
-		return d, est
-	}
-	best, fb, ok := c.scan(c.space.all, goal, spec, c.scoreParamsFor(spec))
-	if !ok {
-		best = fb
-	}
-	d := c.decisionFor(best)
-	c.cachePut(spec, d, best)
-	return d, best
-}
-
-// decisionFor projects the winning estimate onto the executor's decision.
-func (c *Controller) decisionFor(best Estimate) sim.Decision {
-	return sim.Decision{
-		Model:       best.Model,
-		Cap:         best.Cap,
-		PlannedStop: best.PlannedStop,
-		Overhead:    c.overhead,
-	}
-}
-
-// DecideAtCap is Decide restricted to a single power-cap rung. It is the
-// primitive the multi-job coordinator (internal/multi) builds on: when
-// several inference jobs share one power envelope, each job's controller
-// answers "what is the best you can do with exactly this much power", and
-// the coordinator searches over the split. ok is false when no candidate at
-// this cap satisfies the constraints (the returned fallback still serves).
-// It counts toward Decisions() like any served decision, and scans only
-// its rung's precomputed index list rather than filtering the whole space.
-func (c *Controller) DecideAtCap(spec Spec, cap int) (d sim.Decision, est Estimate, ok bool) {
-	c.decisions++
-	goal := c.adjustedGoal(spec.Deadline)
-	var idxs []int32
-	if cap >= 0 && cap < len(c.space.byCap) {
-		idxs = c.space.byCap[cap]
-	}
-	var best, fb Estimate
-	var bestSet bool
-	if c.opts.ReferenceScorer {
-		best, fb, bestSet = c.scanReference(idxs, goal, spec)
-	} else {
-		best, fb, bestSet = c.scan(idxs, goal, spec, c.scoreParamsFor(spec))
-	}
-	if !bestSet {
-		best = fb
-	}
-	return c.decisionFor(best), best, bestSet
-}
-
-// EstimateAll returns estimates for the full candidate space under the
-// spec, scored with the naive reference estimator; used by tests, the
-// Figure 9 trace tooling, and as the oracle the differential tests compare
-// the optimized scan against.
-func (c *Controller) EstimateAll(spec Spec) []Estimate {
-	goal := c.adjustedGoal(spec.Deadline)
-	out := make([]Estimate, len(c.candidates))
-	for i, cand := range c.candidates {
-		out[i] = c.estimate(cand, goal, spec)
-	}
-	return out
+	return &Controller{Session: NewEngine(prof, opts).NewSession()}
 }

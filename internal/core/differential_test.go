@@ -73,7 +73,7 @@ func TestEstimateFastMatchesReference(t *testing.T) {
 				spec := specGen(rng)
 				goal := c.adjustedGoal(spec.Deadline)
 				p := c.scoreParamsFor(spec)
-				for i, cand := range c.candidates {
+				for i, cand := range c.Candidates() {
 					want := c.estimate(cand, goal, spec)
 					got := c.estimateFast(int32(i), goal, spec, p)
 					if got != want {
@@ -279,21 +279,21 @@ func TestDecideAllocFree(t *testing.T) {
 // copy-pasted across Decide, DecideAtCap, and EstimateAll.
 func TestAdjustedGoalFallback(t *testing.T) {
 	c := New(diffProfiles(t)[0], DefaultOptions())
-	if c.overhead <= 0 {
+	if c.Overhead() <= 0 {
 		t.Fatal("overhead model missing")
 	}
 	big := 1.0
-	if got, want := c.adjustedGoal(big), big-c.overhead; got != want {
+	if got, want := c.adjustedGoal(big), big-c.Overhead(); got != want {
 		t.Errorf("adjustedGoal(%g) = %g, want %g", big, got, want)
 	}
-	tiny := c.overhead * 0.5
+	tiny := c.Overhead() * 0.5
 	if got, want := c.adjustedGoal(tiny), tiny*0.5; got != want {
 		t.Errorf("adjustedGoal(%g) = %g, want %g", tiny, got, want)
 	}
 	if got := c.adjustedGoal(0); got != 0 {
 		t.Errorf("adjustedGoal(0) = %g, want 0", got)
 	}
-	if math.IsNaN(c.adjustedGoal(c.overhead)) {
+	if math.IsNaN(c.adjustedGoal(c.Overhead())) {
 		t.Error("adjustedGoal(overhead) is NaN")
 	}
 }

@@ -9,9 +9,10 @@ package core
 //  1. Structure-of-arrays candidate space (candSpace): everything about a
 //     candidate that depends only on the profile table — t_prof, p_{i,j},
 //     the anytime stage ladders as nominal latencies, the per-cap index
-//     lists DecideAtCap scans — is precomputed once at New and laid out in
-//     flat parallel slices, so the scan loop touches no *dnn.Model pointers
-//     and recomputes no products.
+//     lists DecideAtCap scans — is precomputed once at NewEngine and laid
+//     out in flat parallel slices, so the scan loop touches no *dnn.Model
+//     pointers and recomputes no products. The space lives on the shared
+//     Engine: every Session scans the same arrays.
 //  2. Loop-invariant hoisting (scoreParams): the standard-normal quantiles
 //     behind the Eq. 12 energy estimate and the §3.5 anytime stop plan
 //     depend only on (spec, filter state), not on the candidate, yet the
@@ -28,9 +29,9 @@ package core
 //     which can flip a near-tie between candidates.
 //
 // On top of the faster scan, Decide memoizes (spec, filter epoch) →
-// (Decision, Estimate): Observe bumps the epoch, so steady-state streams
-// whose spec did not change between observations skip the scan entirely.
-// See decideCache below.
+// Estimate per Session: Observe bumps the session's epoch, so steady-state
+// streams whose spec did not change between observations skip the scan
+// entirely. See decideCache below.
 
 import (
 	"math"
@@ -41,7 +42,7 @@ import (
 )
 
 // candSpace is the structure-of-arrays view of the candidate slice, indexed
-// by the same candidate index as Controller.candidates.
+// by the same candidate index as Engine.candidates.
 type candSpace struct {
 	// model/capIdx/stop/runToDL mirror the Candidate fields.
 	model   []int32
@@ -68,7 +69,7 @@ type candSpace struct {
 	// of the full space filtered to the rung.
 	byCap [][]int32
 	all   []int32
-	// maxStages sizes the per-controller scratch buffer for ladder CDFs.
+	// maxStages sizes the Scratch buffer for ladder CDFs.
 	maxStages int
 }
 
@@ -137,6 +138,27 @@ func newCandSpace(prof *dnn.ProfileTable, cands []Candidate) candSpace {
 	return s
 }
 
+// Scratch is the scan workspace: the anytime ladder's per-stage completion
+// probabilities for one estimateFast call, sized to the engine's longest
+// stage ladder so the hot path never allocates, plus the memo of which
+// (ladder, cut, µ, σ) the buffer's prefix of length ladderN currently
+// holds, letting consecutive stop-stage candidates reuse it (see
+// estimateFast).
+//
+// A Scratch is pure workspace, not state: every value read from it during
+// a scan is fully determined by the memo key, so scans produce identical
+// results whether the workspace is private, shared across the sessions of
+// a serving shard, or freshly zeroed. It must only be shared by sessions
+// driven from one goroutine.
+type Scratch struct {
+	buf         []float64
+	ladderNom   *float64
+	ladderCut   float64
+	ladderMu    float64
+	ladderSigma float64
+	ladderN     int
+}
+
 // scoreParams are the per-Decide invariants of candidate scoring: the
 // current ξ belief and the two standard-normal quantiles the naive scorer
 // recomputed per candidate.
@@ -151,10 +173,10 @@ type scoreParams struct {
 }
 
 // scoreParamsFor computes the per-Decide invariants once.
-func (c *Controller) scoreParamsFor(spec Spec) scoreParams {
-	p := scoreParams{mu: c.xi.Mean(), sigma: c.sigmaForPrediction()}
-	p.zEnergy = mathx.NormQuantile(c.energyQuantile(spec), p.mu, p.sigma)
-	q := c.opts.StopQuantile
+func (s *Session) scoreParamsFor(spec Spec) scoreParams {
+	p := scoreParams{mu: s.xi.Mean(), sigma: s.sigmaForPrediction()}
+	p.zEnergy = mathx.NormQuantile(s.energyQuantile(spec), p.mu, p.sigma)
+	q := s.eng.opts.StopQuantile
 	if spec.Prth > 0 {
 		q = spec.Prth
 	}
@@ -175,18 +197,19 @@ func prWithin(d, b, mu, sigma float64) float64 {
 // Estimate the naive estimate() produces (the differential tests in
 // differential_test.go pin the equality with ==). goal is the adjusted
 // deadline; p the hoisted per-Decide invariants.
-func (c *Controller) estimateFast(i int32, goal float64, spec Spec, p scoreParams) Estimate {
-	est := Estimate{Candidate: c.candidates[i]}
-	tp := c.space.tProf[i]
+func (s *Session) estimateFast(i int32, goal float64, spec Spec, p scoreParams) Estimate {
+	space := &s.eng.space
+	est := Estimate{Candidate: s.eng.candidates[i]}
+	tp := space.tProf[i]
 
-	if c.space.stageNom[i] == nil {
+	if space.stageNom[i] == nil {
 		est.LatMean = p.mu * tp
 		est.PrDeadline = prWithin(tp, goal, p.mu, p.sigma)
-		est.Quality = est.PrDeadline*c.space.acc[i] + (1-est.PrDeadline)*c.space.qFail[i]
+		est.Quality = est.PrDeadline*space.acc[i] + (1-est.PrDeadline)*space.qFail[i]
 		switch {
-		case spec.AccuracyGoal <= 0 || c.space.qFail[i] >= spec.AccuracyGoal:
+		case spec.AccuracyGoal <= 0 || space.qFail[i] >= spec.AccuracyGoal:
 			est.PrQuality = 1
-		case c.space.acc[i] >= spec.AccuracyGoal:
+		case space.acc[i] >= spec.AccuracyGoal:
 			est.PrQuality = est.PrDeadline
 		default:
 			est.PrQuality = 0
@@ -195,16 +218,16 @@ func (c *Controller) estimateFast(i int32, goal float64, spec Spec, p scoreParam
 		if lat < est.LatMean {
 			lat = est.LatMean
 		}
-		est.Energy = c.energyAt(c.space.power[i], lat, goal)
+		est.Energy = s.energyAt(space.power[i], lat, goal)
 		return est
 	}
 
-	nom := c.space.stageNom[i]
-	accs := c.space.stageAcc[i]
-	k := int(c.space.stop[i])
+	nom := space.stageNom[i]
+	accs := space.stageAcc[i]
+	k := int(space.stop[i])
 
 	var stop float64
-	if c.space.runToDL[i] {
+	if space.runToDL[i] {
 		stop = goal
 	} else {
 		stop = p.zStop * nom[k]
@@ -225,25 +248,27 @@ func (c *Controller) estimateFast(i int32, goal float64, spec Spec, p scoreParam
 	// Consecutive candidates in enumeration order share (model, cap) —
 	// hence the same nominal-latency ladder — and differ only in stop
 	// stage. Whenever they also share the cut (tight deadlines clamp every
-	// stop to the goal), the raw CDFs already sitting in scratch are
+	// stop to the goal), the raw CDFs already sitting in the workspace are
 	// bit-exact for this candidate too: raws[si] depends only on
 	// (nom, cut, µ, σ). The memo keys on exactly those, so a K-stage
 	// ladder's scan degrades from O(K²) CDF evaluations to O(K) when cuts
-	// coincide, with zero effect otherwise.
-	raws := c.scratch[:k+1]
+	// coincide, with zero effect otherwise — including when the workspace
+	// is shared with other sessions of the serving shard.
+	sc := s.sc
+	raws := sc.buf[:k+1]
 	start := 0
-	if c.ladderN > 0 && &nom[0] == c.ladderNom && cut == c.ladderCut &&
-		p.mu == c.ladderMu && p.sigma == c.ladderSigma {
-		start = c.ladderN
+	if sc.ladderN > 0 && &nom[0] == sc.ladderNom && cut == sc.ladderCut &&
+		p.mu == sc.ladderMu && p.sigma == sc.ladderSigma {
+		start = sc.ladderN
 	} else {
-		c.ladderNom, c.ladderCut, c.ladderMu, c.ladderSigma = &nom[0], cut, p.mu, p.sigma
-		c.ladderN = 0
+		sc.ladderNom, sc.ladderCut, sc.ladderMu, sc.ladderSigma = &nom[0], cut, p.mu, p.sigma
+		sc.ladderN = 0
 	}
 	for si := start; si <= k; si++ {
-		c.scratch[si] = prWithin(nom[si], cut, p.mu, p.sigma)
+		sc.buf[si] = prWithin(nom[si], cut, p.mu, p.sigma)
 	}
-	if k+1 > c.ladderN {
-		c.ladderN = k + 1
+	if k+1 > sc.ladderN {
+		sc.ladderN = k + 1
 	}
 
 	// Quality ladder under the cut. The clamped probability of iteration
@@ -259,12 +284,12 @@ func (c *Controller) estimateFast(i int32, goal float64, spec Spec, p scoreParam
 		quality += accs[si] * (pr - nextPr)
 		pr = nextPr
 	}
-	quality += c.space.qFail[i] * (1 - raws[0])
+	quality += space.qFail[i] * (1 - raws[0])
 	est.Quality = quality
 	est.PrDeadline = raws[k]
 
 	switch {
-	case spec.AccuracyGoal <= 0 || c.space.qFail[i] >= spec.AccuracyGoal:
+	case spec.AccuracyGoal <= 0 || space.qFail[i] >= spec.AccuracyGoal:
 		est.PrQuality = 1
 	default:
 		est.PrQuality = 0
@@ -282,7 +307,7 @@ func (c *Controller) estimateFast(i int32, goal float64, spec Spec, p scoreParam
 	if qExec < meanExec {
 		qExec = meanExec
 	}
-	est.Energy = c.energyAt(c.space.power[i], qExec, goal)
+	est.Energy = s.energyAt(space.power[i], qExec, goal)
 	return est
 }
 
@@ -299,13 +324,13 @@ type selector struct {
 	bestSet, fbSet bool
 }
 
-func (c *Controller) newSelector(spec Spec) selector {
-	s := selector{spec: spec, conf: c.opts.Confidence,
+func (s *Session) newSelector(spec Spec) selector {
+	sel := selector{spec: spec, conf: s.eng.opts.Confidence,
 		minimizeEnergy: spec.Objective == MinimizeEnergy}
 	if spec.Prth > 0 {
-		s.conf = spec.Prth
+		sel.conf = spec.Prth
 	}
-	return s
+	return sel
 }
 
 // consider folds one candidate's estimate into the running selection,
@@ -342,10 +367,10 @@ func (s *selector) consider(e Estimate) {
 // with the optimized estimator. ok is false when no candidate is feasible
 // (the fallback still serves). DecideAtCap reuses it over a single rung's
 // index list.
-func (c *Controller) scan(idxs []int32, goal float64, spec Spec, p scoreParams) (best, fb Estimate, ok bool) {
-	sel := c.newSelector(spec)
+func (s *Session) scan(idxs []int32, goal float64, spec Spec, p scoreParams) (best, fb Estimate, ok bool) {
+	sel := s.newSelector(spec)
 	for _, i := range idxs {
-		sel.consider(c.estimateFast(i, goal, spec, p))
+		sel.consider(s.estimateFast(i, goal, spec, p))
 	}
 	return sel.best, sel.fb, sel.bestSet
 }
@@ -353,43 +378,45 @@ func (c *Controller) scan(idxs []int32, goal float64, spec Spec, p scoreParams) 
 // scanReference is scan with the naive per-candidate estimate() — the
 // pre-optimization scorer retained as the differential-testing oracle and
 // selectable at runtime via Options.ReferenceScorer.
-func (c *Controller) scanReference(idxs []int32, goal float64, spec Spec) (best, fb Estimate, ok bool) {
-	sel := c.newSelector(spec)
+func (s *Session) scanReference(idxs []int32, goal float64, spec Spec) (best, fb Estimate, ok bool) {
+	sel := s.newSelector(spec)
 	for _, i := range idxs {
-		sel.consider(c.estimate(c.candidates[i], goal, spec))
+		sel.consider(s.estimate(s.eng.candidates[i], goal, spec))
 	}
 	return sel.best, sel.fb, sel.bestSet
 }
 
 // decideCacheSize bounds the per-epoch memoization: one slot per distinct
-// spec seen since the last Observe. Steady-state streams use one; a shard
-// multiplexing a few streams with differing specs uses a few. Slots are
+// spec seen since the last Observe. A steady-state stream uses one; a
+// session whose spec churns between observations uses a few. Slots are
 // recycled round-robin, so pathological spec churn degrades to the plain
 // scan, never to unbounded growth.
 const decideCacheSize = 4
 
-// decideCacheEntry memoizes one (spec, epoch) → (Decision, Estimate).
+// decideCacheEntry memoizes one (spec, epoch) → Estimate. The Decision is
+// not stored: it is a pure projection of the Estimate plus the engine's
+// constant overhead (decisionFor), so recomputing it on a hit is bit-exact
+// and keeps the Session's dominant field — this cache — a third smaller.
 type decideCacheEntry struct {
 	epoch uint64
 	spec  Spec
-	d     sim.Decision
 	est   Estimate
 }
 
 // cacheGet returns the memoized decision for spec at the current filter
 // epoch, if any. Entries from earlier epochs are dead: Observe moved the
 // filters, so the scan could rank candidates differently.
-func (c *Controller) cacheGet(spec Spec) (sim.Decision, Estimate, bool) {
-	for i := range c.cache {
-		if c.cache[i].epoch == c.epoch && c.cache[i].spec == spec {
-			return c.cache[i].d, c.cache[i].est, true
+func (s *Session) cacheGet(spec Spec) (sim.Decision, Estimate, bool) {
+	for i := range s.cache {
+		if s.cache[i].epoch == s.epoch && s.cache[i].spec == spec {
+			return s.decisionFor(s.cache[i].est), s.cache[i].est, true
 		}
 	}
 	return sim.Decision{}, Estimate{}, false
 }
 
 // cachePut memoizes a freshly scanned decision at the current epoch.
-func (c *Controller) cachePut(spec Spec, d sim.Decision, est Estimate) {
-	c.cache[c.cacheNext] = decideCacheEntry{epoch: c.epoch, spec: spec, d: d, est: est}
-	c.cacheNext = (c.cacheNext + 1) % decideCacheSize
+func (s *Session) cachePut(spec Spec, est Estimate) {
+	s.cache[s.cacheNext] = decideCacheEntry{epoch: s.epoch, spec: spec, est: est}
+	s.cacheNext = (s.cacheNext + 1) % decideCacheSize
 }

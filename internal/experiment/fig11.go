@@ -64,8 +64,8 @@ func RunFig11(sc Scale) (*Fig11Result, error) {
 		var muSum, sdSum float64
 		runner.Run(cfg, sched, func(_ workload.Input, _ sim.Decision, out sim.Outcome) {
 			xis = append(xis, out.TrueXi)
-			muSum += sched.Controller().XiMean()
-			sdSum += sched.Controller().XiStd()
+			muSum += sched.Session().XiMean()
+			sdSum += sched.Session().XiStd()
 		})
 
 		h := Fig11Histogram{

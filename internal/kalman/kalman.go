@@ -77,7 +77,15 @@ type XiFilter struct {
 
 // NewXiFilter constructs a filter with the given parameters.
 func NewXiFilter(p XiParams) *XiFilter {
-	return &XiFilter{
+	f := MakeXiFilter(p)
+	return &f
+}
+
+// MakeXiFilter returns an initialized filter by value, for embedding in a
+// larger per-stream struct (e.g. a core.Session) without a separate heap
+// allocation per filter.
+func MakeXiFilter(p XiParams) XiFilter {
+	return XiFilter{
 		p:      p,
 		k:      p.K0,
 		q:      p.Q0,
@@ -189,7 +197,14 @@ type IdlePowerFilter struct {
 
 // NewIdlePowerFilter constructs the filter.
 func NewIdlePowerFilter(p IdleParams) *IdlePowerFilter {
-	return &IdlePowerFilter{p: p, m: p.M0, phi: p.Phi0}
+	f := MakeIdlePowerFilter(p)
+	return &f
+}
+
+// MakeIdlePowerFilter returns an initialized filter by value, the embedding
+// companion of MakeXiFilter.
+func MakeIdlePowerFilter(p IdleParams) IdlePowerFilter {
+	return IdlePowerFilter{p: p, m: p.M0, phi: p.Phi0}
 }
 
 // Observe folds one measurement of p_idle / p_cap into the estimate:

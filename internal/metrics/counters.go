@@ -17,6 +17,14 @@ type ServeCounters struct {
 	observes  atomic.Int64
 	batches   atomic.Int64
 
+	// streams and sessionBytes gauge the pool's live stream table: how many
+	// per-stream sessions exist right now and their aggregate in-memory
+	// footprint. Sessions are created on a stream's first request and
+	// removed on eviction, so the pair is the capacity signal a
+	// million-stream deployment watches.
+	streams      atomic.Int64
+	sessionBytes atomic.Int64
+
 	// decideNanos accumulates end-to-end Decide service time (submit to
 	// reply), the serving-latency signal; maxNanos tracks its high-water
 	// mark via CAS.
@@ -44,6 +52,19 @@ func (c *ServeCounters) RecordDecide(d time.Duration) {
 // RecordObserve folds in one applied observation.
 func (c *ServeCounters) RecordObserve() { c.observes.Add(1) }
 
+// RecordSessionCreate moves the stream-table gauges for one session created
+// on first use.
+func (c *ServeCounters) RecordSessionCreate(bytes int64) {
+	c.streams.Add(1)
+	c.sessionBytes.Add(bytes)
+}
+
+// RecordSessionEvict moves the stream-table gauges for one evicted session.
+func (c *ServeCounters) RecordSessionEvict(bytes int64) {
+	c.streams.Add(-1)
+	c.sessionBytes.Add(-bytes)
+}
+
 // RecordBatch folds in one dispatched batch.
 func (c *ServeCounters) RecordBatch() { c.batches.Add(1) }
 
@@ -52,6 +73,9 @@ type ServeSnapshot struct {
 	// Decisions and Observes count completed requests; Batches counts
 	// DecideBatch dispatches.
 	Decisions, Observes, Batches int64
+	// Streams gauges the live per-stream sessions in the pool's stream
+	// table; SessionBytes their aggregate in-memory footprint.
+	Streams, SessionBytes int64
 	// AvgDecideLatency and MaxDecideLatency are end-to-end (submit to
 	// reply) per-decision times.
 	AvgDecideLatency, MaxDecideLatency time.Duration
@@ -65,10 +89,12 @@ type ServeSnapshot struct {
 // read atomically, though the set is not a single atomic cut.
 func (c *ServeCounters) Snapshot() ServeSnapshot {
 	s := ServeSnapshot{
-		Decisions: c.decisions.Load(),
-		Observes:  c.observes.Load(),
-		Batches:   c.batches.Load(),
-		Uptime:    time.Since(c.start),
+		Decisions:    c.decisions.Load(),
+		Observes:     c.observes.Load(),
+		Batches:      c.batches.Load(),
+		Streams:      c.streams.Load(),
+		SessionBytes: c.sessionBytes.Load(),
+		Uptime:       time.Since(c.start),
 	}
 	s.MaxDecideLatency = time.Duration(c.maxNanos.Load())
 	if s.Decisions > 0 {
@@ -82,6 +108,6 @@ func (c *ServeCounters) Snapshot() ServeSnapshot {
 
 // String renders the snapshot for logs and CLI output.
 func (s ServeSnapshot) String() string {
-	return fmt.Sprintf("decisions=%d observes=%d batches=%d avg_latency=%s max_latency=%s rate=%.0f/s",
-		s.Decisions, s.Observes, s.Batches, s.AvgDecideLatency, s.MaxDecideLatency, s.DecidesPerSec)
+	return fmt.Sprintf("decisions=%d observes=%d batches=%d streams=%d session_bytes=%d avg_latency=%s max_latency=%s rate=%.0f/s",
+		s.Decisions, s.Observes, s.Batches, s.Streams, s.SessionBytes, s.AvgDecideLatency, s.MaxDecideLatency, s.DecidesPerSec)
 }

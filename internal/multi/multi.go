@@ -5,15 +5,18 @@
 // factor to estimate system variation, to still apply."
 //
 // The design keeps exactly that structure. Each job retains its own ALERT
-// controller (its own ξ filter, its own candidate set, its own spec); the
-// coordinator only arbitrates the shared *power envelope*. Every scheduling
-// round it asks each controller, per cap rung, "what is the best you can do
-// with exactly this much power" (core.Controller.DecideAtCap) and then
-// splits the envelope by greedy marginal utility: wattage flows, one rung
-// at a time, to whichever job improves the most per watt. The greedy split
-// is optimal when per-job utility is concave in power — which latency-
-// derived quality curves are, up to the anytime ladder's discretization —
-// and within one rung of optimal otherwise.
+// session (its own ξ filter, its own epoch and decision cache, its own
+// spec); the coordinator only arbitrates the shared *power envelope*. Jobs
+// on one platform share one immutable core.Engine — the candidate space is
+// identical for every job, so per-job state is just the session. Every
+// scheduling round the coordinator asks each session, per cap rung, "what
+// is the best you can do with exactly this much power"
+// (core.Session.DecideAtCap) and then splits the envelope by greedy
+// marginal utility: wattage flows, one rung at a time, to whichever job
+// improves the most per watt. The greedy split is optimal when per-job
+// utility is concave in power — which latency-derived quality curves are,
+// up to the anytime ladder's discretization — and within one rung of
+// optimal otherwise.
 package multi
 
 import (
@@ -28,16 +31,19 @@ import (
 type Job struct {
 	// Name identifies the job in allocations.
 	Name string
-	// Ctl is the job's private ALERT controller.
-	Ctl *core.Controller
-	// Prof is the profile table the controller was built over; all jobs
-	// must share a platform (they share its power envelope).
-	Prof *dnn.ProfileTable
+	// Sess is the job's private ALERT session. Jobs on the same platform
+	// should share one core.Engine and hold one session each; a session is
+	// never shared between jobs (each job learns its own slowdown).
+	Sess *core.Session
 	// Spec is the job's current requirement.
 	Spec core.Spec
 	// Weight scales the job's utility in arbitration; 0 means 1.
 	Weight float64
 }
+
+// Prof returns the profile table of the job's engine. All jobs of one
+// coordinator must share a platform (they share its power envelope).
+func (j *Job) Prof() *dnn.ProfileTable { return j.Sess.Engine().Profile() }
 
 func (j *Job) weight() float64 {
 	if j.Weight <= 0 {
@@ -70,14 +76,14 @@ func NewCoordinator(budgetW float64, jobs ...*Job) (*Coordinator, error) {
 	if len(jobs) == 0 {
 		return nil, fmt.Errorf("multi: no jobs")
 	}
-	plat := jobs[0].Prof.Platform
+	plat := jobs[0].Prof().Platform
 	var minSum float64
 	for _, j := range jobs {
-		if j.Prof.Platform.Name != plat.Name {
+		if j.Prof().Platform.Name != plat.Name {
 			return nil, fmt.Errorf("multi: job %s on %s, want %s",
-				j.Name, j.Prof.Platform.Name, plat.Name)
+				j.Name, j.Prof().Platform.Name, plat.Name)
 		}
-		minSum += j.Prof.Caps[0]
+		minSum += j.Prof().Caps[0]
 	}
 	if budgetW < minSum {
 		return nil, fmt.Errorf("multi: budget %gW below the %gW floor (every job needs its minimum cap)",
@@ -140,11 +146,11 @@ func (c *Coordinator) Allocate() []Allocation {
 			return a
 		}
 		j := c.jobs[ji]
-		d, est, ok := j.Ctl.DecideAtCap(j.Spec, cap)
+		d, est, ok := j.Sess.DecideAtCap(j.Spec, cap)
 		a := Allocation{
 			Job:      j,
 			CapIdx:   cap,
-			CapW:     j.Prof.Caps[cap],
+			CapW:     j.Prof().Caps[cap],
 			Decision: d,
 			Estimate: est,
 			Feasible: ok,
@@ -171,7 +177,7 @@ func (c *Coordinator) Allocate() []Allocation {
 		var bestNext Allocation
 		for i, j := range c.jobs {
 			curU := utility(j, allocs[i].Estimate, allocs[i].Feasible)
-			for next := allocs[i].CapIdx + 1; next < j.Prof.NumCaps(); next++ {
+			for next := allocs[i].CapIdx + 1; next < j.Prof().NumCaps(); next++ {
 				na := eval(i, next)
 				dw := na.CapW - allocs[i].CapW
 				if used+dw > c.budgetW {
@@ -208,7 +214,7 @@ func TotalCapW(allocs []Allocation) float64 {
 // different tasks with different sensitivities), matching the per-job
 // estimator structure §3.6 anticipates.
 func (c *Coordinator) Observe(job *Job, out sim.Outcome) {
-	job.Ctl.Observe(out)
+	job.Sess.Observe(out)
 }
 
 // Jobs returns the coordinated jobs.
@@ -219,7 +225,7 @@ func (c *Coordinator) Jobs() []*Job { return c.jobs }
 func MinBudgetW(jobs ...*Job) float64 {
 	var sum float64
 	for _, j := range jobs {
-		sum += j.Prof.Caps[0]
+		sum += j.Prof().Caps[0]
 	}
 	return sum
 }

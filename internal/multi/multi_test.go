@@ -9,19 +9,23 @@ import (
 	"github.com/alert-project/alert/internal/sim"
 )
 
-func newJob(t *testing.T, name string, spec core.Spec, weight float64) *Job {
+func testEngine(t *testing.T) *core.Engine {
 	t.Helper()
 	prof, err := dnn.Profile(platform.CPU1(), dnn.ImageCandidates())
 	if err != nil {
 		t.Fatal(err)
 	}
-	return &Job{
-		Name:   name,
-		Ctl:    core.New(prof, core.DefaultOptions()),
-		Prof:   prof,
-		Spec:   spec,
-		Weight: weight,
-	}
+	return core.NewEngine(prof, core.DefaultOptions())
+}
+
+// newJobOn creates a job as production deployments do: one session on a
+// shared per-platform engine.
+func newJobOn(eng *core.Engine, name string, spec core.Spec, weight float64) *Job {
+	return &Job{Name: name, Sess: eng.NewSession(), Spec: spec, Weight: weight}
+}
+
+func newJob(t *testing.T, name string, spec core.Spec, weight float64) *Job {
+	return newJobOn(testEngine(t), name, spec, weight)
 }
 
 func accSpec(deadline float64) core.Spec {
@@ -30,7 +34,7 @@ func accSpec(deadline float64) core.Spec {
 
 func warm(j *Job, xi float64) {
 	for i := 0; i < 40; i++ {
-		j.Ctl.Observe(sim.Outcome{ObservedXi: xi, IdlePower: 6, CapApplied: 30})
+		j.Sess.Observe(sim.Outcome{ObservedXi: xi, IdlePower: 6, CapApplied: 30})
 	}
 }
 
@@ -51,7 +55,7 @@ func TestNewCoordinatorValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	g := &Job{Name: "g", Ctl: core.New(gpuProf, core.DefaultOptions()), Prof: gpuProf, Spec: accSpec(0.2)}
+	g := newJobOn(core.NewEngine(gpuProf, core.DefaultOptions()), "g", accSpec(0.2), 0)
 	if _, err := NewCoordinator(500, a, g); err == nil {
 		t.Error("mixed platforms should fail")
 	}
@@ -205,7 +209,7 @@ func TestAllocationsCarryRunnableDecisions(t *testing.T) {
 		if al.Decision.Cap != al.CapIdx {
 			t.Error("decision cap disagrees with allocation")
 		}
-		if al.Decision.Model < 0 || al.Decision.Model >= al.Job.Prof.NumModels() {
+		if al.Decision.Model < 0 || al.Decision.Model >= al.Job.Prof().NumModels() {
 			t.Error("invalid model")
 		}
 	}
@@ -218,10 +222,10 @@ func TestObserveIsolatesFilters(t *testing.T) {
 	for i := 0; i < 30; i++ {
 		co.Observe(a, sim.Outcome{ObservedXi: 1.8, IdlePower: 6, CapApplied: 30})
 	}
-	if a.Ctl.XiMean() < 1.5 {
+	if a.Sess.XiMean() < 1.5 {
 		t.Error("job a's filter did not learn")
 	}
-	if b.Ctl.XiMean() > 1.2 {
+	if b.Sess.XiMean() > 1.2 {
 		t.Error("job b's filter was contaminated by job a's observations")
 	}
 }
@@ -237,9 +241,72 @@ func TestAllocateCountsDecisions(t *testing.T) {
 		t.Fatal(err)
 	}
 	coord.Allocate()
-	if a.Ctl.Decisions() == 0 || b.Ctl.Decisions() == 0 {
+	if a.Sess.Decisions() == 0 || b.Sess.Decisions() == 0 {
 		t.Errorf("DecideAtCap served decisions but Decisions() = (%d, %d); the coordinator path undercounts",
-			a.Ctl.Decisions(), b.Ctl.Decisions())
+			a.Sess.Decisions(), b.Sess.Decisions())
+	}
+}
+
+// TestCoordinatorsShareEngineWithoutInterference is the regression test for
+// the Engine/Session split at the coordinator level: two coordinators whose
+// jobs all hold sessions on ONE shared engine must not interfere — heavy
+// feedback and allocation rounds on one coordinator leave the other's
+// allocations bit-identical to a control coordinator built on its own
+// private engine.
+func TestCoordinatorsShareEngineWithoutInterference(t *testing.T) {
+	shared := testEngine(t)
+	a1 := newJobOn(shared, "a1", accSpec(0.15), 0)
+	b1 := newJobOn(shared, "b1", accSpec(0.15), 0)
+	a2 := newJobOn(shared, "a2", accSpec(0.12), 0)
+	b2 := newJobOn(shared, "b2", core.Spec{
+		Objective: core.MinimizeEnergy, Deadline: 0.3, AccuracyGoal: 0.9,
+	}, 0)
+	co1, err := NewCoordinator(60, a1, b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co2, err := NewCoordinator(55, a2, b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The control: co2's twin on a private engine, driven identically.
+	control := testEngine(t)
+	a3 := newJobOn(control, "a2", a2.Spec, 0)
+	b3 := newJobOn(control, "b2", b2.Spec, 0)
+	co3, err := NewCoordinator(55, a3, b3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for round := 0; round < 5; round++ {
+		// Hammer co1: heavy slowdown feedback and full allocation rounds on
+		// the shared engine.
+		warm(a1, 2.0)
+		warm(b1, 1.7)
+		co1.Allocate()
+
+		// Identical light feedback into co2 and its control.
+		out := sim.Outcome{ObservedXi: 1.0 + 0.05*float64(round), IdlePower: 6, CapApplied: 30}
+		co2.Observe(a2, out)
+		co3.Observe(a3, out)
+
+		got := co2.Allocate()
+		want := co3.Allocate()
+		for i := range want {
+			if got[i].CapIdx != want[i].CapIdx || got[i].Decision != want[i].Decision ||
+				got[i].Estimate != want[i].Estimate || got[i].Feasible != want[i].Feasible {
+				t.Fatalf("round %d job %s: shared-engine allocation %+v diverged from private-engine control %+v",
+					round, want[i].Job.Name, got[i], want[i])
+			}
+		}
+	}
+	// And co1's hammering really happened on the same engine.
+	if a1.Sess.XiMean() < 1.5 {
+		t.Error("co1's feedback did not land")
+	}
+	if a1.Sess.Engine() != a2.Sess.Engine() {
+		t.Error("test premise broken: jobs do not share an engine")
 	}
 }
 

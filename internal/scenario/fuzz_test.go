@@ -1,0 +1,85 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/alert-project/alert/internal/core"
+	"github.com/alert-project/alert/internal/platform"
+)
+
+// FuzzTraceRoundTrip fuzzes the trace JSON surface: any bytes Decode
+// accepts must re-encode to a canonical fixed point (encode → decode →
+// encode is byte-identical — the property recorded traces being a stable,
+// replayable artifact rests on), and the decoded trace must be fully
+// usable (At/SpecFor/Source never panic, the slowdown ≥ 1 invariant
+// holds). The seed corpus runs on every plain `go test`; CI additionally
+// explores new inputs for a bounded -fuzztime.
+func FuzzTraceRoundTrip(f *testing.F) {
+	// Seeds: every built-in scenario compiled small, plus handcrafted
+	// near-misses (invalid slowdown, wrong shape, junk).
+	for _, name := range Names() {
+		spec, err := ByName(name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		tr, err := Compile(spec, platform.CPU1(), 12, 0.1, 7)
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := tr.Encode(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte(`{"scenario":"x","arrival":"poisson","ticks":[{"slow":1,"gap":0.5,"dlf":2}]}`))
+	f.Add([]byte(`{"ticks":[{"slow":0.5}]}`))
+	f.Add([]byte(`{"ticks":[]}`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input; nothing to round-trip
+		}
+		for i, tick := range tr.Ticks {
+			if tick.Slowdown < 1 {
+				t.Fatalf("Decode accepted tick %d with slowdown %g < 1", i, tick.Slowdown)
+			}
+		}
+
+		var first bytes.Buffer
+		if err := tr.Encode(&first); err != nil {
+			t.Fatalf("encoding a decoded trace failed: %v", err)
+		}
+		tr2, err := Decode(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decoding our own encoding failed: %v\n%s", err, first.Bytes())
+		}
+		var second bytes.Buffer
+		if err := tr2.Encode(&second); err != nil {
+			t.Fatalf("second encode failed: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("encode∘decode is not a fixed point:\nfirst:  %s\nsecond: %s",
+				first.Bytes(), second.Bytes())
+		}
+
+		// The decoded trace must be drivable without panics, including past
+		// its end (At cycles) and when empty.
+		base := core.Spec{Objective: core.MinimizeEnergy, Deadline: 0.1, AccuracyGoal: 0.9}
+		for _, i := range []int{0, 1, len(tr.Ticks), 3*len(tr.Ticks) + 5} {
+			_ = tr.At(i)
+			s := tr.SpecFor(i, base)
+			if s.AccuracyGoal < 0 || s.AccuracyGoal > 1 {
+				t.Fatalf("SpecFor(%d) accuracy goal %g outside [0,1]", i, s.AccuracyGoal)
+			}
+		}
+		_ = tr.OpenLoop()
+		src := tr.Source()
+		for i := 0; i < 3; i++ {
+			src.Next()
+		}
+	})
+}

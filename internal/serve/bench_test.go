@@ -1,7 +1,9 @@
 package serve
 
 import (
+	"runtime"
 	"testing"
+	"time"
 
 	"github.com/alert-project/alert/internal/core"
 	"github.com/alert-project/alert/internal/sim"
@@ -49,6 +51,82 @@ func BenchmarkPoolDecideObserve(b *testing.B) {
 	if sec := b.Elapsed().Seconds(); sec > 0 {
 		b.ReportMetric(float64(b.N)/sec, "decisions/s")
 	}
+}
+
+// liveHeap returns the live heap after a forced GC, the before/after probe
+// for the bytes-per-stream measurements below.
+func liveHeap() uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// BenchmarkPoolManyStreams is the stream-table scaling benchmark: 10k
+// streams served by one pool (one shared core.Engine, one core.Session per
+// stream) versus the naive construction the Engine/Session split replaced —
+// one full core.Controller per stream, each carrying its own copy of the
+// candidate space. Both sides report the measured marginal heap cost per
+// stream ("bytes/stream", engine amortized in), the stream creation rate
+// ("streams/s"), and decide throughput across the stream population;
+// cmd/benchreport derives the memory-reduction factor from the pair and
+// -check gates it at ≥ 10x.
+func BenchmarkPoolManyStreams(b *testing.B) {
+	const streams = 10000
+	prof := testProfile(b)
+	spec := core.Spec{Objective: core.MinimizeEnergy, Deadline: 0.2, AccuracyGoal: 0.93}
+	out := sim.Outcome{ObservedXi: 1.05, IdlePower: 6, CapApplied: 30}
+
+	b.Run("shared-engine", func(b *testing.B) {
+		before := liveHeap()
+		start := time.Now()
+		pool := NewPool(prof, core.DefaultOptions(), Config{Shards: 8, QueueDepth: 256})
+		defer pool.Close()
+		// Touch every stream once so its session exists (create-on-first-use).
+		for s := 0; s < streams; s++ {
+			pool.Observe(s, out)
+		}
+		pool.Drain()
+		created := time.Since(start)
+		perStream := float64(liveHeap()-before) / streams
+
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pool.Decide(i%streams, spec)
+		}
+		b.StopTimer()
+		b.ReportMetric(perStream, "bytes/stream")
+		b.ReportMetric(streams/created.Seconds(), "streams/s")
+		if sec := b.Elapsed().Seconds(); sec > 0 {
+			b.ReportMetric(float64(b.N)/sec, "decisions/s")
+		}
+	})
+
+	b.Run("naive-controllers", func(b *testing.B) {
+		before := liveHeap()
+		start := time.Now()
+		ctls := make([]*core.Controller, streams)
+		for s := range ctls {
+			ctls[s] = core.New(prof, core.DefaultOptions())
+			ctls[s].Observe(out)
+		}
+		created := time.Since(start)
+		perStream := float64(liveHeap()-before) / streams
+
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ctls[i%streams].Decide(spec)
+		}
+		b.StopTimer()
+		b.ReportMetric(perStream, "bytes/stream")
+		b.ReportMetric(streams/created.Seconds(), "streams/s")
+		if sec := b.Elapsed().Seconds(); sec > 0 {
+			b.ReportMetric(float64(b.N)/sec, "decisions/s")
+		}
+		runtime.KeepAlive(ctls)
+	})
 }
 
 // BenchmarkPoolDecideBatch measures grouped dispatch of a 64-request batch

@@ -1,16 +1,22 @@
 // Package serve is ALERT's concurrent serving layer. The paper's runtime
 // serves one inference stream per controller (§3.6); production traffic is
-// many independent streams, so the pool shards them: N core.Controller
-// replicas, each with its own Kalman filter state, each owned by exactly
-// one worker goroutine that drains a private FIFO queue.
+// many independent streams, so the pool splits the controller the way
+// internal/core does: one immutable core.Engine — the candidate space and
+// its precomputed fast-path view, built once and shared by everything —
+// and one lightweight core.Session per stream, held in a sharded stream
+// table. Each shard is owned by exactly one worker goroutine that drains a
+// private FIFO queue and multiplexes every session pinned to it; per-stream
+// cost is one Session (a few hundred bytes), so the stream table scales to
+// millions of streams on one engine.
 //
-// The sharding preserves the paper's semantics exactly. A stream is pinned
-// to a shard (stream mod N), its Decide/Observe requests are applied in
-// submission order, and no controller state is ever shared across shards —
-// so each shard's decision sequence is byte-identical to running that
-// stream against a lone Controller serially. Cross-shard throughput scales
-// with cores because shards never contend on anything but the counters,
-// which are atomic.
+// The sharding preserves the paper's semantics exactly, for every stream.
+// A stream is pinned to a shard (stream mod N), its Decide/Observe requests
+// are applied in submission order to its own session, and no session state
+// is ever shared across streams — so every stream's decision sequence is
+// byte-identical to running that stream against a lone Controller serially,
+// no matter how many streams share its shard or how their traffic
+// interleaves. Cross-shard throughput scales with cores because shards
+// never contend on anything but the counters, which are atomic.
 //
 // The invariants, precisely:
 //
@@ -18,14 +24,21 @@
 //     queue and are applied in submission order. An Observe returns before
 //     it is applied, but a later Decide on the same stream is ordered
 //     behind it and therefore sees the updated filter state.
-//   - Shard isolation: streams mapping to different shards never affect
-//     each other's decisions. Streams sharing a shard share its controller
-//     (one ξ filter), so their interleaving — which is scheduling-
-//     dependent — feeds one merged observation sequence; byte-exact
-//     replayability across runs requires at most one stream per shard
-//     (cmd/alertload's deterministic default).
+//   - Stream isolation: each stream has its own session (its own ξ and
+//     idle-power filters, epoch, and decision cache), created on the
+//     stream's first Decide or Observe (XiEstimate is a pure read and
+//     answers sessionless streams from the engine's prior). Streams never
+//     affect each other's decisions —
+//     whether they map to different shards or share one — so replays are
+//     byte-exact at any shard count; the scheduling-dependent interleaving
+//     of a shard's streams changes only service order, never decisions.
+//   - Session lifecycle: sessions are created on first use and live until
+//     EvictStream removes them (an idle stream costs its session's bytes
+//     until then; the Streams/SessionBytes gauges watch the table). A
+//     stream that returns after eviction starts a fresh session at the
+//     prior filter state, exactly like a new stream.
 //   - Reads run on the owning worker: XiEstimate and Drain enqueue like
-//     any task, so they observe a prefix-consistent controller state and
+//     any task, so they observe a prefix-consistent session state and
 //     never race with mutations.
 //   - Batched dispatch is shard-atomic: DecideBatch hands each shard one
 //     group task carrying all of that shard's requests in batch order (one
@@ -35,9 +48,11 @@
 //   - Backpressure, not shedding: a full queue blocks the submitter; the
 //     pool never drops or reorders work.
 //
-// Steady-state Decide is allocation-free: reply channels are pooled and
-// tasks travel the shard channels by value, so the only per-request work is
-// the controller's own (also allocation-free) decision.
+// Steady-state Decide is allocation-free: reply channels are pooled, tasks
+// travel the shard channels by value, and a live stream's session is a map
+// hit, so the only per-request work is the session's own (also
+// allocation-free) decision. Only a stream's first request allocates — its
+// session.
 package serve
 
 import (
@@ -53,8 +68,9 @@ import (
 // Config sizes a Pool. Zero values select single-shard serving with a
 // small queue.
 type Config struct {
-	// Shards is the number of controller replicas (and workers). Values
-	// below 1 mean 1.
+	// Shards is the number of stream-table shards (and workers). Values
+	// below 1 mean 1. Streams per shard are unbounded; shards bound only
+	// concurrency, not capacity.
 	Shards int
 	// QueueDepth is the per-shard FIFO capacity. Submissions beyond it
 	// block until the worker catches up (backpressure). Values below 1
@@ -82,6 +98,7 @@ const (
 	taskDecide taskKind = iota
 	taskDecideGroup
 	taskObserve
+	taskEvict
 	taskBarrier
 	taskXi
 )
@@ -99,56 +116,81 @@ type decideReply struct {
 var replyPool = sync.Pool{New: func() any { return make(chan decideReply, 1) }}
 
 // batchGroup is one shard's slice of a DecideBatch dispatch: the shard's
-// requests in batch order, plus where each result lands in the caller's
-// request-ordered output. One group is one channel operation per shard per
-// batch — the worker scores the whole group before touching the channel
-// again, and writes results directly into the shared out slice (indices are
-// disjoint across shards; wg.Wait gives the reader its happens-before).
+// requests in batch order (stream + spec), plus where each result lands in
+// the caller's request-ordered output. One group is one channel operation
+// per shard per batch — the worker scores the whole group before touching
+// the channel again, and writes results directly into the shared out slice
+// (indices are disjoint across shards; wg.Wait gives the reader its
+// happens-before).
 type batchGroup struct {
-	specs []core.Spec
-	idx   []int32
-	out   []Result
-	wg    *sync.WaitGroup
-	start time.Time
+	streams []int
+	specs   []core.Spec
+	idx     []int32
+	out     []Result
+	wg      *sync.WaitGroup
+	start   time.Time
 }
 
 type task struct {
 	kind    taskKind
+	stream  int
 	spec    core.Spec
 	out     sim.Outcome
 	reply   chan decideReply // decide: buffered 1, worker never blocks
 	group   *batchGroup      // decide group: one per shard per batch
-	done    chan struct{}    // barrier: closed when the shard reaches it
+	done    chan struct{}    // barrier/evict ack: closed when the shard reaches it
 	xiReply chan [2]float64  // xi read: buffered 1
 	start   time.Time
 }
 
+// shard is one stream-table partition: the sessions of every stream pinned
+// here, all driven by the one worker goroutine that owns this struct. The
+// sessions share one scan workspace — they are only ever used from this
+// goroutine — so a shard's marginal cost per stream is just the Session.
 type shard struct {
-	ctl    *core.Controller
-	ch     chan task
-	exited chan struct{}
+	eng      *core.Engine
+	sessions map[int]*core.Session
+	sc       *core.Scratch
+	ch       chan task
+	exited   chan struct{}
 }
 
-// Pool is a sharded front-end over N controller replicas.
+// session returns the stream's session, creating it on first use.
+func (s *shard) session(stream int, counters *metrics.ServeCounters) *core.Session {
+	sess, ok := s.sessions[stream]
+	if !ok {
+		sess = s.eng.NewSessionWith(s.sc)
+		s.sessions[stream] = sess
+		counters.RecordSessionCreate(int64(core.SessionBytes()))
+	}
+	return sess
+}
+
+// Pool is a sharded stream table over one shared engine.
 type Pool struct {
+	eng      *core.Engine
 	shards   []*shard
 	counters *metrics.ServeCounters
 
 	closeOnce sync.Once
 }
 
-// NewPool builds one controller replica per shard over a shared (read-only)
-// profile table and starts the shard workers.
+// NewPool builds the shared engine once over a (read-only) profile table
+// and starts the shard workers with empty stream tables.
 func NewPool(prof *dnn.ProfileTable, opts core.Options, cfg Config) *Pool {
+	eng := core.NewEngine(prof, opts)
 	p := &Pool{
+		eng:      eng,
 		shards:   make([]*shard, cfg.shards()),
 		counters: metrics.NewServeCounters(),
 	}
 	for i := range p.shards {
 		s := &shard{
-			ctl:    core.New(prof, opts),
-			ch:     make(chan task, cfg.depth()),
-			exited: make(chan struct{}),
+			eng:      eng,
+			sessions: make(map[int]*core.Session),
+			sc:       eng.NewScratch(),
+			ch:       make(chan task, cfg.depth()),
+			exited:   make(chan struct{}),
 		}
 		p.shards[i] = s
 		go p.work(s)
@@ -161,7 +203,7 @@ func (p *Pool) work(s *shard) {
 	for t := range s.ch {
 		switch t.kind {
 		case taskDecide:
-			d, est := s.ctl.Decide(t.spec)
+			d, est := s.session(t.stream, p.counters).Decide(t.spec)
 			// Counters record before the reply unblocks the client, so a
 			// Stats read that follows a completed Decide always sees it.
 			p.counters.RecordDecide(time.Since(t.start))
@@ -169,28 +211,50 @@ func (p *Pool) work(s *shard) {
 		case taskDecideGroup:
 			g := t.group
 			for j, spec := range g.specs {
-				d, est := s.ctl.Decide(spec)
+				d, est := s.session(g.streams[j], p.counters).Decide(spec)
 				p.counters.RecordDecide(time.Since(g.start))
 				g.out[g.idx[j]] = Result{Decision: d, Estimate: est}
 			}
 			g.wg.Done()
 		case taskObserve:
-			s.ctl.Observe(t.out)
+			s.session(t.stream, p.counters).Observe(t.out)
 			p.counters.RecordObserve()
+		case taskEvict:
+			if _, ok := s.sessions[t.stream]; ok {
+				delete(s.sessions, t.stream)
+				p.counters.RecordSessionEvict(int64(core.SessionBytes()))
+			}
+			close(t.done)
 		case taskBarrier:
 			close(t.done)
 		case taskXi:
-			// Controller state is only ever touched on this goroutine;
-			// reads must run here too or they race with the mutations.
-			t.xiReply <- [2]float64{s.ctl.XiMean(), s.ctl.XiStd()}
+			// Session state is only ever touched on this goroutine; reads
+			// must run here too or they race with the mutations. A read is
+			// not traffic: a stream with no session is answered from the
+			// engine's prior without materializing one, so monitoring polls
+			// (or reads racing an eviction) never re-inflate the table.
+			if sess, ok := s.sessions[t.stream]; ok {
+				t.xiReply <- [2]float64{sess.XiMean(), sess.XiStd()}
+			} else {
+				mu, sigma := s.eng.XiPrior()
+				t.xiReply <- [2]float64{mu, sigma}
+			}
 		}
 	}
 }
 
-// NumShards returns the replica count.
+// Engine exposes the pool's shared immutable engine (e.g. for building
+// dedicated comparison sessions in tests and benchmarks).
+func (p *Pool) Engine() *core.Engine { return p.eng }
+
+// NumShards returns the stream-table shard count.
 func (p *Pool) NumShards() int { return len(p.shards) }
 
-// Counters exposes the pool's throughput/latency counters.
+// NumStreams returns the live session count across all shards.
+func (p *Pool) NumStreams() int { return int(p.counters.Snapshot().Streams) }
+
+// Counters exposes the pool's throughput/latency counters and stream-table
+// gauges.
 func (p *Pool) Counters() *metrics.ServeCounters { return p.counters }
 
 // shardIndex maps a stream id onto a shard slot.
@@ -207,30 +271,43 @@ func (p *Pool) shardFor(stream int) *shard {
 	return p.shards[p.shardIndex(stream)]
 }
 
-// Decide routes the spec to the stream's shard and blocks for the decision.
-// Requests submitted to one shard are served in submission order. The
-// steady-state round trip is allocation-free: the reply channel comes from
-// a pool and the task rides the shard channel by value.
+// Decide routes the spec to the stream's shard and blocks for the decision,
+// creating the stream's session on first use. Requests submitted to one
+// shard are served in submission order. The steady-state round trip is
+// allocation-free: the reply channel comes from a pool and the task rides
+// the shard channel by value.
 func (p *Pool) Decide(stream int, spec core.Spec) (sim.Decision, core.Estimate) {
 	reply := replyPool.Get().(chan decideReply)
-	p.shardFor(stream).ch <- task{kind: taskDecide, spec: spec, reply: reply, start: time.Now()}
+	p.shardFor(stream).ch <- task{kind: taskDecide, stream: stream, spec: spec, reply: reply, start: time.Now()}
 	r := <-reply
 	replyPool.Put(reply)
 	return r.d, r.est
 }
 
-// Observe enqueues a measurement for the stream's shard and returns without
-// waiting for it to be applied. It is still FIFO-ordered behind every
-// earlier submission for that shard, so a subsequent Decide on the same
-// stream sees the updated filter state.
+// Observe enqueues a measurement for the stream's session and returns
+// without waiting for it to be applied. It is still FIFO-ordered behind
+// every earlier submission for that shard, so a subsequent Decide on the
+// same stream sees the updated filter state.
 func (p *Pool) Observe(stream int, out sim.Outcome) {
-	p.shardFor(stream).ch <- task{kind: taskObserve, out: out}
+	p.shardFor(stream).ch <- task{kind: taskObserve, stream: stream, out: out}
+}
+
+// EvictStream removes the stream's session from the table, releasing its
+// memory, and blocks until the eviction is applied (so a sequential
+// create→evict→read sequence observes the table shrink). Evicting an
+// unknown stream is a no-op. Traffic already queued behind the eviction —
+// or arriving later — recreates the session from the initial filter state,
+// exactly like a brand-new stream.
+func (p *Pool) EvictStream(stream int) {
+	done := make(chan struct{})
+	p.shardFor(stream).ch <- task{kind: taskEvict, stream: stream, done: done}
+	<-done
 }
 
 // Request is one element of a batched dispatch.
 type Request struct {
-	// Stream selects the shard (and therefore the filter state) serving
-	// this request.
+	// Stream selects the session (and the shard that owns it) serving this
+	// request.
 	Stream int
 	Spec   core.Spec
 }
@@ -243,16 +320,17 @@ type Result struct {
 
 // DecideBatch dispatches the whole batch across shards and blocks until
 // every decision is in. Requests that share a stream are served in batch
-// order; requests on different streams run concurrently. Results are
-// returned in request order.
+// order; requests on different streams run concurrently across shards.
+// Results are returned in request order.
 //
 // The batch is grouped by shard before dispatch: each shard receives one
 // task carrying all of its requests (one channel operation per shard per
-// batch, not per request), scores them back-to-back on its worker, and
-// writes results straight into the shared request-ordered output. Within a
-// shard the batch is atomic with respect to other submissions — an Observe
-// submitted concurrently lands before or after the shard's whole group,
-// never between two of its decisions.
+// batch, not per request), scores them back-to-back on its worker — each
+// against its own stream's session — and writes results straight into the
+// shared request-ordered output. Within a shard the batch is atomic with
+// respect to other submissions — an Observe submitted concurrently lands
+// before or after the shard's whole group, never between two of its
+// decisions.
 func (p *Pool) DecideBatch(reqs []Request) []Result {
 	if len(reqs) == 0 {
 		return nil
@@ -261,7 +339,8 @@ func (p *Pool) DecideBatch(reqs []Request) []Result {
 	n := len(p.shards)
 	out := make([]Result, len(reqs))
 
-	// Size each shard's group first so the spec/index slices are exact.
+	// Size each shard's group first so the stream/spec/index slices are
+	// exact.
 	counts := make([]int, n)
 	for i := range reqs {
 		counts[p.shardIndex(reqs[i].Stream)]++
@@ -272,16 +351,18 @@ func (p *Pool) DecideBatch(reqs []Request) []Result {
 	for si, cnt := range counts {
 		if cnt > 0 {
 			groups[si] = &batchGroup{
-				specs: make([]core.Spec, 0, cnt),
-				idx:   make([]int32, 0, cnt),
-				out:   out,
-				wg:    &wg,
-				start: start,
+				streams: make([]int, 0, cnt),
+				specs:   make([]core.Spec, 0, cnt),
+				idx:     make([]int32, 0, cnt),
+				out:     out,
+				wg:      &wg,
+				start:   start,
 			}
 		}
 	}
 	for i, r := range reqs {
 		g := groups[p.shardIndex(r.Stream)]
+		g.streams = append(g.streams, r.Stream)
 		g.specs = append(g.specs, r.Spec)
 		g.idx = append(g.idx, int32(i))
 	}
@@ -309,11 +390,14 @@ func (p *Pool) Drain() {
 	}
 }
 
-// XiEstimate reports the (mean, std) of a shard's slowdown filter, ordered
-// after everything submitted to that shard before the call.
+// XiEstimate reports the (mean, std) of the stream's slowdown filter,
+// ordered after everything submitted to that stream's shard before the
+// call. It is a pure read: a stream with no live session is answered from
+// the engine's prior without creating one, so polling unknown or evicted
+// streams never grows the table.
 func (p *Pool) XiEstimate(stream int) (mu, sigma float64) {
 	reply := make(chan [2]float64, 1)
-	p.shardFor(stream).ch <- task{kind: taskXi, xiReply: reply}
+	p.shardFor(stream).ch <- task{kind: taskXi, stream: stream, xiReply: reply}
 	r := <-reply
 	return r[0], r[1]
 }

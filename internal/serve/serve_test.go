@@ -62,14 +62,17 @@ func serialRun(prof *dnn.ProfileTable, steps []step) []sim.Decision {
 	return out
 }
 
-// TestShardDeterminism drives several streams through a sharded pool
-// concurrently and checks each stream's decision sequence is identical to
-// serial single-controller execution.
+// TestShardDeterminism is the serve-level differential criterion for the
+// Engine/Session split: it drives more streams than shards through the pool
+// concurrently — so every shard multiplexes several streams' sessions, and
+// the cross-stream interleaving on each shard is scheduling-dependent — and
+// checks each stream's decision sequence is identical to serial
+// single-controller execution of that stream alone.
 func TestShardDeterminism(t *testing.T) {
 	prof := testProfile(t)
-	const streams, steps = 4, 60
+	const streams, steps = 7, 60
 
-	pool := NewPool(prof, core.DefaultOptions(), Config{Shards: streams})
+	pool := NewPool(prof, core.DefaultOptions(), Config{Shards: 2})
 	defer pool.Close()
 
 	got := make([][]sim.Decision, streams)
@@ -98,8 +101,8 @@ func TestShardDeterminism(t *testing.T) {
 }
 
 // TestObserveOrdering checks that an async Observe is applied before a
-// later Decide on the same stream: after heavy-slowdown feedback the shard's
-// xi estimate must have moved.
+// later Decide on the same stream: after heavy-slowdown feedback the
+// stream's xi estimate must have moved.
 func TestObserveOrdering(t *testing.T) {
 	prof := testProfile(t)
 	pool := NewPool(prof, core.DefaultOptions(), Config{Shards: 2})
@@ -114,7 +117,13 @@ func TestObserveOrdering(t *testing.T) {
 	if mu < 1.2 {
 		t.Errorf("xi mean %.3f after sustained 2.0 slowdown feedback; observes not applied in order", mu)
 	}
-	// The sibling shard saw nothing and must still be at its prior.
+	// Stream 2 shares stream 0's shard (2 mod 2 == 0) but has its own
+	// session, which saw nothing and must still be at its prior.
+	mu2, _ := pool.XiEstimate(2)
+	if mu2 != 1.0 {
+		t.Errorf("untouched same-shard stream xi mean = %.3f, want 1.0 (state leaked across sessions)", mu2)
+	}
+	// A stream on the sibling shard must be at its prior too.
 	mu1, _ := pool.XiEstimate(1)
 	if mu1 != 1.0 {
 		t.Errorf("untouched shard xi mean = %.3f, want 1.0 (state leaked across shards)", mu1)
@@ -206,17 +215,15 @@ func TestDecideBatchRequestOrder(t *testing.T) {
 	}
 	got := pool.DecideBatch(reqs)
 
-	// The oracle: one lone controller per stream replaying that stream's
-	// requests in batch order (shards share no state, and within a shard
-	// requests are served in batch order — so per-stream replay suffices).
+	// The oracle: one lone controller per *stream* replaying that stream's
+	// requests in batch order — streams share nothing, even when they share
+	// a shard, so per-stream replay is the exact semantics.
 	ctls := map[int]*core.Controller{}
 	for i, r := range reqs {
-		// Streams mapping to the same shard share its controller replica.
-		si := pool.shardIndex(r.Stream)
-		ctl, ok := ctls[si]
+		ctl, ok := ctls[r.Stream]
 		if !ok {
 			ctl = core.New(prof, core.DefaultOptions())
-			ctls[si] = ctl
+			ctls[r.Stream] = ctl
 		}
 		d, est := ctl.Decide(r.Spec)
 		if got[i].Decision != d || got[i].Estimate != est {
@@ -232,7 +239,9 @@ func TestDecideBatchRequestOrder(t *testing.T) {
 func TestDecideBatchFIFOWithObserves(t *testing.T) {
 	prof := testProfile(t)
 	const streams, rounds = 3, 25
-	pool := NewPool(prof, core.DefaultOptions(), Config{Shards: streams})
+	// Fewer shards than streams: per-stream FIFO must hold even when a
+	// shard's worker multiplexes several streams' sessions.
+	pool := NewPool(prof, core.DefaultOptions(), Config{Shards: 2})
 	defer pool.Close()
 
 	scripts := make([][]step, streams)
@@ -318,6 +327,139 @@ func TestPoolDecideSteadyStateAllocs(t *testing.T) {
 	pool.Decide(0, spec) // warm pool, cache, scratch
 	if n := testing.AllocsPerRun(500, func() { pool.Decide(0, spec) }); n >= 1 {
 		t.Errorf("steady-state pool Decide allocates %.2f/op, want ~0", n)
+	}
+}
+
+// TestEvictStream pins the session lifecycle: create on first use, evict on
+// demand (gauges move both ways), and a returning stream restarts from the
+// initial filter state like a brand-new stream.
+func TestEvictStream(t *testing.T) {
+	prof := testProfile(t)
+	pool := NewPool(prof, core.DefaultOptions(), Config{Shards: 2})
+	defer pool.Close()
+
+	spec := core.Spec{Objective: core.MinimizeEnergy, Deadline: 0.2, AccuracyGoal: 0.9}
+	d, _ := pool.Decide(0, spec)
+	for i := 0; i < 20; i++ {
+		pool.Observe(0, outcomeFor(prof, d, 2.0))
+	}
+	if mu, _ := pool.XiEstimate(0); mu < 1.2 {
+		t.Fatalf("xi mean %.3f, feedback not applied", mu)
+	}
+	if n := pool.NumStreams(); n != 1 {
+		t.Fatalf("NumStreams = %d before eviction, want 1", n)
+	}
+	snap := pool.Counters().Snapshot()
+	if want := snap.Streams * int64(core.SessionBytes()); snap.SessionBytes != want {
+		t.Errorf("SessionBytes gauge = %d, want %d (streams × session size)", snap.SessionBytes, want)
+	}
+
+	pool.EvictStream(0)
+	if n := pool.NumStreams(); n != 0 {
+		t.Fatalf("NumStreams = %d after eviction, want 0", n)
+	}
+	if snap := pool.Counters().Snapshot(); snap.SessionBytes != 0 {
+		t.Errorf("SessionBytes gauge = %d after eviction, want 0", snap.SessionBytes)
+	}
+	// Evicting an unknown stream is a no-op, not a panic or a negative
+	// gauge.
+	pool.EvictStream(42)
+	if snap := pool.Counters().Snapshot(); snap.Streams != 0 {
+		t.Errorf("Streams gauge = %d after no-op eviction, want 0", snap.Streams)
+	}
+
+	// The evicted stream must read back at the prior — and the read itself
+	// must not re-materialize a session (XiEstimate is a pure read, so
+	// monitoring polls cannot re-inflate the table EvictStream just shrank).
+	if mu, _ := pool.XiEstimate(0); mu != 1.0 {
+		t.Errorf("post-eviction xi mean = %.3f, want the 1.0 prior (stale session survived)", mu)
+	}
+	if n := pool.NumStreams(); n != 0 {
+		t.Errorf("NumStreams = %d after a post-eviction XiEstimate, want 0 (read created a session)", n)
+	}
+
+	// Real traffic after eviction starts a fresh session.
+	pool.Decide(0, spec)
+	if n := pool.NumStreams(); n != 1 {
+		t.Errorf("NumStreams = %d after post-eviction Decide, want 1", n)
+	}
+	if mu, _ := pool.XiEstimate(0); mu != 1.0 {
+		t.Errorf("returning stream xi mean = %.3f, want a fresh 1.0 prior", mu)
+	}
+}
+
+// TestStreamChurn100k churns 100k streams through the table — create on
+// first use, evict after a short life — under concurrent steady-state
+// traffic on long-lived streams. Under -race this pins the stream table's
+// memory safety; the assertions pin the gauges' books and the steady
+// streams' isolation from the churn (their decisions must equal solo serial
+// execution, as always).
+func TestStreamChurn100k(t *testing.T) {
+	prof := testProfile(t)
+	pool := NewPool(prof, core.DefaultOptions(), Config{Shards: 4, QueueDepth: 128})
+	defer pool.Close()
+
+	const (
+		churners    = 8
+		perChurner  = 12500 // 100k total
+		steady      = 3
+		steadySteps = 40
+	)
+	spec := core.Spec{Objective: core.MinimizeEnergy, Deadline: 0.2, AccuracyGoal: 0.9}
+
+	var wg sync.WaitGroup
+	// Steady long-lived streams: full decide→observe loops whose decision
+	// sequences must come out identical to solo execution despite 100k
+	// sessions being created and destroyed around them. Negative ids keep
+	// them disjoint from the churn id space.
+	gotSteady := make([][]sim.Decision, steady)
+	for s := 0; s < steady; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			stream := -(s + 1)
+			seq := make([]sim.Decision, 0, steadySteps)
+			for _, st := range script(s, steadySteps) {
+				d, _ := pool.Decide(stream, st.spec)
+				pool.Observe(stream, outcomeFor(prof, d, st.xi))
+				seq = append(seq, d)
+			}
+			gotSteady[s] = seq
+		}(s)
+	}
+	// Churners: each stream lives for one or two requests, then is evicted.
+	for c := 0; c < churners; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perChurner; i++ {
+				stream := c*perChurner + i
+				pool.Observe(stream, outcomeFor(prof, sim.Decision{}, 1.1))
+				if i%64 == 0 { // a full decide now and then; every op on a fresh session
+					pool.Decide(stream, spec)
+				}
+				pool.EvictStream(stream)
+			}
+		}(c)
+	}
+	wg.Wait()
+	pool.Drain()
+
+	for s := 0; s < steady; s++ {
+		want := serialRun(prof, script(s, steadySteps))
+		if !reflect.DeepEqual(gotSteady[s], want) {
+			t.Errorf("steady stream %d: decisions diverged from solo execution under churn", s)
+		}
+	}
+	snap := pool.Counters().Snapshot()
+	if snap.Streams != steady {
+		t.Errorf("Streams gauge = %d after churn, want %d (every churned session evicted)", snap.Streams, steady)
+	}
+	if want := snap.Streams * int64(core.SessionBytes()); snap.SessionBytes != want {
+		t.Errorf("SessionBytes gauge = %d, want %d", snap.SessionBytes, want)
+	}
+	if snap.Observes != churners*perChurner+steady*steadySteps {
+		t.Errorf("Observes = %d, want %d", snap.Observes, churners*perChurner+steady*steadySteps)
 	}
 }
 

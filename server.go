@@ -9,13 +9,20 @@ import (
 	"github.com/alert-project/alert/internal/serve"
 )
 
-// Server is the concurrent front-end over the ALERT runtime: a sharded pool
-// of independent Scheduler replicas serving many inference streams at once.
-// A Scheduler serves one stream (§3.6); a Server serves any number by
-// pinning each stream id to one of N shards, each shard owning its own
-// Kalman filter state and applying that stream's Decide/Observe traffic in
-// submission order. Per-stream behaviour is therefore identical to a
-// dedicated Scheduler, while aggregate throughput scales with shards.
+// Server is the concurrent front-end over the ALERT runtime: one shared
+// immutable decision engine plus a sharded stream table holding a
+// lightweight session — the stream's own Kalman filter state and decision
+// cache, a few hundred bytes — for every inference stream. A Scheduler
+// serves one stream (§3.6); a Server serves any number by pinning each
+// stream id to one of N shards and applying that stream's Decide/Observe
+// traffic to its session in submission order. Per-stream behaviour is
+// identical to a dedicated Scheduler — regardless of how many streams share
+// a shard — while aggregate throughput scales with shards and per-stream
+// memory stays flat enough for millions of streams.
+//
+// Sessions are created on a stream's first request and live until
+// EvictStream releases them; Stats reports the live stream count and the
+// table's aggregate session bytes.
 //
 // All methods are safe for concurrent use by any number of goroutines.
 type Server struct {
@@ -26,12 +33,14 @@ type Server struct {
 // ServerOptions configure a Server. The zero value profiles with the
 // paper's defaults and uses one shard per CPU.
 type ServerOptions struct {
-	// Shards is the number of controller replicas; 0 means GOMAXPROCS.
+	// Shards is the number of stream-table shards (worker goroutines);
+	// 0 means GOMAXPROCS. Shards bound concurrency, not stream capacity.
 	Shards int
 	// QueueDepth is the per-shard FIFO capacity before submissions block;
 	// 0 selects a small default.
 	QueueDepth int
-	// Scheduler options applied to every shard's controller.
+	// Scheduler options, resolved once into the server's shared decision
+	// engine (every stream's session decides against the same engine).
 	Options Options
 }
 
@@ -54,8 +63,18 @@ func NewServer(p *Platform, models []*Model, opts ServerOptions) (*Server, error
 	return &Server{prof: prof, pool: pool}, nil
 }
 
-// Shards returns the replica count.
+// Shards returns the stream-table shard count.
 func (s *Server) Shards() int { return s.pool.NumShards() }
+
+// Streams returns the number of live per-stream sessions in the table.
+func (s *Server) Streams() int { return s.pool.NumStreams() }
+
+// EvictStream releases the stream's session, returning once the table has
+// shrunk. Use it to bound memory when streams are short-lived: an idle
+// stream otherwise keeps its few-hundred-byte session alive indefinitely.
+// A stream that returns after eviction starts fresh from the initial filter
+// state, exactly like a new stream.
+func (s *Server) EvictStream(stream int) { s.pool.EvictStream(stream) }
 
 // Models returns the profiled candidate set in index order.
 func (s *Server) Models() []*Model { return s.prof.Models }

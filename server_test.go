@@ -113,6 +113,42 @@ func TestServerDecideBatch(t *testing.T) {
 	}
 }
 
+// TestServerStreamLifecycle pins the public session lifecycle: sessions
+// appear in Streams() on first use, EvictStream releases them, and a
+// returning stream restarts from the prior — even when several streams
+// share one shard.
+func TestServerStreamLifecycle(t *testing.T) {
+	srv, err := NewServer(CPU1(), ImageCandidates(), ServerOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	spec := testSpec()
+	for stream := 0; stream < 5; stream++ {
+		d, _ := srv.Decide(stream, spec)
+		lat := 2.0 * srv.prof.At(d.Model, d.Cap)
+		srv.Observe(stream, Feedback{Decision: d, Latency: lat, CompletedStage: -1, IdlePowerW: 5})
+	}
+	if got := srv.Streams(); got != 5 {
+		t.Fatalf("Streams() = %d after 5 streams on 2 shards, want 5", got)
+	}
+	if st := srv.Stats(); st.Streams != 5 || st.SessionBytes <= 0 {
+		t.Errorf("stats gauges (streams=%d, session_bytes=%d) implausible", st.Streams, st.SessionBytes)
+	}
+
+	if mu, _ := srv.XiEstimate(3); mu <= 1.0 {
+		t.Errorf("stream 3 xi mean %.3f after 2x-slowdown feedback, want > 1", mu)
+	}
+	srv.EvictStream(3)
+	if got := srv.Streams(); got != 4 {
+		t.Fatalf("Streams() = %d after eviction, want 4", got)
+	}
+	if mu, _ := srv.XiEstimate(3); mu != 1.0 {
+		t.Errorf("post-eviction xi mean %.3f, want the 1.0 prior", mu)
+	}
+}
+
 // TestServerDefaults exercises the zero-options path and option validation.
 func TestServerDefaults(t *testing.T) {
 	srv, err := NewServer(CPU1(), ImageCandidates(), ServerOptions{})
