@@ -1,0 +1,303 @@
+// Package client is the typed Go client for the ALERT network serving
+// front end (internal/netserve, hosted by cmd/alertserve). It speaks the
+// /v1 HTTP/JSON API with connection reuse — one pooled http.Transport,
+// keep-alive across requests — so the steady-state cost per decision is
+// one loopback round trip, and a DecideBatch amortizes even that across
+// the whole batch.
+//
+//	c, err := client.New("http://127.0.0.1:8372", client.Options{})
+//	d, est, err := c.Decide(ctx, streamID, spec)
+//	err = c.Observe(ctx, streamID, alert.Feedback{Decision: d, Latency: measured})
+//
+// JSON carries every float64 bit-exactly, so a stream driven through this
+// client makes byte-identical decisions to one driven against
+// alert.Server in-process (cmd/alertload -addr pins this).
+//
+// Overload: the server sheds load at its admission gate with 429 (queue
+// full or Spec deadline expired while queued) and 503 (draining), both
+// carrying Retry-After. Those surface as *client.OverloadError; with
+// Options.MaxRetries > 0 the client retries them itself after the hinted
+// backoff. Retrying is safe: a 429/503 is rejected before the request
+// touches any stream state, so a retry never double-applies anything.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/alert-project/alert"
+	"github.com/alert-project/alert/internal/netserve"
+)
+
+// Options configure a Client. The zero value selects a pooled transport
+// with keep-alive and no automatic retries.
+type Options struct {
+	// HTTPClient overrides the underlying HTTP client (for timeouts,
+	// custom transports, or tests). Nil builds one with a dedicated pooled
+	// transport.
+	HTTPClient *http.Client
+	// MaxRetries is how many times a request rejected with 429/503 is
+	// retried after the server's Retry-After hint. 0 disables retries:
+	// overload surfaces as *OverloadError.
+	MaxRetries int
+}
+
+// Client talks to one front end. It is safe for concurrent use; all
+// methods honor their context.
+type Client struct {
+	base       string
+	hc         *http.Client
+	ownedHC    bool
+	maxRetries int
+}
+
+// New validates the base URL (e.g. "http://127.0.0.1:8372") and returns a
+// ready client.
+func New(baseURL string, opts Options) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("client: bad base URL %q: %w", baseURL, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("client: base URL %q must be http(s)", baseURL)
+	}
+	c := &Client{
+		base:       strings.TrimRight(baseURL, "/"),
+		hc:         opts.HTTPClient,
+		maxRetries: opts.MaxRetries,
+	}
+	if c.hc == nil {
+		// A dedicated transport so this client's connection pool is not
+		// shared with (or limited by) http.DefaultTransport users. The
+		// per-host idle limit is what makes a many-goroutine load
+		// generator reuse connections instead of churning them.
+		c.hc = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        128,
+			MaxIdleConnsPerHost: 128,
+			IdleConnTimeout:     90 * time.Second,
+		}}
+		c.ownedHC = true
+	}
+	return c, nil
+}
+
+// Close releases idle connections. The client must not be used afterwards.
+func (c *Client) Close() {
+	if c.ownedHC {
+		c.hc.CloseIdleConnections()
+	}
+}
+
+// OverloadError is a 429/503 admission rejection: the server's queue was
+// full, the request's deadline expired while queued, or the server is
+// draining. RetryAfter carries the server's backoff hint.
+type OverloadError struct {
+	StatusCode int
+	Message    string
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("client: server rejected request (%d %s): %s, retry after %s",
+		e.StatusCode, http.StatusText(e.StatusCode), e.Message, e.RetryAfter)
+}
+
+// APIError is any other non-2xx response.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("client: %d %s: %s", e.StatusCode, http.StatusText(e.StatusCode), e.Message)
+}
+
+// Decide requests the configuration for the stream's next input.
+func (c *Client) Decide(ctx context.Context, stream int, spec alert.Spec) (alert.Decision, alert.Estimate, error) {
+	var out netserve.DecideResponse
+	err := c.do(ctx, http.MethodPost, "/v1/decide",
+		netserve.DecideRequest{Stream: stream, Spec: netserve.FromSpec(spec)}, &out)
+	if err != nil {
+		return alert.Decision{}, alert.Estimate{}, err
+	}
+	return out.Decision.ToDecision(), out.Estimate.ToEstimate(), nil
+}
+
+// Observe reports a measurement for the stream. The server enqueues it
+// before replying, so a subsequent Decide on the same stream (over this or
+// any connection) sees the updated filter state.
+func (c *Client) Observe(ctx context.Context, stream int, fb alert.Feedback) error {
+	return c.do(ctx, http.MethodPost, "/v1/observe",
+		netserve.ObserveRequest{Stream: stream, Feedback: netserve.FromFeedback(fb)}, nil)
+}
+
+// DecideBatch dispatches the whole batch in one request; results come back
+// in request order. Requests sharing a stream are served in batch order.
+func (c *Client) DecideBatch(ctx context.Context, reqs []alert.BatchRequest) ([]alert.BatchResult, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	in := netserve.BatchRequest{Requests: make([]netserve.DecideRequest, len(reqs))}
+	for i, r := range reqs {
+		in.Requests[i] = netserve.DecideRequest{Stream: r.Stream, Spec: netserve.FromSpec(r.Spec)}
+	}
+	var out netserve.BatchResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/decide-batch", in, &out); err != nil {
+		return nil, err
+	}
+	if len(out.Results) != len(reqs) {
+		return nil, fmt.Errorf("client: batch returned %d results for %d requests", len(out.Results), len(reqs))
+	}
+	res := make([]alert.BatchResult, len(out.Results))
+	for i, r := range out.Results {
+		res[i] = alert.BatchResult{
+			Stream:   r.Stream,
+			Decision: r.Decision.ToDecision(),
+			Estimate: r.Estimate.ToEstimate(),
+		}
+	}
+	return res, nil
+}
+
+// Stats fetches the server's counter snapshots.
+func (c *Client) Stats(ctx context.Context) (netserve.StatsResponse, error) {
+	var out netserve.StatsResponse
+	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out)
+	return out, err
+}
+
+// Streams lists the server's live stream ids.
+func (c *Client) Streams(ctx context.Context) ([]int, error) {
+	var out netserve.StreamsResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/streams", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.IDs, nil
+}
+
+// EvictStream releases the stream's server-side session. Evicting an
+// unknown stream succeeds (it is a no-op server-side).
+func (c *Client) EvictStream(ctx context.Context, stream int) error {
+	return c.do(ctx, http.MethodDelete, "/v1/streams/"+strconv.Itoa(stream), nil, nil)
+}
+
+// Batch accumulates decide requests for one DecideBatch dispatch — the
+// helper for callers that collect work across many streams before cutting
+// a batch.
+type Batch struct {
+	reqs []alert.BatchRequest
+}
+
+// Add appends one request and returns its index in the eventual results.
+func (b *Batch) Add(stream int, spec alert.Spec) int {
+	b.reqs = append(b.reqs, alert.BatchRequest{Stream: stream, Spec: spec})
+	return len(b.reqs) - 1
+}
+
+// Len reports the pending request count.
+func (b *Batch) Len() int { return len(b.reqs) }
+
+// Flush dispatches the accumulated batch and resets the builder. A nil
+// result with nil error means the batch was empty.
+func (b *Batch) Flush(ctx context.Context, c *Client) ([]alert.BatchResult, error) {
+	reqs := b.reqs
+	b.reqs = nil
+	return c.DecideBatch(ctx, reqs)
+}
+
+// do runs one request with encode/decode and the overload retry loop.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return fmt.Errorf("client: encoding %s: %w", path, err)
+		}
+	}
+	for attempt := 0; ; attempt++ {
+		err := c.once(ctx, method, path, body, out)
+		var oe *OverloadError
+		if err == nil || attempt >= c.maxRetries || !errors.As(err, &oe) {
+			return err
+		}
+		// Back off by the server's hint, bounded so a misconfigured hint
+		// cannot stall a caller that set no context deadline.
+		wait := oe.RetryAfter
+		if wait <= 0 {
+			wait = 10 * time.Millisecond
+		}
+		if wait > 2*time.Second {
+			wait = 2 * time.Second
+		}
+		select {
+		case <-time.After(wait):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	defer func() {
+		// Drain so the keep-alive connection returns to the pool.
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+
+	if resp.StatusCode >= 300 {
+		var e netserve.ErrorResponse
+		json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e)
+		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+			return &OverloadError{
+				StatusCode: resp.StatusCode,
+				Message:    e.Error,
+				RetryAfter: retryAfterOf(resp, e),
+			}
+		}
+		return &APIError{StatusCode: resp.StatusCode, Message: e.Error}
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return fmt.Errorf("client: decoding %s response: %w", path, err)
+		}
+	}
+	return nil
+}
+
+// retryAfterOf extracts the backoff hint, preferring the millisecond body
+// field over the whole-second header.
+func retryAfterOf(resp *http.Response, e netserve.ErrorResponse) time.Duration {
+	if e.RetryAfterMs > 0 {
+		return time.Duration(e.RetryAfterMs) * time.Millisecond
+	}
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	return 0
+}

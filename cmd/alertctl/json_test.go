@@ -1,0 +1,138 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the -json golden file")
+
+// goldenArgs pin a small deterministic run: every line of its -json output
+// is committed as testdata/trace_golden.jsonl.
+var goldenArgs = []string{
+	"-json", "-trace", "-platform", "CPU1", "-task", "image",
+	"-contention", "memory", "-inputs", "12", "-seed", "3",
+}
+
+const goldenPath = "testdata/trace_golden.jsonl"
+
+// TestJSONGolden runs the CLI in -json trace mode against the committed
+// golden transcript. Structure and strings must match exactly; numbers are
+// compared with a tiny relative tolerance so a math-library ulp change in
+// a future Go release cannot break the build while a real behavior change
+// still does. Regenerate with: go test ./cmd/alertctl -run JSONGolden -update
+func TestJSONGolden(t *testing.T) {
+	var out strings.Builder
+	if err := run(goldenArgs, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", goldenPath)
+		return
+	}
+
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	gotLines := splitLines(got)
+	wantLines := splitLines(string(want))
+	if len(gotLines) != len(wantLines) {
+		t.Fatalf("output has %d lines, golden has %d", len(gotLines), len(wantLines))
+	}
+	// 12 trace records + 1 summary.
+	if len(gotLines) != 13 {
+		t.Fatalf("output has %d lines, want 13", len(gotLines))
+	}
+	for i := range gotLines {
+		compareJSONLine(t, i, gotLines[i], wantLines[i])
+	}
+
+	// The last record is the summary; the rest are trace records in input
+	// order.
+	var last map[string]any
+	if err := json.Unmarshal([]byte(gotLines[len(gotLines)-1]), &last); err != nil {
+		t.Fatal(err)
+	}
+	if last["type"] != "summary" {
+		t.Errorf("final record type = %v, want summary", last["type"])
+	}
+}
+
+// TestJSONSummaryOnly: without -trace, -json emits exactly one summary
+// object.
+func TestJSONSummaryOnly(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-json", "-inputs", "30", "-seed", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := splitLines(out.String())
+	if len(lines) != 1 {
+		t.Fatalf("output has %d lines, want 1:\n%s", len(lines), out.String())
+	}
+	var s summaryJSON
+	if err := json.Unmarshal([]byte(lines[0]), &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Type != "summary" || s.Inputs != 30 || s.Platform != "CPU1" {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.AvgLatencyS <= 0 || s.AvgQuality <= 0 || s.DeadlineS <= 0 {
+		t.Errorf("summary metrics empty: %+v", s)
+	}
+}
+
+func splitLines(s string) []string {
+	return strings.Split(strings.TrimRight(s, "\n"), "\n")
+}
+
+// compareJSONLine compares two single-object JSON lines: identical key
+// sets, exact non-numeric values, numerics within 1e-9 relative tolerance.
+func compareJSONLine(t *testing.T, idx int, got, want string) {
+	t.Helper()
+	var g, w map[string]any
+	if err := json.Unmarshal([]byte(got), &g); err != nil {
+		t.Fatalf("line %d: output not JSON: %v\n%s", idx, err, got)
+	}
+	if err := json.Unmarshal([]byte(want), &w); err != nil {
+		t.Fatalf("line %d: golden not JSON: %v\n%s", idx, err, want)
+	}
+	if len(g) != len(w) {
+		t.Errorf("line %d: %d keys, golden has %d", idx, len(g), len(w))
+	}
+	for k, wv := range w {
+		gv, ok := g[k]
+		if !ok {
+			t.Errorf("line %d: missing key %q", idx, k)
+			continue
+		}
+		switch wn := wv.(type) {
+		case float64:
+			gn, ok := gv.(float64)
+			if !ok {
+				t.Errorf("line %d key %q: %v not a number", idx, k, gv)
+				continue
+			}
+			if diff := math.Abs(gn - wn); diff > 1e-9*math.Max(1, math.Abs(wn)) {
+				t.Errorf("line %d key %q: %v, golden %v", idx, k, gn, wn)
+			}
+		default:
+			if gv != wv {
+				t.Errorf("line %d key %q: %v, golden %v", idx, k, gv, wv)
+			}
+		}
+	}
+}

@@ -6,9 +6,15 @@
 //
 //	alertctl -platform CPU1 -task image -contention memory \
 //	         -objective energy -deadline-factor 1.25 -accuracy 0.93 -trace
+//	alertctl -json -trace        # one JSON object per input + a summary object
+//
+// With -json every output line is one JSON object with stable field names:
+// a "trace" record per input (when -trace is set) and a final "summary"
+// record, so the run pipes straight into jq or a log collector.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -17,6 +23,40 @@ import (
 
 	"github.com/alert-project/alert"
 )
+
+// traceJSON is the -json wire form of one input's trace record. Field
+// names are stable; changes must be additive.
+type traceJSON struct {
+	Type         string  `json:"type"` // "trace"
+	Input        int     `json:"input"`
+	Model        int     `json:"model"`
+	ModelName    string  `json:"model_name"`
+	CapW         float64 `json:"cap_w"`
+	PlannedStopS float64 `json:"planned_stop_s,omitempty"`
+	GoalS        float64 `json:"goal_s"`
+	LatencyS     float64 `json:"latency_s"`
+	EnergyJ      float64 `json:"energy_j"`
+	Quality      float64 `json:"quality"`
+	TrueXi       float64 `json:"true_xi"`
+	DeadlineMet  bool    `json:"deadline_met"`
+	Contention   bool    `json:"contention"`
+}
+
+// summaryJSON is the -json wire form of the run summary.
+type summaryJSON struct {
+	Type             string  `json:"type"` // "summary"
+	Platform         string  `json:"platform"`
+	Task             string  `json:"task"`
+	Contention       string  `json:"contention"`
+	Objective        string  `json:"objective"`
+	DeadlineS        float64 `json:"deadline_s"`
+	Inputs           int     `json:"inputs"`
+	AvgLatencyS      float64 `json:"avg_latency_s"`
+	AvgEnergyJ       float64 `json:"avg_energy_j"`
+	AvgQuality       float64 `json:"avg_quality"`
+	ViolationRate    float64 `json:"violation_rate"`
+	DeadlineMissRate float64 `json:"deadline_miss_rate"`
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -39,11 +79,12 @@ func run(args []string, stdout io.Writer) error {
 	inputs := fs.Int("inputs", 200, "number of inputs")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	trace := fs.Bool("trace", false, "print a per-input trace")
+	jsonOut := fs.Bool("json", false, "emit one JSON object per line (trace records and the summary)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	plat, err := findPlatform(*platName)
+	plat, err := alert.PlatformByName(*platName)
 	if err != nil {
 		return err
 	}
@@ -96,16 +137,37 @@ func run(args []string, stdout io.Writer) error {
 		Inputs:     *inputs,
 		Seed:       *seed,
 	}
+	enc := json.NewEncoder(stdout)
 	if *trace {
-		fmt.Fprintf(stdout, "%-6s %-16s %7s %9s %8s %8s %5s\n",
-			"input", "model", "cap(W)", "latency", "quality", "xi", "cont")
-		cfg.Trace = func(s alert.TraceSample) {
-			mark := ""
-			if s.Contention {
-				mark = "*"
+		if *jsonOut {
+			cfg.Trace = func(s alert.TraceSample) {
+				enc.Encode(traceJSON{
+					Type:         "trace",
+					Input:        s.Input,
+					Model:        s.Decision.Model,
+					ModelName:    s.ModelName,
+					CapW:         s.Decision.CapW,
+					PlannedStopS: s.Decision.PlannedStop,
+					GoalS:        s.GoalSeconds,
+					LatencyS:     s.Latency,
+					EnergyJ:      s.Energy,
+					Quality:      s.Quality,
+					TrueXi:       s.TrueXi,
+					DeadlineMet:  s.DeadlineMet,
+					Contention:   s.Contention,
+				})
 			}
-			fmt.Fprintf(stdout, "%-6d %-16s %7.1f %9.4f %8.4f %8.3f %5s\n",
-				s.Input, s.ModelName, s.Decision.CapW, s.Latency, s.Quality, s.TrueXi, mark)
+		} else {
+			fmt.Fprintf(stdout, "%-6s %-16s %7s %9s %8s %8s %5s\n",
+				"input", "model", "cap(W)", "latency", "quality", "xi", "cont")
+			cfg.Trace = func(s alert.TraceSample) {
+				mark := ""
+				if s.Contention {
+					mark = "*"
+				}
+				fmt.Fprintf(stdout, "%-6d %-16s %7.1f %9.4f %8.4f %8.3f %5s\n",
+					s.Input, s.ModelName, s.Decision.CapW, s.Latency, s.Quality, s.TrueXi, mark)
+			}
 		}
 	}
 
@@ -113,19 +175,26 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *jsonOut {
+		return enc.Encode(summaryJSON{
+			Type:             "summary",
+			Platform:         plat.Name,
+			Task:             *task,
+			Contention:       *cont,
+			Objective:        *objective,
+			DeadlineS:        deadline,
+			Inputs:           rep.Inputs,
+			AvgLatencyS:      rep.AvgLatency,
+			AvgEnergyJ:       rep.AvgEnergy,
+			AvgQuality:       rep.AvgQuality,
+			ViolationRate:    rep.ViolationRate,
+			DeadlineMissRate: rep.DeadlineMissRate,
+		})
+	}
 	fmt.Fprintf(stdout, "\nplatform=%s task=%s contention=%s objective=%s deadline=%.4fs\n",
 		plat.Name, *task, *cont, *objective, deadline)
 	fmt.Fprintf(stdout, "inputs=%d avg_latency=%.4fs avg_energy=%.3fJ avg_quality=%.4f violations=%.1f%% misses=%.1f%%\n",
 		rep.Inputs, rep.AvgLatency, rep.AvgEnergy, rep.AvgQuality,
 		100*rep.ViolationRate, 100*rep.DeadlineMissRate)
 	return nil
-}
-
-func findPlatform(name string) (*alert.Platform, error) {
-	for _, p := range alert.Platforms() {
-		if strings.EqualFold(p.Name, name) {
-			return p, nil
-		}
-	}
-	return nil, fmt.Errorf("unknown platform %q", name)
 }

@@ -16,6 +16,16 @@
 //	alertload -scenario bursty -streams 8 -inputs 300        # built-in scenario
 //	alertload -scenario thermal -record trace.json           # record the trace
 //	alertload -replay trace.json                             # replay a recording
+//	alertload -replay trace.json -addr 127.0.0.1:8372        # drive a live alertserve
+//
+// With -addr the same load is driven over the network against a running
+// cmd/alertserve instead of an in-process server, through the typed client
+// (client/) with per-stream connection reuse. The wire carries every
+// float64 exactly, so -addr replays produce byte-identical per-stream
+// decision sequences to the in-process path (pinned in main_test.go; the
+// target streams are evicted first so the replay starts from fresh
+// sessions). -decisions-out writes the per-stream sequences to a file,
+// which is how CI diffs the two paths.
 //
 // Replays are deterministic: the same trace and seed yield byte-identical
 // per-stream decision sequences (verified in main_test.go) at ANY shard
@@ -27,6 +37,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -36,6 +47,7 @@ import (
 	"sync"
 
 	"github.com/alert-project/alert"
+	"github.com/alert-project/alert/client"
 	"github.com/alert-project/alert/internal/dnn"
 	"github.com/alert-project/alert/internal/metrics"
 	"github.com/alert-project/alert/internal/scenario"
@@ -62,6 +74,8 @@ type loadConfig struct {
 	seed         int64
 	shards       int
 	mode         string // "auto" | "open" | "closed"
+	addr         string // non-empty: drive a live alertserve over the network
+	decisionsOut string // non-empty: write per-stream decision sequences here
 
 	objective      string
 	deadlineFactor float64
@@ -112,6 +126,9 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if cfg.addr != "" {
+		fmt.Fprintf(stdout, "driving remote server at %s\n", cfg.addr)
+	}
 	rep, err := runLoad(cfg)
 	if err != nil {
 		return err
@@ -121,6 +138,12 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(stdout, "trace recorded to %s (%d ticks)\n", cfg.recordPath, rep.Trace.Len())
+	}
+	if cfg.decisionsOut != "" {
+		if err := writeDecisions(cfg.decisionsOut, rep.DecisionSeqs); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "decision sequences written to %s (%d streams)\n", cfg.decisionsOut, len(rep.DecisionSeqs))
 	}
 	mode := "closed"
 	if rep.OpenLoop {
@@ -153,6 +176,10 @@ func parseFlags(args []string) (loadConfig, error) {
 	fs.Int64Var(&cfg.seed, "seed", 1, "seed for trace compilation and stream noise")
 	fs.IntVar(&cfg.shards, "shards", 0, "server stream-table shards (0 = one per CPU; decisions are shard-count-invariant)")
 	fs.StringVar(&cfg.mode, "mode", "auto", "auto | open | closed loop")
+	fs.StringVar(&cfg.addr, "addr", "",
+		"drive a live alertserve at this host:port (or URL) instead of an in-process server; its streams [0,streams) are evicted first")
+	fs.StringVar(&cfg.decisionsOut, "decisions-out", "",
+		"write per-stream decision sequences to this file (one line per stream)")
 	fs.StringVar(&cfg.objective, "objective", "energy", "energy (minimize energy) | error (minimize error)")
 	fs.Float64Var(&cfg.deadlineFactor, "deadline-factor", 1.25, "deadline as a multiple of the slowest model's latency")
 	fs.Float64Var(&cfg.accuracy, "accuracy", 0.92, "accuracy goal (energy objective)")
@@ -170,12 +197,76 @@ func parseFlags(args []string) (loadConfig, error) {
 	default:
 		return cfg, fmt.Errorf("unknown -mode %q", cfg.mode)
 	}
+	if cfg.addr != "" && cfg.referenceScorer {
+		return cfg, fmt.Errorf("-reference-scorer configures the in-process server and cannot apply to a remote -addr")
+	}
+	if cfg.addr != "" && cfg.shards != 0 {
+		return cfg, fmt.Errorf("-shards configures the in-process server; the remote server's shard count is its own")
+	}
 	return cfg, nil
+}
+
+// backend abstracts the server under load: the in-process alert.Server, or
+// a remote alertserve reached through the typed client (-addr). Both
+// expose the same per-stream decide/observe semantics, which is what makes
+// the two paths' decision sequences byte-identical.
+type backend interface {
+	Decide(stream int, spec alert.Spec) (alert.Decision, alert.Estimate)
+	Observe(stream int, fb alert.Feedback)
+	Stats() alert.ServerStats
+}
+
+// remoteBackend adapts the typed client to the backend interface. The
+// drive loops are error-free by construction against the in-process
+// server; over the network any request can fail, so the first error is
+// latched and fails the whole run after the streams finish.
+type remoteBackend struct {
+	c   *client.Client
+	ctx context.Context
+
+	mu  sync.Mutex
+	err error
+}
+
+func (r *remoteBackend) fail(err error) {
+	r.mu.Lock()
+	if r.err == nil {
+		r.err = err
+	}
+	r.mu.Unlock()
+}
+
+func (r *remoteBackend) firstErr() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+func (r *remoteBackend) Decide(stream int, spec alert.Spec) (alert.Decision, alert.Estimate) {
+	d, est, err := r.c.Decide(r.ctx, stream, spec)
+	if err != nil {
+		r.fail(fmt.Errorf("decide stream %d: %w", stream, err))
+	}
+	return d, est
+}
+
+func (r *remoteBackend) Observe(stream int, fb alert.Feedback) {
+	if err := r.c.Observe(r.ctx, stream, fb); err != nil {
+		r.fail(fmt.Errorf("observe stream %d: %w", stream, err))
+	}
+}
+
+func (r *remoteBackend) Stats() alert.ServerStats {
+	stats, err := r.c.Stats(r.ctx)
+	if err != nil {
+		r.fail(fmt.Errorf("stats: %w", err))
+	}
+	return stats.Serve
 }
 
 // runLoad executes the load test and returns the aggregate report.
 func runLoad(cfg loadConfig) (*loadReport, error) {
-	plat, err := findPlatform(cfg.platform)
+	plat, err := alert.PlatformByName(cfg.platform)
 	if err != nil {
 		return nil, err
 	}
@@ -233,17 +324,63 @@ func runLoad(cfg loadConfig) (*loadReport, error) {
 		open = false
 	}
 
-	// Shards bound only worker concurrency; every stream gets its own
-	// session either way, so the shard count never changes decisions and
-	// 0 can safely mean "one per CPU" (the alert.NewServer default).
-	srv, err := alert.NewServer(plat, models, alert.ServerOptions{
-		Shards:  cfg.shards,
-		Options: alert.Options{ReferenceScorer: cfg.referenceScorer},
-	})
-	if err != nil {
-		return nil, err
+	// The server under load: in-process by default, a live alertserve over
+	// the network with -addr. Shards bound only worker concurrency; every
+	// stream gets its own session either way, so the shard count never
+	// changes decisions and 0 can safely mean "one per CPU" (the
+	// alert.NewServer default).
+	var (
+		bk     backend
+		remote *remoteBackend
+	)
+	if cfg.addr != "" {
+		base := cfg.addr
+		if !strings.Contains(base, "://") {
+			base = "http://" + base
+		}
+		// Overload 429s are retried by the client itself (they are shed
+		// before any state is touched, so retries cannot double-apply);
+		// replays need every request served, not load shed.
+		cl, err := client.New(base, client.Options{MaxRetries: 100})
+		if err != nil {
+			return nil, err
+		}
+		defer cl.Close()
+		remote = &remoteBackend{c: cl, ctx: context.Background()}
+		// Preflight: the remote server must be profiled like this run, or
+		// its decisions answer a different question and every comparison
+		// (and the byte-identical replay property) is silently garbage.
+		stats, err := cl.Stats(remote.ctx)
+		if err != nil {
+			return nil, fmt.Errorf("probing %s: %w", cfg.addr, err)
+		}
+		if !strings.EqualFold(stats.Platform, plat.Name) {
+			return nil, fmt.Errorf("remote server at %s serves platform %s, this run simulates %s (start alertserve with -platform %s)",
+				cfg.addr, stats.Platform, plat.Name, plat.Name)
+		}
+		if stats.Models != len(models) {
+			return nil, fmt.Errorf("remote server at %s serves %d candidate models, this run simulates %d (start alertserve with -task %s)",
+				cfg.addr, stats.Models, len(models), cfg.task)
+		}
+		// Fresh sessions for the streams this run drives, so the replay is
+		// reproducible regardless of the server's prior traffic.
+		for s := 0; s < cfg.streams; s++ {
+			if err := cl.EvictStream(remote.ctx, s); err != nil {
+				return nil, fmt.Errorf("evicting stream %d on %s: %w", s, cfg.addr, err)
+			}
+		}
+		bk = remote
+	} else {
+		srv, err := alert.NewServer(plat, models, alert.ServerOptions{
+			Shards:  cfg.shards,
+			Options: alert.Options{ReferenceScorer: cfg.referenceScorer},
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer srv.Close()
+		bk = srv
 	}
-	defer srv.Close()
 
 	// The streams replay the same trace but draw independent input streams
 	// and platform noise, like distinct users of one deployment. Profiling
@@ -259,7 +396,7 @@ func runLoad(cfg loadConfig) (*loadReport, error) {
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			results[s] = driveStream(srv, prof, tr, spec, task, driveConfig{
+			results[s] = driveStream(bk, prof, tr, spec, task, driveConfig{
 				stream: s,
 				inputs: cfg.inputs,
 				seed:   cfg.seed + int64(s)*7919,
@@ -268,6 +405,11 @@ func runLoad(cfg loadConfig) (*loadReport, error) {
 		}(s)
 	}
 	wg.Wait()
+	if remote != nil {
+		if err := remote.firstErr(); err != nil {
+			return nil, err
+		}
+	}
 
 	rep := &loadReport{
 		Trace:        tr,
@@ -289,7 +431,12 @@ func runLoad(cfg loadConfig) (*loadReport, error) {
 	rep.P99 = all.LatencyPercentile(99)
 	rep.AvgEnergy = all.AvgEnergy()
 	rep.AvgQuality = all.AvgQuality()
-	rep.ServerStats = srv.Stats()
+	rep.ServerStats = bk.Stats()
+	if remote != nil {
+		if err := remote.firstErr(); err != nil {
+			return nil, err
+		}
+	}
 	return rep, nil
 }
 
@@ -306,7 +453,7 @@ type driveConfig struct {
 // virtual-time environment replaying the scenario trace, and arrivals
 // paced by the trace's arrival process (open loop) or by completion
 // (closed loop).
-func driveStream(srv *alert.Server, prof *dnn.ProfileTable, tr *scenario.Trace,
+func driveStream(srv backend, prof *dnn.ProfileTable, tr *scenario.Trace,
 	base alert.Spec, task dnn.Task, dc driveConfig) streamResult {
 
 	env := sim.NewEnv(prof, tr.Source(), dc.seed*3+2)
@@ -380,11 +527,13 @@ func driveStream(srv *alert.Server, prof *dnn.ProfileTable, tr *scenario.Trace,
 	return streamResult{rec: rec, decisions: seq.String()}
 }
 
-func findPlatform(name string) (*alert.Platform, error) {
-	for _, p := range alert.Platforms() {
-		if strings.EqualFold(p.Name, name) {
-			return p, nil
-		}
+// writeDecisions persists the per-stream decision sequences, one line per
+// stream — the replay-determinism artifact CI diffs between the in-process
+// and -addr paths.
+func writeDecisions(path string, seqs []string) error {
+	var b strings.Builder
+	for s, seq := range seqs {
+		fmt.Fprintf(&b, "stream %d: %s\n", s, seq)
 	}
-	return nil, fmt.Errorf("unknown platform %q", name)
+	return os.WriteFile(path, []byte(b.String()), 0o644)
 }

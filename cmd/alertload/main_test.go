@@ -1,9 +1,15 @@
 package main
 
 import (
+	"net/http/httptest"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
+
+	"github.com/alert-project/alert"
+	"github.com/alert-project/alert/internal/netserve"
 )
 
 func testConfig() loadConfig {
@@ -142,6 +148,140 @@ func TestShardCountInvariance(t *testing.T) {
 	}
 	if a.SLOAttainment != b.SLOAttainment || a.AvgEnergy != b.AvgEnergy || a.AvgQuality != b.AvgQuality {
 		t.Error("aggregate metrics changed with the shard count")
+	}
+}
+
+// startAlertserve stands up the network front end over a fresh
+// alert.Server with alertload's default platform/task (CPU1/image), like a
+// running cmd/alertserve.
+func startAlertserve(t *testing.T, cfg netserve.Config) string {
+	t.Helper()
+	srv, err := alert.NewServer(alert.CPU1(), alert.ImageCandidates(), alert.ServerOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(netserve.New(srv, cfg))
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+// TestAddrModeMatchesInProcess is the tentpole acceptance criterion: the
+// same replay driven over loopback sockets against a live network front
+// end produces byte-identical per-stream decision sequences to the
+// in-process alert.Server path — the HTTP/JSON wire carries every float64
+// exactly, and per-stream FIFO survives the network hop.
+func TestAddrModeMatchesInProcess(t *testing.T) {
+	inProc, err := runLoad(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	url := startAlertserve(t, netserve.Config{})
+	remoteCfg := testConfig()
+	remoteCfg.addr = url
+	remote, err := runLoad(remoteCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range inProc.DecisionSeqs {
+		if inProc.DecisionSeqs[s] != remote.DecisionSeqs[s] {
+			t.Errorf("stream %d: network decisions diverge from in-process", s)
+		}
+		if remote.DecisionSeqs[s] == "" {
+			t.Errorf("stream %d produced no decisions over the network", s)
+		}
+	}
+	if inProc.SLOAttainment != remote.SLOAttainment || inProc.MissRate != remote.MissRate ||
+		inProc.AvgEnergy != remote.AvgEnergy || inProc.AvgQuality != remote.AvgQuality {
+		t.Error("aggregate metrics diverge between in-process and network runs")
+	}
+
+	// A second network run against the SAME server must match too: the
+	// up-front eviction resets the driven streams, so server history does
+	// not leak into a replay.
+	again, err := runLoad(remoteCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range inProc.DecisionSeqs {
+		if inProc.DecisionSeqs[s] != again.DecisionSeqs[s] {
+			t.Errorf("stream %d: second network run diverges (eviction did not reset the stream)", s)
+		}
+	}
+}
+
+// TestAddrModePlatformMismatch: driving a server profiled on a different
+// platform must fail loudly at preflight, not silently compare decisions
+// made against the wrong profile table.
+func TestAddrModePlatformMismatch(t *testing.T) {
+	srv, err := alert.NewServer(alert.GPU(), alert.ImageCandidates(), alert.ServerOptions{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(netserve.New(srv, netserve.Config{}))
+	t.Cleanup(ts.Close)
+
+	cfg := testConfig()
+	cfg.addr = ts.URL
+	if _, err := runLoad(cfg); err == nil || !strings.Contains(err.Error(), "platform") {
+		t.Fatalf("platform mismatch must fail preflight, got %v", err)
+	}
+}
+
+// TestAddrModeUnderOverload replays through a deliberately tiny admission
+// gate: the client rides out the 429s by retrying, every request is
+// eventually served, and the decision sequences stay byte-identical —
+// overload sheds cleanly without corrupting any stream.
+func TestAddrModeUnderOverload(t *testing.T) {
+	inProc, err := runLoad(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := startAlertserve(t, netserve.Config{MaxInflight: 1, MaxQueue: 1, RetryAfter: time.Millisecond})
+	remoteCfg := testConfig()
+	remoteCfg.addr = url
+	remote, err := runLoad(remoteCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range inProc.DecisionSeqs {
+		if inProc.DecisionSeqs[s] != remote.DecisionSeqs[s] {
+			t.Errorf("stream %d: decisions diverge under admission pressure", s)
+		}
+	}
+}
+
+// TestDecisionsOut: the -decisions-out artifact carries exactly the
+// per-stream sequences the report holds.
+func TestDecisionsOut(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "decisions.txt")
+	var out strings.Builder
+	if err := run([]string{
+		"-scenario", "bursty", "-streams", "2", "-inputs", "40", "-seed", "5",
+		"-decisions-out", path,
+	}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "decision sequences written") {
+		t.Errorf("missing decisions-out confirmation:\n%s", out.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("decisions file has %d lines, want 2:\n%s", len(lines), data)
+	}
+	for s, line := range lines {
+		if !strings.HasPrefix(line, "stream "+string(rune('0'+s))+": ") {
+			t.Errorf("line %d malformed: %q", s, line)
+		}
+		if len(line) < 20 {
+			t.Errorf("line %d suspiciously short: %q", s, line)
+		}
 	}
 }
 

@@ -1,0 +1,150 @@
+// Command alertserve hosts the ALERT network serving front end: an
+// alert.Server (shared decision engine + sharded stream table) behind the
+// internal/netserve HTTP/JSON API, with bounded admission, periodic idle-
+// stream eviction, and graceful drain on SIGINT/SIGTERM.
+//
+// Usage:
+//
+//	alertserve -addr 127.0.0.1:8372 -platform CPU1 -task image
+//	alertserve -addr :8372 -max-inflight 256 -max-queue 1024 -idle-evict 10m
+//
+// Clients talk to it with the typed client package (client/) or plain
+// HTTP; cmd/alertload -addr drives it with scenario-shaped load. On
+// shutdown the server drains: new requests get 503 + Retry-After while
+// everything already admitted finishes, then the listener closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/alert-project/alert"
+	"github.com/alert-project/alert/internal/netserve"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "alertserve:", err)
+		os.Exit(1)
+	}
+}
+
+// run is main with injectable arguments, output, and readiness callback
+// (invoked with the bound address once the listener is up), so the server
+// is testable end-to-end without a subprocess. It serves until ctx is
+// canceled, then drains and returns.
+func run(ctx context.Context, args []string, stdout io.Writer, onReady func(addr string)) error {
+	fs := flag.NewFlagSet("alertserve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8372", "listen address (host:port; port 0 picks a free port)")
+	platName := fs.String("platform", "CPU1", "Embedded | CPU1 | CPU2 | GPU")
+	task := fs.String("task", "image", "image | sentence")
+	shards := fs.Int("shards", 0, "stream-table shards (0 = one per CPU)")
+	queueDepth := fs.Int("queue-depth", 0, "per-shard FIFO capacity (0 = default)")
+	maxInflight := fs.Int("max-inflight", 0, "admission gate: concurrent requests (0 = default 64)")
+	maxQueue := fs.Int("max-queue", 0, "admission gate: waiting requests before 429 (0 = 2x max-inflight)")
+	retryAfter := fs.Duration("retry-after", 0, "backoff hint on 429/503 (0 = 50ms)")
+	idleEvict := fs.Duration("idle-evict", 0, "evict sessions idle longer than this, swept at the same period (0 = never)")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "max wait for in-flight requests on shutdown")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	plat, err := alert.PlatformByName(*platName)
+	if err != nil {
+		return err
+	}
+	models := alert.ImageCandidates()
+	if strings.HasPrefix(strings.ToLower(*task), "sent") {
+		models = alert.SentenceCandidates()
+	}
+
+	srv, err := alert.NewServer(plat, models, alert.ServerOptions{
+		Shards:     *shards,
+		QueueDepth: *queueDepth,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	front := netserve.New(srv, netserve.Config{
+		MaxInflight: *maxInflight,
+		MaxQueue:    *maxQueue,
+		RetryAfter:  *retryAfter,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "alertserve: listening on %s platform=%s task=%s shards=%d\n",
+		ln.Addr(), plat.Name, *task, srv.Shards())
+	if onReady != nil {
+		onReady(ln.Addr().String())
+	}
+
+	// Periodic idle-stream reaper, so abandoned streams cannot grow the
+	// table forever on a long-lived server.
+	reaperDone := make(chan struct{})
+	if *idleEvict > 0 {
+		go func() {
+			defer close(reaperDone)
+			tick := time.NewTicker(*idleEvict)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					if n := srv.EvictIdle(*idleEvict); n > 0 {
+						fmt.Fprintf(stdout, "alertserve: evicted %d idle streams\n", n)
+					}
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	} else {
+		close(reaperDone)
+	}
+
+	hs := &http.Server{Handler: front}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err // listener failed before shutdown was requested
+	case <-ctx.Done():
+	}
+	// The reaper shares stdout; join it before writing again so a tick in
+	// flight cannot race the shutdown prints.
+	<-reaperDone
+
+	// Graceful drain: flip the front end first so keep-alive connections
+	// get 503 + Retry-After instead of hanging, then close the listener
+	// and wait for in-flight requests.
+	fmt.Fprintln(stdout, "alertserve: draining")
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	drainErr := front.Drain(dctx)
+	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	<-serveErr // always http.ErrServerClosed after Shutdown
+	fmt.Fprintf(stdout, "alertserve: drained; served %s\n", front.NetStats())
+	fmt.Fprintf(stdout, "alertserve: stream table %s\n", srv.Stats())
+	if drainErr != nil {
+		return fmt.Errorf("drain: %w", drainErr)
+	}
+	return nil
+}

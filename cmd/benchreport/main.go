@@ -24,7 +24,10 @@
 //   - BenchmarkPoolManyStreams/shared-engine must use at least
 //     -min-mem-reduction times fewer bytes per stream than the same run's
 //     naive one-Controller-per-stream construction (the Engine/Session
-//     memory contract at 10k streams).
+//     memory contract at 10k streams), and
+//   - BenchmarkNetServe/batch64 must sustain at least
+//     -min-net-batch-speedup times the decisions/s of the same run's
+//     single-decide loopback round trips (the network batching contract).
 package main
 
 import (
@@ -63,24 +66,25 @@ type Entry struct {
 }
 
 type config struct {
-	bench           string
-	benchtime       string
-	count           int
-	heavyBench      string
-	heavyBenchtime  string
-	pkgs            string
-	out             string
-	input           string
-	check           bool
-	minSpeedup      float64
-	minMemReduction float64
+	bench              string
+	benchtime          string
+	count              int
+	heavyBench         string
+	heavyBenchtime     string
+	pkgs               string
+	out                string
+	input              string
+	check              bool
+	minSpeedup         float64
+	minMemReduction    float64
+	minNetBatchSpeedup float64
 }
 
 func run(args []string, stdout io.Writer) error {
 	var cfg config
 	fs := flag.NewFlagSet("benchreport", flag.ContinueOnError)
 	fs.StringVar(&cfg.bench, "bench",
-		"^(BenchmarkDecide|BenchmarkDecideZoo|BenchmarkDecideAtCap|BenchmarkPoolDecide|BenchmarkPoolDecideObserve|BenchmarkPoolDecideBatch|BenchmarkPoolManyStreams|BenchmarkServeBatch)$",
+		"^(BenchmarkDecide|BenchmarkDecideZoo|BenchmarkDecideAtCap|BenchmarkPoolDecide|BenchmarkPoolDecideObserve|BenchmarkPoolDecideBatch|BenchmarkPoolManyStreams|BenchmarkServeBatch|BenchmarkNetServe)$",
 		"benchmark regex passed to go test -bench")
 	fs.StringVar(&cfg.benchtime, "benchtime", "300x", "benchtime passed to go test")
 	fs.IntVar(&cfg.count, "count", 3,
@@ -96,6 +100,8 @@ func run(args []string, stdout io.Writer) error {
 		"minimum BenchmarkDecide speedup over the same run's naive baseline")
 	fs.Float64Var(&cfg.minMemReduction, "min-mem-reduction", 10.0,
 		"minimum BenchmarkPoolManyStreams bytes-per-stream reduction of the shared engine over the same run's naive per-stream controllers")
+	fs.Float64Var(&cfg.minNetBatchSpeedup, "min-net-batch-speedup", 2.0,
+		"minimum BenchmarkNetServe decisions/s amplification of batch64 over the same run's single-decide round trips")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -150,7 +156,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	if cfg.check {
-		if err := checkGates(entries, cfg.minSpeedup, cfg.minMemReduction); err != nil {
+		if err := checkGates(entries, cfg.minSpeedup, cfg.minMemReduction, cfg.minNetBatchSpeedup); err != nil {
 			return err
 		}
 		fmt.Fprintln(stdout, "perf gates passed")
@@ -282,12 +288,21 @@ func derived(entries []Entry) []Entry {
 			Metrics: map[string]float64{"x": perCtl.Metrics["bytes/stream"] / shared.Metrics["bytes/stream"]},
 		})
 	}
+	netSingle := find(entries, "BenchmarkNetServe/decide")
+	netBatch := find(entries, "BenchmarkNetServe/batch64")
+	if netSingle != nil && netBatch != nil &&
+		netSingle.Metrics["decisions/s"] > 0 && netBatch.Metrics["decisions/s"] > 0 {
+		out = append(out, Entry{
+			Name:    "derived/netserve-batch-speedup",
+			Metrics: map[string]float64{"x": netBatch.Metrics["decisions/s"] / netSingle.Metrics["decisions/s"]},
+		})
+	}
 	return out
 }
 
-// checkGates enforces the decide-path perf and stream-table memory
-// contracts on a parsed snapshot.
-func checkGates(entries []Entry, minSpeedup, minMemReduction float64) error {
+// checkGates enforces the decide-path perf, stream-table memory, and
+// network-batching contracts on a parsed snapshot.
+func checkGates(entries []Entry, minSpeedup, minMemReduction, minNetBatchSpeedup float64) error {
 	cached := find(entries, "BenchmarkDecide/cached")
 	if cached == nil {
 		return fmt.Errorf("gate: BenchmarkDecide/cached missing from results")
@@ -316,6 +331,13 @@ func checkGates(entries []Entry, minSpeedup, minMemReduction float64) error {
 	}
 	if x := mem.Metrics["x"]; x < minMemReduction {
 		return fmt.Errorf("gate: derived/manystreams-bytes-reduction = %.2fx, want >= %.2fx", x, minMemReduction)
+	}
+	net := find(entries, "derived/netserve-batch-speedup")
+	if net == nil {
+		return fmt.Errorf("gate: derived/netserve-batch-speedup missing (need BenchmarkNetServe decide/batch64 in one run)")
+	}
+	if x := net.Metrics["x"]; x < minNetBatchSpeedup {
+		return fmt.Errorf("gate: derived/netserve-batch-speedup = %.2fx, want >= %.2fx", x, minNetBatchSpeedup)
 	}
 	return nil
 }

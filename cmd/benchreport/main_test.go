@@ -24,6 +24,10 @@ BenchmarkPoolDecideBatch-8   	     300	     15729 ns/op	   4069029 decisions/s	 
 BenchmarkPoolManyStreams/shared-engine-8         	     300	     22440 ns/op	       846.9 bytes/stream	     44563 decisions/s	   1927862 streams/s	       1 B/op	       0 allocs/op
 BenchmarkPoolManyStreams/naive-controllers-8     	     300	     23445 ns/op	     32272 bytes/stream	     42653 decisions/s	     36624 streams/s	       0 B/op	       0 allocs/op
 ok  	github.com/alert-project/alert/internal/serve	0.018s
+pkg: github.com/alert-project/alert/internal/netserve
+BenchmarkNetServe/decide-8       	     300	     61732 ns/op	     16200 decisions/s	   10531 B/op	     118 allocs/op
+BenchmarkNetServe/batch64-8      	     300	    549911 ns/op	    116383 decisions/s	  134012 B/op	     230 allocs/op
+ok  	github.com/alert-project/alert/internal/netserve	0.193s
 `
 
 func TestParseBenchOutput(t *testing.T) {
@@ -31,8 +35,8 @@ func TestParseBenchOutput(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(entries) != 6 {
-		t.Fatalf("parsed %d entries, want 6", len(entries))
+	if len(entries) != 8 {
+		t.Fatalf("parsed %d entries, want 8", len(entries))
 	}
 	shared := find(entries, "BenchmarkPoolManyStreams/shared-engine")
 	if shared == nil || shared.Metrics["bytes/stream"] != 846.9 {
@@ -67,8 +71,8 @@ BenchmarkDecide/naive-8         	     500	     60001 ns/op	     16000 decisions/
 		t.Fatal(err)
 	}
 	merged := mergeMin(entries)
-	if len(merged) != 6 {
-		t.Fatalf("merged to %d entries, want 6", len(merged))
+	if len(merged) != 8 {
+		t.Fatalf("merged to %d entries, want 8", len(merged))
 	}
 	if un := find(merged, "BenchmarkDecide/uncached"); un == nil || un.NsPerOp != 19909 {
 		t.Errorf("uncached merge kept %+v, want the 19909 ns/op run", un)
@@ -84,8 +88,8 @@ func TestDerivedSpeedups(t *testing.T) {
 		t.Fatal(err)
 	}
 	d := derived(entries)
-	if len(d) != 3 {
-		t.Fatalf("derived %d entries, want 3", len(d))
+	if len(d) != 4 {
+		t.Fatalf("derived %d entries, want 4", len(d))
 	}
 	un := d[0].Metrics["x"]
 	if un < 2.5 || un > 2.7 {
@@ -100,18 +104,24 @@ func TestDerivedSpeedups(t *testing.T) {
 	if d[2].Name != "derived/manystreams-bytes-reduction" {
 		t.Errorf("third derived entry is %q", d[2].Name)
 	}
+	if d[3].Name != "derived/netserve-batch-speedup" {
+		t.Errorf("fourth derived entry is %q", d[3].Name)
+	}
+	if net := d[3].Metrics["x"]; net < 7.1 || net > 7.3 {
+		t.Errorf("netserve batch speedup = %g, want ~7.18 (116383/16200)", net)
+	}
 }
 
 func TestCheckGates(t *testing.T) {
 	entries, _ := parseBenchOutput(canned)
 	entries = append(entries, derived(entries)...)
-	if err := checkGates(entries, 2.0, 10.0); err != nil {
+	if err := checkGates(entries, 2.0, 10.0, 2.0); err != nil {
 		t.Errorf("gates should pass on the canned snapshot: %v", err)
 	}
-	if err := checkGates(entries, 10.0, 10.0); err == nil {
+	if err := checkGates(entries, 10.0, 10.0, 2.0); err == nil {
 		t.Error("uncached speedup 2.58x must fail a 10x gate")
 	}
-	if err := checkGates(entries, 2.0, 100.0); err == nil {
+	if err := checkGates(entries, 2.0, 100.0, 2.0); err == nil {
 		t.Error("38x memory reduction must fail a 100x gate")
 	}
 
@@ -120,7 +130,7 @@ func TestCheckGates(t *testing.T) {
 		"17.52 ns/op	  57077626 decisions/s	       0 B/op	       0 allocs/op",
 		"17.52 ns/op	  57077626 decisions/s	      48 B/op	       2 allocs/op", 1))
 	regressed = append(regressed, derived(regressed)...)
-	if err := checkGates(regressed, 2.0, 10.0); err == nil ||
+	if err := checkGates(regressed, 2.0, 10.0, 2.0); err == nil ||
 		!strings.Contains(err.Error(), "allocates") {
 		t.Errorf("alloc regression not caught: %v", err)
 	}
@@ -129,13 +139,26 @@ func TestCheckGates(t *testing.T) {
 	// contract and must say so.
 	noMem, _ := parseBenchOutput(strings.ReplaceAll(canned, "BenchmarkPoolManyStreams", "BenchmarkGone"))
 	noMem = append(noMem, derived(noMem)...)
-	if err := checkGates(noMem, 2.0, 10.0); err == nil ||
+	if err := checkGates(noMem, 2.0, 10.0, 2.0); err == nil ||
 		!strings.Contains(err.Error(), "manystreams") {
 		t.Errorf("missing many-streams pair not caught: %v", err)
 	}
 
+	// The ~7.2x network batch amplification must fail a 100x gate, and a
+	// snapshot without the netserve pair cannot assert the contract.
+	if err := checkGates(entries, 2.0, 10.0, 100.0); err == nil ||
+		!strings.Contains(err.Error(), "netserve-batch-speedup") {
+		t.Errorf("net batch speedup gate not enforced: %v", err)
+	}
+	noNet, _ := parseBenchOutput(strings.ReplaceAll(canned, "BenchmarkNetServe", "BenchmarkGone"))
+	noNet = append(noNet, derived(noNet)...)
+	if err := checkGates(noNet, 2.0, 10.0, 2.0); err == nil ||
+		!strings.Contains(err.Error(), "netserve") {
+		t.Errorf("missing netserve pair not caught: %v", err)
+	}
+
 	// A snapshot without the decide benchmarks cannot be gated.
-	if err := checkGates(nil, 2.0, 10.0); err == nil {
+	if err := checkGates(nil, 2.0, 10.0, 2.0); err == nil {
 		t.Error("empty snapshot must fail the gate")
 	}
 }
@@ -164,8 +187,8 @@ func TestRunFromInput(t *testing.T) {
 	if err := json.Unmarshal(data, &entries); err != nil {
 		t.Fatalf("snapshot is not valid JSON: %v", err)
 	}
-	if len(entries) != 9 { // 6 parsed + 3 derived
-		t.Errorf("snapshot has %d entries, want 9", len(entries))
+	if len(entries) != 12 { // 8 parsed + 4 derived
+		t.Errorf("snapshot has %d entries, want 12", len(entries))
 	}
 
 	// And a failing gate must surface as an error.

@@ -68,21 +68,29 @@ func (c *ServeCounters) RecordSessionEvict(bytes int64) {
 // RecordBatch folds in one dispatched batch.
 func (c *ServeCounters) RecordBatch() { c.batches.Add(1) }
 
-// ServeSnapshot is a point-in-time view of the serving counters.
+// ServeSnapshot is a point-in-time view of the serving counters. It is the
+// payload of GET /v1/stats on the network front end, so the JSON field
+// names below are a stable wire contract: additive changes only. Duration
+// fields marshal as integer nanoseconds (encoding/json's time.Duration
+// encoding), which the _ns suffixes make explicit.
 type ServeSnapshot struct {
 	// Decisions and Observes count completed requests; Batches counts
 	// DecideBatch dispatches.
-	Decisions, Observes, Batches int64
+	Decisions int64 `json:"decisions"`
+	Observes  int64 `json:"observes"`
+	Batches   int64 `json:"batches"`
 	// Streams gauges the live per-stream sessions in the pool's stream
 	// table; SessionBytes their aggregate in-memory footprint.
-	Streams, SessionBytes int64
+	Streams      int64 `json:"streams"`
+	SessionBytes int64 `json:"session_bytes"`
 	// AvgDecideLatency and MaxDecideLatency are end-to-end (submit to
 	// reply) per-decision times.
-	AvgDecideLatency, MaxDecideLatency time.Duration
+	AvgDecideLatency time.Duration `json:"avg_decide_latency_ns"`
+	MaxDecideLatency time.Duration `json:"max_decide_latency_ns"`
 	// Uptime is the time since the counters were created.
-	Uptime time.Duration
+	Uptime time.Duration `json:"uptime_ns"`
 	// DecidesPerSec is Decisions / Uptime.
-	DecidesPerSec float64
+	DecidesPerSec float64 `json:"decides_per_sec"`
 }
 
 // Snapshot returns a consistent-enough view for reporting: each field is

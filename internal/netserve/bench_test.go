@@ -1,0 +1,68 @@
+package netserve_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/alert-project/alert"
+	"github.com/alert-project/alert/client"
+	"github.com/alert-project/alert/internal/netserve"
+)
+
+// BenchmarkNetServe measures the network front end over a loopback
+// listener through the real typed client — the full serving stack a remote
+// caller pays: JSON encode, HTTP round trip (keep-alive reuse), admission
+// gate, stream table, JSON decode.
+//
+//	decide   one request per decision — the per-request floor
+//	batch64  64 decisions per request — what batching amortizes
+//
+// Both report decisions/s; cmd/benchreport derives the batch-vs-single
+// amplification and gates on it (BENCH_5.json).
+func BenchmarkNetServe(b *testing.B) {
+	srv, err := alert.NewServer(alert.CPU1(), alert.ImageCandidates(), alert.ServerOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(netserve.New(srv, netserve.Config{MaxInflight: 256, MaxQueue: 4096}))
+	defer ts.Close()
+	c, err := client.New(ts.URL, client.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx := context.Background()
+	spec := alert.Spec{Objective: alert.MinimizeEnergy, Deadline: 0.2, AccuracyGoal: 0.9}
+
+	b.Run("decide", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := c.Decide(ctx, i%64, spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "decisions/s")
+	})
+
+	b.Run("batch64", func(b *testing.B) {
+		const size = 64
+		reqs := make([]alert.BatchRequest, size)
+		for i := range reqs {
+			reqs[i] = alert.BatchRequest{Stream: i, Spec: spec}
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := c.DecideBatch(ctx, reqs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res) != size {
+				b.Fatalf("%d results, want %d", len(res), size)
+			}
+		}
+		b.ReportMetric(float64(b.N*size)/b.Elapsed().Seconds(), "decisions/s")
+	})
+}

@@ -1,0 +1,497 @@
+// Package netserve is the network serving front end over alert.Server: an
+// HTTP/JSON API exposing the stream table to remote clients, with the
+// production behaviors the in-process path never needed — bounded
+// admission, per-request deadlines, and graceful drain.
+//
+// Endpoints (see wire.go for the exact JSON shapes):
+//
+//	POST   /v1/decide        one decision for one stream
+//	POST   /v1/observe       feedback for one stream (fire-and-forget)
+//	POST   /v1/decide-batch  one decision per request, request order
+//	GET    /v1/stats         serve + front-end counter snapshots
+//	GET    /v1/streams       live stream ids
+//	DELETE /v1/streams/{id}  evict one stream's session
+//
+// # Admission control
+//
+// The in-process pool applies backpressure by blocking the submitter; a
+// network server cannot block an unbounded number of connections without
+// melting, so the front end bounds its exposure explicitly. At most
+// MaxInflight requests are past the gate at once; up to MaxQueue more wait
+// at it. A request that would exceed the queue is rejected immediately
+// with 429 and a Retry-After hint, and a decide whose Spec deadline
+// expires while it waits is rejected the same way (a decision that late is
+// useless). Crucially, admission is all-or-nothing: once a request passes
+// the gate it is always served — the pool beneath never drops work — so
+// overload sheds cleanly at the edge with zero dropped accepted requests.
+// Only the mutating endpoints pass the gate; the stats/streams reads stay
+// ungated so monitoring keeps answering while the server is saturated or
+// draining.
+//
+// # Ordering
+//
+// The per-stream FIFO guarantee of the pool extends over the wire per
+// connection in the natural way: a client that waits for each response
+// before its next request on a stream observes exactly the in-process
+// semantics, and replays are byte-identical to driving alert.Server
+// directly (cmd/alertload -addr pins this). Concurrent requests for one
+// stream race at the admission gate like goroutines race at the pool.
+//
+// # Drain
+//
+// Drain flips the server into shutdown mode: new mutating requests are
+// refused with 503 (clients see Retry-After and go elsewhere; reads still
+// answer) while everything already admitted runs to completion.
+// cmd/alertserve wires it to SIGINT/SIGTERM ahead of http.Server.Shutdown.
+package netserve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/alert-project/alert"
+	"github.com/alert-project/alert/internal/metrics"
+)
+
+// Config sizes the front end. The zero value selects sensible defaults.
+type Config struct {
+	// MaxInflight bounds the requests concurrently past the admission gate
+	// (the mutating endpoints: decide, observe, decide-batch, and stream
+	// eviction; the stats/streams reads are deliberately ungated so
+	// monitoring keeps answering under overload and drain); 0 means 64.
+	MaxInflight int
+	// MaxQueue bounds the requests waiting at the gate beyond MaxInflight;
+	// a request arriving with the queue full is rejected with 429. 0 means
+	// 2×MaxInflight.
+	MaxQueue int
+	// RetryAfter is the backoff hint attached to 429/503 responses; 0
+	// means 50ms.
+	RetryAfter time.Duration
+}
+
+func (c Config) maxInflight() int {
+	if c.MaxInflight <= 0 {
+		return 64
+	}
+	return c.MaxInflight
+}
+
+func (c Config) maxQueue() int {
+	if c.MaxQueue <= 0 {
+		return 2 * c.maxInflight()
+	}
+	return c.MaxQueue
+}
+
+func (c Config) retryAfter() time.Duration {
+	if c.RetryAfter <= 0 {
+		return 50 * time.Millisecond
+	}
+	return c.RetryAfter
+}
+
+// Server is the HTTP front end. It implements http.Handler; mount it on
+// any mux or serve it directly. The underlying alert.Server is owned by
+// the caller and must outlive the front end.
+type Server struct {
+	alert      *alert.Server
+	net        *metrics.NetCounters
+	retryAfter time.Duration
+
+	// tokens is the admission gate: a request must deposit a token to run
+	// and withdraws it when done. queued counts requests waiting at the
+	// gate; beyond maxQueue they are rejected, which is what bounds this
+	// server's total exposure to MaxInflight + MaxQueue requests.
+	tokens   chan struct{}
+	maxQueue int64
+	queued   int64 // guarded by mu
+
+	// Drain bookkeeping: draining refuses new admissions; inflight counts
+	// admitted-but-unfinished requests; drained closes when draining is on
+	// and inflight reaches zero.
+	mu        sync.Mutex
+	draining  bool
+	inflight  int
+	drained   chan struct{}
+	drainOnce sync.Once
+}
+
+// New builds the front end over an alert.Server.
+func New(srv *alert.Server, cfg Config) *Server {
+	return &Server{
+		alert:      srv,
+		net:        metrics.NewNetCounters(),
+		retryAfter: cfg.retryAfter(),
+		tokens:     make(chan struct{}, cfg.maxInflight()),
+		maxQueue:   int64(cfg.maxQueue()),
+		drained:    make(chan struct{}),
+	}
+}
+
+// NetStats snapshots the front end's request/latency/overload counters.
+func (s *Server) NetStats() metrics.NetSnapshot { return s.net.Snapshot() }
+
+// Drain stops admitting mutating requests (new ones get 503 +
+// Retry-After; reads still answer) and blocks until every admitted
+// request has finished, or ctx expires. It is idempotent; the front end
+// stays in draining mode afterwards.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	if s.inflight == 0 {
+		s.drainOnce.Do(func() { close(s.drained) })
+	}
+	s.mu.Unlock()
+	select {
+	case <-s.drained:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// admitStatus classifies an admission attempt.
+type admitStatus int
+
+const (
+	admitOK admitStatus = iota
+	admitOverload
+	admitDeadline
+	admitDraining
+)
+
+// admit passes the request through the gate. On admitOK the caller MUST
+// call s.release() when done — from that point the request is "accepted"
+// and will be served no matter what. ctx carries the request's admission
+// deadline (the Spec deadline for decides, the connection's lifetime
+// otherwise).
+func (s *Server) admit(ctx context.Context) admitStatus {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return admitDraining
+	}
+	// Fast path: a free slot admits without queueing.
+	select {
+	case s.tokens <- struct{}{}:
+		s.inflight++
+		s.mu.Unlock()
+		return admitOK
+	default:
+	}
+	// Slow path: wait at the gate if the queue has room.
+	if s.queued >= s.maxQueue {
+		s.mu.Unlock()
+		return admitOverload
+	}
+	s.queued++
+	s.mu.Unlock()
+
+	select {
+	case s.tokens <- struct{}{}:
+		s.mu.Lock()
+		s.queued--
+		// A drain that started while this request queued wins: give the
+		// token back and refuse, so Drain's "no new work after the flip"
+		// promise holds even for requests that were already waiting.
+		if s.draining {
+			s.mu.Unlock()
+			<-s.tokens
+			return admitDraining
+		}
+		s.inflight++
+		s.mu.Unlock()
+		return admitOK
+	case <-ctx.Done():
+		s.mu.Lock()
+		s.queued--
+		s.mu.Unlock()
+		return admitDeadline
+	}
+}
+
+// release returns an admitted request's token and settles the drain
+// bookkeeping.
+func (s *Server) release() {
+	<-s.tokens
+	s.mu.Lock()
+	s.inflight--
+	if s.draining && s.inflight == 0 {
+		s.drainOnce.Do(func() { close(s.drained) })
+	}
+	s.mu.Unlock()
+}
+
+// HoldTokenForTest occupies one admission slot with no request attached,
+// and ReleaseTokenForTest frees one. They exist so tests in other packages
+// (client, cmd/alertload) can saturate the gate deterministically instead
+// of racing real traffic against it; production code must never call them.
+func (s *Server) HoldTokenForTest()    { s.tokens <- struct{}{} }
+func (s *Server) ReleaseTokenForTest() { <-s.tokens }
+
+// maxBody bounds request bodies; a decide-batch of tens of thousands of
+// requests fits comfortably.
+const maxBody = 8 << 20
+
+// ServeHTTP routes the /v1 API. Go 1.21-compatible by hand: method
+// patterns in ServeMux arrived in 1.22 and go.mod supports 1.21.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	path := r.URL.Path
+	switch {
+	case path == "/v1/decide":
+		s.post(w, r, s.handleDecide)
+	case path == "/v1/observe":
+		s.post(w, r, s.handleObserve)
+	case path == "/v1/decide-batch":
+		s.post(w, r, s.handleDecideBatch)
+	case path == "/v1/stats":
+		s.get(w, r, s.handleStats)
+	case path == "/v1/streams":
+		s.get(w, r, s.handleStreams)
+	case strings.HasPrefix(path, "/v1/streams/"):
+		s.handleStreamDelete(w, r, strings.TrimPrefix(path, "/v1/streams/"))
+	default:
+		s.net.RecordBadRequest()
+		s.writeError(w, http.StatusNotFound, fmt.Sprintf("no such endpoint %s", path), false)
+	}
+}
+
+func (s *Server) post(w http.ResponseWriter, r *http.Request, h func(http.ResponseWriter, *http.Request)) {
+	if r.Method != http.MethodPost {
+		s.methodNotAllowed(w, http.MethodPost)
+		return
+	}
+	h(w, r)
+}
+
+func (s *Server) get(w http.ResponseWriter, r *http.Request, h func(http.ResponseWriter, *http.Request)) {
+	if r.Method != http.MethodGet {
+		s.methodNotAllowed(w, http.MethodGet)
+		return
+	}
+	h(w, r)
+}
+
+func (s *Server) methodNotAllowed(w http.ResponseWriter, allow string) {
+	s.net.RecordBadRequest()
+	w.Header().Set("Allow", allow)
+	s.writeError(w, http.StatusMethodNotAllowed, "method not allowed", false)
+}
+
+func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req DecideRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	spec, err := req.Spec.ToSpec()
+	if err != nil {
+		s.net.RecordBadRequest()
+		s.writeError(w, http.StatusBadRequest, err.Error(), false)
+		return
+	}
+	ctx := r.Context()
+	// The Spec deadline propagates to admission: a decision still queued
+	// when the input's deadline has passed serves nobody.
+	if d, ok := admissionTimeout(spec.Deadline); ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	if !s.admitOrReject(w, ctx) {
+		return
+	}
+	defer s.release()
+
+	d, est := s.alert.Decide(req.Stream, spec)
+	s.net.RecordDecide(time.Since(start))
+	s.writeJSON(w, http.StatusOK, DecideResponse{
+		Decision: FromDecision(d),
+		Estimate: FromEstimate(est),
+	})
+}
+
+func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	var req ObserveRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if !s.admitOrReject(w, r.Context()) {
+		return
+	}
+	defer s.release()
+
+	// The enqueue happens before the 202 is written, so a client that
+	// round-trips observe → decide on one stream is FIFO-ordered exactly
+	// like the in-process path.
+	s.alert.Observe(req.Stream, req.Feedback.ToFeedback())
+	s.net.RecordObserve()
+	s.writeJSON(w, http.StatusAccepted, struct{}{})
+}
+
+func (s *Server) handleDecideBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req BatchRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Requests) == 0 {
+		s.net.RecordBadRequest()
+		s.writeError(w, http.StatusBadRequest, "empty batch", false)
+		return
+	}
+	inner := make([]alert.BatchRequest, len(req.Requests))
+	minDeadline := 0.0
+	for i, br := range req.Requests {
+		spec, err := br.Spec.ToSpec()
+		if err != nil {
+			s.net.RecordBadRequest()
+			s.writeError(w, http.StatusBadRequest, fmt.Sprintf("request %d: %v", i, err), false)
+			return
+		}
+		inner[i] = alert.BatchRequest{Stream: br.Stream, Spec: spec}
+		if spec.Deadline > 0 && (minDeadline == 0 || spec.Deadline < minDeadline) {
+			minDeadline = spec.Deadline
+		}
+	}
+	ctx := r.Context()
+	// The batch's admission deadline is its tightest member's: if that
+	// one can no longer be served in time, the batch is late.
+	if d, ok := admissionTimeout(minDeadline); ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	if !s.admitOrReject(w, ctx) {
+		return
+	}
+	defer s.release()
+
+	results := s.alert.DecideBatch(inner)
+	out := BatchResponse{Results: make([]BatchResult, len(results))}
+	for i, res := range results {
+		out.Results[i] = BatchResult{
+			Stream:   res.Stream,
+			Decision: FromDecision(res.Decision),
+			Estimate: FromEstimate(res.Estimate),
+		}
+	}
+	s.net.RecordBatch(len(results), time.Since(start))
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.net.RecordRead()
+	s.writeJSON(w, http.StatusOK, StatsResponse{
+		Serve:    s.alert.Stats(),
+		Net:      s.net.Snapshot(),
+		Platform: s.alert.Platform().Name,
+		Models:   len(s.alert.Models()),
+		Shards:   s.alert.Shards(),
+		Streams:  s.alert.Streams(),
+	})
+}
+
+func (s *Server) handleStreams(w http.ResponseWriter, r *http.Request) {
+	s.net.RecordRead()
+	ids := s.alert.StreamIDs()
+	s.writeJSON(w, http.StatusOK, StreamsResponse{Count: len(ids), IDs: ids})
+}
+
+func (s *Server) handleStreamDelete(w http.ResponseWriter, r *http.Request, rest string) {
+	if r.Method != http.MethodDelete {
+		s.methodNotAllowed(w, http.MethodDelete)
+		return
+	}
+	id, err := strconv.Atoi(rest)
+	if err != nil {
+		s.net.RecordBadRequest()
+		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("bad stream id %q", rest), false)
+		return
+	}
+	if !s.admitOrReject(w, r.Context()) {
+		return
+	}
+	defer s.release()
+
+	s.alert.EvictStream(id)
+	s.net.RecordEviction()
+	s.writeJSON(w, http.StatusOK, EvictResponse{Stream: id, Streams: s.alert.Streams()})
+}
+
+// admissionTimeout converts a Spec deadline in seconds to an admission
+// context timeout. ok is false when the deadline imposes no bound: zero,
+// negative, or too large to represent as a time.Duration (the naive
+// float64→int64 conversion of a huge product is implementation-defined,
+// so an absurdly patient request must not come out already expired).
+func admissionTimeout(seconds float64) (time.Duration, bool) {
+	if seconds <= 0 {
+		return 0, false
+	}
+	ns := seconds * float64(time.Second)
+	if ns >= float64(math.MaxInt64) {
+		return 0, false
+	}
+	return time.Duration(ns), true
+}
+
+// admitOrReject runs the admission gate and writes the rejection response
+// itself; the caller proceeds (and later releases) only on true.
+func (s *Server) admitOrReject(w http.ResponseWriter, ctx context.Context) bool {
+	switch s.admit(ctx) {
+	case admitOK:
+		return true
+	case admitOverload:
+		s.net.RecordRejectOverload()
+		s.writeError(w, http.StatusTooManyRequests, "admission queue full", true)
+	case admitDeadline:
+		s.net.RecordRejectDeadline()
+		s.writeError(w, http.StatusTooManyRequests, "deadline expired before admission", true)
+	case admitDraining:
+		s.net.RecordRejectDraining()
+		s.writeError(w, http.StatusServiceUnavailable, "server draining", true)
+	}
+	return false
+}
+
+// decodeBody parses a JSON request body, writing the 400 itself on
+// failure.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, into any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		s.net.RecordBadRequest()
+		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err), false)
+		return false
+	}
+	return true
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeError sends the JSON error body; retryable responses carry the
+// Retry-After hint both as a header (in whole seconds, per RFC 9110,
+// rounded up) and in the body in milliseconds for precision.
+func (s *Server) writeError(w http.ResponseWriter, status int, msg string, retryable bool) {
+	body := ErrorResponse{Error: msg}
+	if retryable {
+		secs := int64((s.retryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		body.RetryAfterMs = int64(s.retryAfter / time.Millisecond)
+	}
+	s.writeJSON(w, status, body)
+}

@@ -1,0 +1,255 @@
+package netserve
+
+import (
+	"fmt"
+
+	"github.com/alert-project/alert"
+	"github.com/alert-project/alert/internal/metrics"
+)
+
+// This file is the HTTP wire contract: the JSON shapes of every /v1
+// endpoint, shared by the server handlers and the typed client package
+// (client/). Field names are stable; changes must be additive.
+//
+// All float64 fields round-trip bit-exactly: encoding/json emits the
+// shortest decimal that parses back to the same float64, which is what
+// makes a network replay's decision sequences byte-identical to the
+// in-process path (pinned by cmd/alertload's -addr tests).
+
+// Objective wire values.
+const (
+	ObjectiveMinEnergy   = "min_energy"
+	ObjectiveMaxAccuracy = "max_accuracy"
+)
+
+// Spec is the wire form of alert.Spec. Seconds/joules suffixes make the
+// units explicit on the wire; zero optional fields are omitted.
+type Spec struct {
+	// Objective is "min_energy" (meet the accuracy goal, minimize energy)
+	// or "max_accuracy" (meet the energy budget, maximize accuracy).
+	Objective string `json:"objective"`
+	// DeadlineS is the per-input latency goal in seconds. It doubles as
+	// the request's admission deadline: a decide request still queued at
+	// the admission gate when its deadline has elapsed is rejected with
+	// 429 (a decision that late is useless to the stream).
+	DeadlineS     float64 `json:"deadline_s"`
+	EnergyBudgetJ float64 `json:"energy_budget_j,omitempty"`
+	AccuracyGoal  float64 `json:"accuracy_goal,omitempty"`
+	Prth          float64 `json:"prth,omitempty"`
+}
+
+// ToSpec converts the wire spec to the public one.
+func (s Spec) ToSpec() (alert.Spec, error) {
+	out := alert.Spec{
+		Deadline:     s.DeadlineS,
+		EnergyBudget: s.EnergyBudgetJ,
+		AccuracyGoal: s.AccuracyGoal,
+		Prth:         s.Prth,
+	}
+	switch s.Objective {
+	case ObjectiveMinEnergy:
+		out.Objective = alert.MinimizeEnergy
+	case ObjectiveMaxAccuracy:
+		out.Objective = alert.MaximizeAccuracy
+	default:
+		return out, fmt.Errorf("unknown objective %q (want %q or %q)",
+			s.Objective, ObjectiveMinEnergy, ObjectiveMaxAccuracy)
+	}
+	return out, nil
+}
+
+// FromSpec converts a public spec to its wire form.
+func FromSpec(s alert.Spec) Spec {
+	out := Spec{
+		DeadlineS:     s.Deadline,
+		EnergyBudgetJ: s.EnergyBudget,
+		AccuracyGoal:  s.AccuracyGoal,
+		Prth:          s.Prth,
+	}
+	if s.Objective == alert.MaximizeAccuracy {
+		out.Objective = ObjectiveMaxAccuracy
+	} else {
+		out.Objective = ObjectiveMinEnergy
+	}
+	return out
+}
+
+// Decision is the wire form of alert.Decision.
+type Decision struct {
+	Model        int     `json:"model"`
+	Cap          int     `json:"cap"`
+	CapW         float64 `json:"cap_w"`
+	PlannedStopS float64 `json:"planned_stop_s,omitempty"`
+	OverheadS    float64 `json:"overhead_s,omitempty"`
+}
+
+// ToDecision converts the wire decision to the public one.
+func (d Decision) ToDecision() alert.Decision {
+	return alert.Decision{
+		Model:       d.Model,
+		Cap:         d.Cap,
+		CapW:        d.CapW,
+		PlannedStop: d.PlannedStopS,
+		Overhead:    d.OverheadS,
+	}
+}
+
+// FromDecision converts a public decision to its wire form.
+func FromDecision(d alert.Decision) Decision {
+	return Decision{
+		Model:        d.Model,
+		Cap:          d.Cap,
+		CapW:         d.CapW,
+		PlannedStopS: d.PlannedStop,
+		OverheadS:    d.Overhead,
+	}
+}
+
+// Estimate is the wire form of alert.Estimate (the scheduler's predictions
+// for the chosen candidate).
+type Estimate struct {
+	Model         int     `json:"model"`
+	Cap           int     `json:"cap"`
+	StopStage     int     `json:"stop_stage"`
+	RunToDeadline bool    `json:"run_to_deadline,omitempty"`
+	LatMeanS      float64 `json:"lat_mean_s"`
+	PrDeadline    float64 `json:"pr_deadline"`
+	Quality       float64 `json:"quality"`
+	PrQuality     float64 `json:"pr_quality"`
+	EnergyJ       float64 `json:"energy_j"`
+	PlannedStopS  float64 `json:"planned_stop_s,omitempty"`
+}
+
+// ToEstimate converts the wire estimate to the public one.
+func (e Estimate) ToEstimate() alert.Estimate {
+	var out alert.Estimate
+	out.Model = e.Model
+	out.Cap = e.Cap
+	out.StopStage = e.StopStage
+	out.RunToDeadline = e.RunToDeadline
+	out.LatMean = e.LatMeanS
+	out.PrDeadline = e.PrDeadline
+	out.Quality = e.Quality
+	out.PrQuality = e.PrQuality
+	out.Energy = e.EnergyJ
+	out.PlannedStop = e.PlannedStopS
+	return out
+}
+
+// FromEstimate converts a public estimate to its wire form.
+func FromEstimate(e alert.Estimate) Estimate {
+	return Estimate{
+		Model:         e.Model,
+		Cap:           e.Cap,
+		StopStage:     e.StopStage,
+		RunToDeadline: e.RunToDeadline,
+		LatMeanS:      e.LatMean,
+		PrDeadline:    e.PrDeadline,
+		Quality:       e.Quality,
+		PrQuality:     e.PrQuality,
+		EnergyJ:       e.Energy,
+		PlannedStopS:  e.PlannedStop,
+	}
+}
+
+// Feedback is the wire form of alert.Feedback. CompletedStage keeps its
+// -1 sentinel (no omitempty: stage 0 is a real stage).
+type Feedback struct {
+	Decision       Decision `json:"decision"`
+	LatencyS       float64  `json:"latency_s"`
+	CompletedStage int      `json:"completed_stage"`
+	IdlePowerW     float64  `json:"idle_power_w,omitempty"`
+}
+
+// ToFeedback converts the wire feedback to the public one.
+func (f Feedback) ToFeedback() alert.Feedback {
+	return alert.Feedback{
+		Decision:       f.Decision.ToDecision(),
+		Latency:        f.LatencyS,
+		CompletedStage: f.CompletedStage,
+		IdlePowerW:     f.IdlePowerW,
+	}
+}
+
+// FromFeedback converts a public feedback to its wire form.
+func FromFeedback(f alert.Feedback) Feedback {
+	return Feedback{
+		Decision:       FromDecision(f.Decision),
+		LatencyS:       f.Latency,
+		CompletedStage: f.CompletedStage,
+		IdlePowerW:     f.IdlePowerW,
+	}
+}
+
+// DecideRequest is the POST /v1/decide body.
+type DecideRequest struct {
+	Stream int  `json:"stream"`
+	Spec   Spec `json:"spec"`
+}
+
+// DecideResponse is the POST /v1/decide reply.
+type DecideResponse struct {
+	Decision Decision `json:"decision"`
+	Estimate Estimate `json:"estimate"`
+}
+
+// ObserveRequest is the POST /v1/observe body.
+type ObserveRequest struct {
+	Stream   int      `json:"stream"`
+	Feedback Feedback `json:"feedback"`
+}
+
+// BatchRequest is the POST /v1/decide-batch body.
+type BatchRequest struct {
+	Requests []DecideRequest `json:"requests"`
+}
+
+// BatchResponse is the POST /v1/decide-batch reply; Results are in request
+// order.
+type BatchResponse struct {
+	Results []BatchResult `json:"results"`
+}
+
+// BatchResult is one request's slot in a BatchResponse.
+type BatchResult struct {
+	Stream   int      `json:"stream"`
+	Decision Decision `json:"decision"`
+	Estimate Estimate `json:"estimate"`
+}
+
+// StatsResponse is the GET /v1/stats reply: the stream table's counters
+// (what was served) plus the front end's (what the HTTP surface saw).
+// Platform and Models identify the serving configuration, so clients
+// driving comparisons (cmd/alertload -addr) can refuse a server profiled
+// on a different platform or candidate set instead of silently comparing
+// incommensurable decisions.
+type StatsResponse struct {
+	Serve metrics.ServeSnapshot `json:"serve"`
+	Net   metrics.NetSnapshot   `json:"net"`
+	// Platform is the name of the platform the server's candidate set was
+	// profiled on; Models is the candidate count.
+	Platform string `json:"platform"`
+	Models   int    `json:"models"`
+	Shards   int    `json:"shards"`
+	Streams  int    `json:"streams"`
+}
+
+// StreamsResponse is the GET /v1/streams reply.
+type StreamsResponse struct {
+	Count int   `json:"count"`
+	IDs   []int `json:"ids"`
+}
+
+// EvictResponse is the DELETE /v1/streams/{id} reply.
+type EvictResponse struct {
+	Stream  int `json:"stream"`
+	Streams int `json:"streams"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx reply. RetryAfterMs
+// mirrors the Retry-After header on 429/503 so clients that only read the
+// body still back off correctly.
+type ErrorResponse struct {
+	Error        string `json:"error"`
+	RetryAfterMs int64  `json:"retry_after_ms,omitempty"`
+}

@@ -33,8 +33,9 @@
 //     byte-exact at any shard count; the scheduling-dependent interleaving
 //     of a shard's streams changes only service order, never decisions.
 //   - Session lifecycle: sessions are created on first use and live until
-//     EvictStream removes them (an idle stream costs its session's bytes
-//     until then; the Streams/SessionBytes gauges watch the table). A
+//     EvictStream removes them, or an EvictIdle sweep reaps them for having
+//     no traffic within its maxAge (an idle stream costs its session's
+//     bytes until then; the Streams/SessionBytes gauges watch the table). A
 //     stream that returns after eviction starts a fresh session at the
 //     prior filter state, exactly like a new stream.
 //   - Reads run on the owning worker: XiEstimate and Drain enqueue like
@@ -56,6 +57,7 @@
 package serve
 
 import (
+	"sort"
 	"sync"
 	"time"
 
@@ -99,6 +101,8 @@ const (
 	taskDecideGroup
 	taskObserve
 	taskEvict
+	taskEvictIdle
+	taskStreams
 	taskBarrier
 	taskXi
 )
@@ -140,7 +144,21 @@ type task struct {
 	group   *batchGroup      // decide group: one per shard per batch
 	done    chan struct{}    // barrier/evict ack: closed when the shard reaches it
 	xiReply chan [2]float64  // xi read: buffered 1
-	start   time.Time
+	evicted chan int         // idle sweep: evicted-count reply, buffered 1
+	ids     chan []int       // stream listing: shard's stream ids, buffered 1
+	// start is the submission timestamp of traffic tasks (decide/observe):
+	// it feeds the latency counters and the session's last-use time. For
+	// taskEvictIdle it carries the idle cutoff instead.
+	start time.Time
+}
+
+// entry is one stream's slot in a shard's table: its session plus the
+// submission time of the stream's latest traffic (Decide/Observe), the
+// idle-eviction signal. Reads (XiEstimate) deliberately do not refresh
+// lastUse — monitoring polls must not keep an abandoned stream alive.
+type entry struct {
+	sess    *core.Session
+	lastUse time.Time
 }
 
 // shard is one stream-table partition: the sessions of every stream pinned
@@ -149,21 +167,23 @@ type task struct {
 // goroutine — so a shard's marginal cost per stream is just the Session.
 type shard struct {
 	eng      *core.Engine
-	sessions map[int]*core.Session
+	sessions map[int]*entry
 	sc       *core.Scratch
 	ch       chan task
 	exited   chan struct{}
 }
 
-// session returns the stream's session, creating it on first use.
-func (s *shard) session(stream int, counters *metrics.ServeCounters) *core.Session {
-	sess, ok := s.sessions[stream]
+// session returns the stream's session, creating it on first use, and
+// stamps the stream's last-use time with the task's submission time.
+func (s *shard) session(stream int, at time.Time, counters *metrics.ServeCounters) *core.Session {
+	e, ok := s.sessions[stream]
 	if !ok {
-		sess = s.eng.NewSessionWith(s.sc)
-		s.sessions[stream] = sess
+		e = &entry{sess: s.eng.NewSessionWith(s.sc)}
+		s.sessions[stream] = e
 		counters.RecordSessionCreate(int64(core.SessionBytes()))
 	}
-	return sess
+	e.lastUse = at
+	return e.sess
 }
 
 // Pool is a sharded stream table over one shared engine.
@@ -171,6 +191,12 @@ type Pool struct {
 	eng      *core.Engine
 	shards   []*shard
 	counters *metrics.ServeCounters
+
+	// clock supplies the submission timestamps that feed the latency
+	// counters and the sessions' last-use times. It is time.Now in
+	// production and swapped for a fake in the idle-eviction tests; it must
+	// be set before any traffic and never changed afterwards.
+	clock func() time.Time
 
 	closeOnce sync.Once
 }
@@ -183,11 +209,12 @@ func NewPool(prof *dnn.ProfileTable, opts core.Options, cfg Config) *Pool {
 		eng:      eng,
 		shards:   make([]*shard, cfg.shards()),
 		counters: metrics.NewServeCounters(),
+		clock:    time.Now,
 	}
 	for i := range p.shards {
 		s := &shard{
 			eng:      eng,
-			sessions: make(map[int]*core.Session),
+			sessions: make(map[int]*entry),
 			sc:       eng.NewScratch(),
 			ch:       make(chan task, cfg.depth()),
 			exited:   make(chan struct{}),
@@ -203,7 +230,7 @@ func (p *Pool) work(s *shard) {
 	for t := range s.ch {
 		switch t.kind {
 		case taskDecide:
-			d, est := s.session(t.stream, p.counters).Decide(t.spec)
+			d, est := s.session(t.stream, t.start, p.counters).Decide(t.spec)
 			// Counters record before the reply unblocks the client, so a
 			// Stats read that follows a completed Decide always sees it.
 			p.counters.RecordDecide(time.Since(t.start))
@@ -211,13 +238,13 @@ func (p *Pool) work(s *shard) {
 		case taskDecideGroup:
 			g := t.group
 			for j, spec := range g.specs {
-				d, est := s.session(g.streams[j], p.counters).Decide(spec)
+				d, est := s.session(g.streams[j], g.start, p.counters).Decide(spec)
 				p.counters.RecordDecide(time.Since(g.start))
 				g.out[g.idx[j]] = Result{Decision: d, Estimate: est}
 			}
 			g.wg.Done()
 		case taskObserve:
-			s.session(t.stream, p.counters).Observe(t.out)
+			s.session(t.stream, t.start, p.counters).Observe(t.out)
 			p.counters.RecordObserve()
 		case taskEvict:
 			if _, ok := s.sessions[t.stream]; ok {
@@ -225,6 +252,25 @@ func (p *Pool) work(s *shard) {
 				p.counters.RecordSessionEvict(int64(core.SessionBytes()))
 			}
 			close(t.done)
+		case taskEvictIdle:
+			// t.start carries the cutoff: reap every session whose last
+			// traffic predates it. Runs on the owning worker, so the sweep
+			// is ordered like any task and cannot race in-flight decides.
+			n := 0
+			for stream, e := range s.sessions {
+				if e.lastUse.Before(t.start) {
+					delete(s.sessions, stream)
+					p.counters.RecordSessionEvict(int64(core.SessionBytes()))
+					n++
+				}
+			}
+			t.evicted <- n
+		case taskStreams:
+			ids := make([]int, 0, len(s.sessions))
+			for stream := range s.sessions {
+				ids = append(ids, stream)
+			}
+			t.ids <- ids
 		case taskBarrier:
 			close(t.done)
 		case taskXi:
@@ -233,8 +279,8 @@ func (p *Pool) work(s *shard) {
 			// not traffic: a stream with no session is answered from the
 			// engine's prior without materializing one, so monitoring polls
 			// (or reads racing an eviction) never re-inflate the table.
-			if sess, ok := s.sessions[t.stream]; ok {
-				t.xiReply <- [2]float64{sess.XiMean(), sess.XiStd()}
+			if e, ok := s.sessions[t.stream]; ok {
+				t.xiReply <- [2]float64{e.sess.XiMean(), e.sess.XiStd()}
 			} else {
 				mu, sigma := s.eng.XiPrior()
 				t.xiReply <- [2]float64{mu, sigma}
@@ -278,7 +324,7 @@ func (p *Pool) shardFor(stream int) *shard {
 // the shard channel by value.
 func (p *Pool) Decide(stream int, spec core.Spec) (sim.Decision, core.Estimate) {
 	reply := replyPool.Get().(chan decideReply)
-	p.shardFor(stream).ch <- task{kind: taskDecide, stream: stream, spec: spec, reply: reply, start: time.Now()}
+	p.shardFor(stream).ch <- task{kind: taskDecide, stream: stream, spec: spec, reply: reply, start: p.clock()}
 	r := <-reply
 	replyPool.Put(reply)
 	return r.d, r.est
@@ -289,7 +335,7 @@ func (p *Pool) Decide(stream int, spec core.Spec) (sim.Decision, core.Estimate) 
 // every earlier submission for that shard, so a subsequent Decide on the
 // same stream sees the updated filter state.
 func (p *Pool) Observe(stream int, out sim.Outcome) {
-	p.shardFor(stream).ch <- task{kind: taskObserve, stream: stream, out: out}
+	p.shardFor(stream).ch <- task{kind: taskObserve, stream: stream, out: out, start: p.clock()}
 }
 
 // EvictStream removes the stream's session from the table, releasing its
@@ -302,6 +348,46 @@ func (p *Pool) EvictStream(stream int) {
 	done := make(chan struct{})
 	p.shardFor(stream).ch <- task{kind: taskEvict, stream: stream, done: done}
 	<-done
+}
+
+// EvictIdle reaps every session whose last traffic (Decide or Observe —
+// pure reads like XiEstimate do not count) is older than maxAge, returning
+// how many it evicted. Long-lived servers run it periodically so abandoned
+// streams cannot grow the table forever. The sweep is one task per shard,
+// ordered like any other submission: traffic already queued behind it
+// refreshes (or recreates) its stream afterwards, and an active stream —
+// one whose last use is within maxAge — is never touched. It blocks until
+// every shard has swept.
+func (p *Pool) EvictIdle(maxAge time.Duration) int {
+	cutoff := p.clock().Add(-maxAge)
+	replies := make([]chan int, len(p.shards))
+	for i, s := range p.shards {
+		replies[i] = make(chan int, 1)
+		s.ch <- task{kind: taskEvictIdle, start: cutoff, evicted: replies[i]}
+	}
+	total := 0
+	for _, r := range replies {
+		total += <-r
+	}
+	return total
+}
+
+// StreamIDs returns the ids of every live session, sorted ascending. Each
+// shard reports its slice of the table from its own worker (so the listing
+// is ordered behind everything submitted before the call); the table can of
+// course change as soon as the snapshot returns.
+func (p *Pool) StreamIDs() []int {
+	replies := make([]chan []int, len(p.shards))
+	for i, s := range p.shards {
+		replies[i] = make(chan []int, 1)
+		s.ch <- task{kind: taskStreams, ids: replies[i]}
+	}
+	var all []int
+	for _, r := range replies {
+		all = append(all, <-r...)
+	}
+	sort.Ints(all)
+	return all
 }
 
 // Request is one element of a batched dispatch.
@@ -345,7 +431,7 @@ func (p *Pool) DecideBatch(reqs []Request) []Result {
 	for i := range reqs {
 		counts[p.shardIndex(reqs[i].Stream)]++
 	}
-	start := time.Now()
+	start := p.clock()
 	var wg sync.WaitGroup
 	groups := make([]*batchGroup, n)
 	for si, cnt := range counts {

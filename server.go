@@ -3,6 +3,7 @@ package alert
 import (
 	"fmt"
 	"runtime"
+	"time"
 
 	"github.com/alert-project/alert/internal/dnn"
 	"github.com/alert-project/alert/internal/metrics"
@@ -76,8 +77,21 @@ func (s *Server) Streams() int { return s.pool.NumStreams() }
 // state, exactly like a new stream.
 func (s *Server) EvictStream(stream int) { s.pool.EvictStream(stream) }
 
+// EvictIdle releases every session whose last Decide or Observe is older
+// than maxAge and reports how many it evicted. Long-lived servers call it
+// periodically (cmd/alertserve's -idle-evict flag does) so abandoned
+// streams cannot grow the table forever; streams with traffic within
+// maxAge are never touched.
+func (s *Server) EvictIdle(maxAge time.Duration) int { return s.pool.EvictIdle(maxAge) }
+
+// StreamIDs returns the ids of every live session, sorted ascending.
+func (s *Server) StreamIDs() []int { return s.pool.StreamIDs() }
+
 // Models returns the profiled candidate set in index order.
 func (s *Server) Models() []*Model { return s.prof.Models }
+
+// Platform returns the platform the candidate set was profiled on.
+func (s *Server) Platform() *Platform { return s.prof.Platform }
 
 // PowerCaps returns the platform's cap ladder in watts.
 func (s *Server) PowerCaps() []float64 { return s.prof.Caps }

@@ -1,6 +1,9 @@
 package alert
 
 import (
+	"fmt"
+	"strings"
+
 	"github.com/alert-project/alert/internal/contention"
 	"github.com/alert-project/alert/internal/core"
 	"github.com/alert-project/alert/internal/dnn"
@@ -40,6 +43,17 @@ var (
 
 // Platforms returns all four Table 1 platforms.
 func Platforms() []*Platform { return platform.All() }
+
+// PlatformByName returns the Table 1 platform with the given name,
+// case-insensitively — the lookup every CLI flag uses.
+func PlatformByName(name string) (*Platform, error) {
+	for _, p := range platform.All() {
+		if strings.EqualFold(p.Name, name) {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("alert: unknown platform %q", name)
+}
 
 // Spec is the per-input requirement: a deadline plus either an energy
 // budget (MaximizeAccuracy) or an accuracy goal (MinimizeEnergy), and an
