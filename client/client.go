@@ -24,6 +24,7 @@ package client
 import (
 	"bytes"
 	"context"
+	"encoding/base64"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -32,9 +33,11 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/alert-project/alert"
+	"github.com/alert-project/alert/internal/mathx"
 	"github.com/alert-project/alert/internal/netserve"
 )
 
@@ -49,15 +52,36 @@ type Options struct {
 	// retried after the server's Retry-After hint. 0 disables retries:
 	// overload surfaces as *OverloadError.
 	MaxRetries int
+	// BackoffBase is the wait before the first retry when the server sent
+	// no usable Retry-After hint; each subsequent hintless retry doubles it
+	// (capped by BackoffCap). A usable hint overrides the schedule for that
+	// attempt. 0 means 10ms.
+	BackoffBase time.Duration
+	// BackoffCap bounds every retry wait, hinted or not, so a misconfigured
+	// server cannot stall a caller that set no context deadline. 0 means 2s.
+	BackoffCap time.Duration
+	// BackoffSeed seeds the deterministic jitter applied to every wait
+	// (equal-jitter: the second half of the wait is uniformly random).
+	// Clients with different seeds desynchronize their retries instead of
+	// stampeding the server in lockstep; tests pick a seed to make retry
+	// timing reproducible. 0 selects a fixed default seed.
+	BackoffSeed int64
 }
 
 // Client talks to one front end. It is safe for concurrent use; all
 // methods honor their context.
 type Client struct {
-	base       string
-	hc         *http.Client
-	ownedHC    bool
-	maxRetries int
+	base        string
+	hc          *http.Client
+	ownedHC     bool
+	maxRetries  int
+	backoffBase time.Duration
+	backoffCap  time.Duration
+
+	// rng drives the retry jitter; mu serializes it (Decide et al. are
+	// documented safe for concurrent use).
+	mu  sync.Mutex
+	rng *mathx.Rand
 }
 
 // New validates the base URL (e.g. "http://127.0.0.1:8372") and returns a
@@ -71,10 +95,23 @@ func New(baseURL string, opts Options) (*Client, error) {
 		return nil, fmt.Errorf("client: base URL %q must be http(s)", baseURL)
 	}
 	c := &Client{
-		base:       strings.TrimRight(baseURL, "/"),
-		hc:         opts.HTTPClient,
-		maxRetries: opts.MaxRetries,
+		base:        strings.TrimRight(baseURL, "/"),
+		hc:          opts.HTTPClient,
+		maxRetries:  opts.MaxRetries,
+		backoffBase: opts.BackoffBase,
+		backoffCap:  opts.BackoffCap,
 	}
+	if c.backoffBase <= 0 {
+		c.backoffBase = 10 * time.Millisecond
+	}
+	if c.backoffCap <= 0 {
+		c.backoffCap = 2 * time.Second
+	}
+	seed := opts.BackoffSeed
+	if seed == 0 {
+		seed = 1
+	}
+	c.rng = mathx.NewRand(seed)
 	if c.hc == nil {
 		// A dedicated transport so this client's connection pool is not
 		// shared with (or limited by) http.DefaultTransport users. The
@@ -190,6 +227,50 @@ func (c *Client) EvictStream(ctx context.Context, stream int) error {
 	return c.do(ctx, http.MethodDelete, "/v1/streams/"+strconv.Itoa(stream), nil, nil)
 }
 
+// ErrNoSession reports that an export found no session for the stream: the
+// stream never materialized (or was already evicted), so there is no state
+// to ship — the migration target can simply serve it fresh.
+var ErrNoSession = errors.New("client: stream has no session")
+
+// ExportStream drains, snapshots, and removes the stream's session on the
+// server — the send side of a migration. It returns ErrNoSession (wrapped)
+// when the stream has no session. The snapshot round-trips the wire as
+// canonical binary bytes (base64 in JSON), so the restored session is
+// bit-identical to the exported one.
+func (c *Client) ExportStream(ctx context.Context, stream int) (alert.SessionSnapshot, error) {
+	var out netserve.SnapshotResponse
+	err := c.do(ctx, http.MethodGet, "/v1/streams/"+strconv.Itoa(stream)+"/snapshot", nil, &out)
+	var snap alert.SessionSnapshot
+	if err != nil {
+		var ae *APIError
+		if errors.As(err, &ae) && ae.StatusCode == http.StatusNotFound {
+			return snap, fmt.Errorf("%w: stream %d", ErrNoSession, stream)
+		}
+		return snap, err
+	}
+	blob, err := base64.StdEncoding.DecodeString(out.SnapshotB64)
+	if err != nil {
+		return snap, fmt.Errorf("client: bad snapshot encoding from server: %w", err)
+	}
+	if err := snap.UnmarshalBinary(blob); err != nil {
+		return snap, fmt.Errorf("client: %w", err)
+	}
+	return snap, nil
+}
+
+// ImportStream restores an exported session under the given stream id on
+// the server — the receive side of a migration. The server refuses (409,
+// surfaced as *APIError) if it is already serving a session for the
+// stream, and 503 while draining.
+func (c *Client) ImportStream(ctx context.Context, stream int, snap alert.SessionSnapshot) error {
+	blob, err := snap.MarshalBinary()
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	return c.do(ctx, http.MethodPut, "/v1/streams/"+strconv.Itoa(stream),
+		netserve.ImportRequest{SnapshotB64: base64.StdEncoding.EncodeToString(blob)}, nil)
+}
+
 // Batch accumulates decide requests for one DecideBatch dispatch — the
 // helper for callers that collect work across many streams before cutting
 // a batch.
@@ -223,20 +304,33 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 			return fmt.Errorf("client: encoding %s: %w", path, err)
 		}
 	}
+	// Hintless rejections walk a capped exponential schedule; a usable
+	// Retry-After hint overrides the schedule for that attempt but not the
+	// schedule's growth. Every wait is equal-jittered so a fleet of
+	// identically configured clients spreads its retries instead of
+	// stampeding the gate in lockstep.
+	backoff := c.backoffBase
 	for attempt := 0; ; attempt++ {
 		err := c.once(ctx, method, path, body, out)
 		var oe *OverloadError
 		if err == nil || attempt >= c.maxRetries || !errors.As(err, &oe) {
 			return err
 		}
-		// Back off by the server's hint, bounded so a misconfigured hint
-		// cannot stall a caller that set no context deadline.
 		wait := oe.RetryAfter
 		if wait <= 0 {
-			wait = 10 * time.Millisecond
+			// Missing or garbled hint: the server is still overloaded, so
+			// back off on our own schedule rather than hammering it.
+			wait = backoff
 		}
-		if wait > 2*time.Second {
-			wait = 2 * time.Second
+		if wait > c.backoffCap {
+			wait = c.backoffCap
+		}
+		wait = c.jitter(wait)
+		if backoff < c.backoffCap {
+			backoff *= 2
+			if backoff > c.backoffCap {
+				backoff = c.backoffCap
+			}
 		}
 		select {
 		case <-time.After(wait):
@@ -288,15 +382,44 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 	return nil
 }
 
+// jitter equal-jitters a wait: the first half is kept, the second half is
+// drawn uniformly, so the expected wait is 3d/4 and no two clients (with
+// different seeds) retry in phase.
+func (c *Client) jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	f := c.rng.Float64()
+	c.mu.Unlock()
+	half := d / 2
+	return half + time.Duration(f*float64(half))
+}
+
 // retryAfterOf extracts the backoff hint, preferring the millisecond body
-// field over the whole-second header.
+// field over the whole-second header. A missing or garbled hint returns 0,
+// which means "no hint" — the retry loop substitutes its own exponential
+// schedule rather than retrying immediately.
 func retryAfterOf(resp *http.Response, e netserve.ErrorResponse) time.Duration {
 	if e.RetryAfterMs > 0 {
 		return time.Duration(e.RetryAfterMs) * time.Millisecond
 	}
-	if s := resp.Header.Get("Retry-After"); s != "" {
-		if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
-			return time.Duration(secs) * time.Second
+	s := strings.TrimSpace(resp.Header.Get("Retry-After"))
+	if s == "" {
+		return 0
+	}
+	// RFC 9110 allows delay-seconds or an HTTP-date; accept both, and treat
+	// anything unparseable (or nonsensical: negative, non-finite, absurdly
+	// large) as no hint at all.
+	if secs, err := strconv.ParseFloat(s, 64); err == nil {
+		if secs <= 0 || secs != secs || secs > 3600 {
+			return 0
+		}
+		return time.Duration(secs * float64(time.Second))
+	}
+	if at, err := http.ParseTime(s); err == nil {
+		if d := time.Until(at); d > 0 {
+			return d
 		}
 	}
 	return 0

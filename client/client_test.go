@@ -252,3 +252,57 @@ func TestNewValidation(t *testing.T) {
 		t.Errorf("base = %q, want trailing slash trimmed", c.base)
 	}
 }
+
+// TestClientExportImport: the typed snapshot methods round-trip a session
+// through two front ends bit-exactly, and a missing stream surfaces as
+// ErrNoSession.
+func TestClientExportImport(t *testing.T) {
+	src, _ := startFrontEnd(t, netserve.Config{})
+	dst, _ := startFrontEnd(t, netserve.Config{})
+	ctx := context.Background()
+
+	const stream = 7
+	spec := testSpec()
+	for i := 0; i < 25; i++ {
+		d, est, err := src.Decide(ctx, stream, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := src.Observe(ctx, stream, alert.Feedback{
+			Decision: d, Latency: est.LatMean * 1.1, CompletedStage: -1, IdlePowerW: 4,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	snap, err := src.ExportStream(ctx, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Version != 1 || snap.Decisions != 25 {
+		t.Fatalf("snapshot %+v, want version 1, 25 decisions", snap)
+	}
+	// The session left the source node with the export.
+	if _, err := src.ExportStream(ctx, stream); !errors.Is(err, ErrNoSession) {
+		t.Fatalf("re-export error = %v, want ErrNoSession", err)
+	}
+
+	if err := dst.ImportStream(ctx, stream, snap); err != nil {
+		t.Fatal(err)
+	}
+	// The imported session is the exported one, bit for bit.
+	back, err := dst.ExportStream(ctx, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != snap {
+		t.Fatalf("round-tripped snapshot changed:\n got %+v\nwant %+v", back, snap)
+	}
+
+	// An invalid snapshot is refused client-side by the server with a plain
+	// error, not a panic or silent accept.
+	var bad alert.SessionSnapshot
+	if err := dst.ImportStream(ctx, stream, bad); err == nil {
+		t.Fatal("importing a zero snapshot succeeded, want refusal")
+	}
+}

@@ -1,0 +1,61 @@
+package cluster
+
+import "testing"
+
+// TestRingDeterministic: the ring is a pure function of the member set —
+// member order must not matter, or two clients with the same members would
+// route the same stream differently.
+func TestRingDeterministic(t *testing.T) {
+	a := buildRing([]string{"n1:1", "n2:2", "n3:3"})
+	b := buildRing([]string{"n3:3", "n1:1", "n2:2"})
+	for stream := 0; stream < 2000; stream++ {
+		if a.owner(stream) != b.owner(stream) {
+			t.Fatalf("stream %d: owner depends on member order (%s vs %s)",
+				stream, a.owner(stream), b.owner(stream))
+		}
+	}
+}
+
+// TestRingBalance: with 64 vnodes per member, no member of a 3-node ring
+// should own a wildly disproportionate share of streams.
+func TestRingBalance(t *testing.T) {
+	members := []string{"10.0.0.1:8372", "10.0.0.2:8372", "10.0.0.3:8372"}
+	r := buildRing(members)
+	counts := map[string]int{}
+	const n = 30000
+	for stream := 0; stream < n; stream++ {
+		counts[r.owner(stream)]++
+	}
+	for _, m := range members {
+		share := float64(counts[m]) / n
+		if share < 0.15 || share > 0.55 {
+			t.Errorf("member %s owns %.1f%% of streams, want a roughly fair share", m, 100*share)
+		}
+	}
+}
+
+// TestRingMinimalDisruption: removing one member must only move the
+// streams that member owned — survivors keep everything they had, which is
+// what makes membership changes cheap (only the departed node's sessions
+// need migrating).
+func TestRingMinimalDisruption(t *testing.T) {
+	before := buildRing([]string{"a:1", "b:2", "c:3"})
+	after := buildRing([]string{"a:1", "b:2"})
+	for stream := 0; stream < 5000; stream++ {
+		was := before.owner(stream)
+		if was == "c:3" {
+			continue // the departed member's streams must move somewhere
+		}
+		if now := after.owner(stream); now != was {
+			t.Fatalf("stream %d moved %s -> %s though its owner survived", stream, was, now)
+		}
+	}
+}
+
+// TestRingEmpty: an empty ring routes nowhere rather than panicking.
+func TestRingEmpty(t *testing.T) {
+	var r ring
+	if got := r.owner(1); got != "" {
+		t.Errorf("empty ring owner = %q, want empty", got)
+	}
+}

@@ -17,6 +17,7 @@
 //	alertload -scenario thermal -record trace.json           # record the trace
 //	alertload -replay trace.json                             # replay a recording
 //	alertload -replay trace.json -addr 127.0.0.1:8372        # drive a live alertserve
+//	alertload -addrs h1:8372,h2:8372,h3:8372 -migrate-every 50  # drive a cluster
 //
 // With -addr the same load is driven over the network against a running
 // cmd/alertserve instead of an in-process server, through the typed client
@@ -26,6 +27,12 @@
 // target streams are evicted first so the replay starts from fresh
 // sessions). -decisions-out writes the per-stream sequences to a file,
 // which is how CI diffs the two paths.
+//
+// With -addrs the load is spread across a cluster of alertserves: streams
+// route to members by consistent hashing (client/cluster), and
+// -migrate-every N live-migrates each stream to the next member every N
+// inputs — decision sequences stay byte-identical through every move
+// because session snapshots ship in their canonical binary encoding.
 //
 // Replays are deterministic: the same trace and seed yield byte-identical
 // per-stream decision sequences (verified in main_test.go) at ANY shard
@@ -45,9 +52,11 @@ import (
 	"os"
 	"strings"
 	"sync"
+	"time"
 
 	"github.com/alert-project/alert"
 	"github.com/alert-project/alert/client"
+	"github.com/alert-project/alert/client/cluster"
 	"github.com/alert-project/alert/internal/dnn"
 	"github.com/alert-project/alert/internal/metrics"
 	"github.com/alert-project/alert/internal/scenario"
@@ -75,6 +84,8 @@ type loadConfig struct {
 	shards       int
 	mode         string // "auto" | "open" | "closed"
 	addr         string // non-empty: drive a live alertserve over the network
+	addrs        string // non-empty: drive a cluster of alertserves with hash routing
+	migrateEvery int    // with addrs: migrate each stream every N inputs
 	decisionsOut string // non-empty: write per-stream decision sequences here
 
 	objective      string
@@ -178,6 +189,10 @@ func parseFlags(args []string) (loadConfig, error) {
 	fs.StringVar(&cfg.mode, "mode", "auto", "auto | open | closed loop")
 	fs.StringVar(&cfg.addr, "addr", "",
 		"drive a live alertserve at this host:port (or URL) instead of an in-process server; its streams [0,streams) are evicted first")
+	fs.StringVar(&cfg.addrs, "addrs", "",
+		"comma-separated alertserve members; streams are routed across the cluster by consistent hashing (streams [0,streams) evicted on every member first)")
+	fs.IntVar(&cfg.migrateEvery, "migrate-every", 0,
+		"with -addrs: live-migrate each stream to the next member every N inputs (0 = never)")
 	fs.StringVar(&cfg.decisionsOut, "decisions-out", "",
 		"write per-stream decision sequences to this file (one line per stream)")
 	fs.StringVar(&cfg.objective, "objective", "energy", "energy (minimize energy) | error (minimize error)")
@@ -197,11 +212,21 @@ func parseFlags(args []string) (loadConfig, error) {
 	default:
 		return cfg, fmt.Errorf("unknown -mode %q", cfg.mode)
 	}
-	if cfg.addr != "" && cfg.referenceScorer {
-		return cfg, fmt.Errorf("-reference-scorer configures the in-process server and cannot apply to a remote -addr")
+	if cfg.addr != "" && cfg.addrs != "" {
+		return cfg, fmt.Errorf("-addr and -addrs are mutually exclusive")
 	}
-	if cfg.addr != "" && cfg.shards != 0 {
+	remote := cfg.addr != "" || cfg.addrs != ""
+	if remote && cfg.referenceScorer {
+		return cfg, fmt.Errorf("-reference-scorer configures the in-process server and cannot apply to a remote -addr/-addrs")
+	}
+	if remote && cfg.shards != 0 {
 		return cfg, fmt.Errorf("-shards configures the in-process server; the remote server's shard count is its own")
+	}
+	if cfg.migrateEvery < 0 {
+		return cfg, fmt.Errorf("-migrate-every must be >= 0")
+	}
+	if cfg.migrateEvery > 0 && cfg.addrs == "" {
+		return cfg, fmt.Errorf("-migrate-every requires -addrs (migration moves sessions between cluster members)")
 	}
 	return cfg, nil
 }
@@ -262,6 +287,170 @@ func (r *remoteBackend) Stats() alert.ServerStats {
 		r.fail(fmt.Errorf("stats: %w", err))
 	}
 	return stats.Serve
+}
+
+// clusterBackend drives a whole alertserve cluster (-addrs): requests are
+// routed to each stream's consistent-hash home, and with -migrate-every N
+// every stream is live-migrated to the next member every N inputs — the
+// decision sequences must stay byte-identical through every move, which is
+// what TestAddrsModeMatchesInProcess pins.
+type clusterBackend struct {
+	cl           *cluster.Cluster
+	members      []string
+	ctx          context.Context
+	migrateEvery int
+
+	mu    sync.Mutex
+	err   error
+	steps map[int]int // per-stream decide count, for the migration cadence
+}
+
+func newClusterBackend(cfg loadConfig, plat *alert.Platform, models []*dnn.Model) (*clusterBackend, error) {
+	var members []string
+	for _, a := range strings.Split(cfg.addrs, ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			continue
+		}
+		if !strings.Contains(a, "://") {
+			a = "http://" + a
+		}
+		members = append(members, a)
+	}
+	if len(members) == 0 {
+		return nil, fmt.Errorf("-addrs lists no members")
+	}
+	// As with -addr: overload retries are safe (shed before state), and a
+	// replay needs every request served.
+	cl, err := cluster.New(members, cluster.Options{Client: client.Options{MaxRetries: 100}})
+	if err != nil {
+		return nil, err
+	}
+	cb := &clusterBackend{
+		cl:           cl,
+		members:      members,
+		ctx:          context.Background(),
+		migrateEvery: cfg.migrateEvery,
+		steps:        make(map[int]int),
+	}
+	// Preflight every member: one mis-profiled node would silently corrupt
+	// whichever streams hash onto it. Then evict the driven streams
+	// everywhere — a stream's session may live on any member after earlier
+	// migrations.
+	for _, addr := range members {
+		node, _ := cl.Node(addr)
+		stats, err := node.Stats(cb.ctx)
+		if err != nil {
+			cl.Close()
+			return nil, fmt.Errorf("probing %s: %w", addr, err)
+		}
+		if !strings.EqualFold(stats.Platform, plat.Name) {
+			cl.Close()
+			return nil, fmt.Errorf("cluster member %s serves platform %s, this run simulates %s (start alertserve with -platform %s)",
+				addr, stats.Platform, plat.Name, plat.Name)
+		}
+		if stats.Models != len(models) {
+			cl.Close()
+			return nil, fmt.Errorf("cluster member %s serves %d candidate models, this run simulates %d (start alertserve with -task %s)",
+				addr, stats.Models, len(models), cfg.task)
+		}
+		for s := 0; s < cfg.streams; s++ {
+			if err := node.EvictStream(cb.ctx, s); err != nil {
+				cl.Close()
+				return nil, fmt.Errorf("evicting stream %d on %s: %w", s, addr, err)
+			}
+		}
+	}
+	return cb, nil
+}
+
+func (b *clusterBackend) fail(err error) {
+	b.mu.Lock()
+	if b.err == nil {
+		b.err = err
+	}
+	b.mu.Unlock()
+}
+
+func (b *clusterBackend) firstErr() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.err
+}
+
+func (b *clusterBackend) Decide(stream int, spec alert.Spec) (alert.Decision, alert.Estimate) {
+	if b.migrateEvery > 0 {
+		b.mu.Lock()
+		n := b.steps[stream]
+		b.steps[stream] = n + 1
+		b.mu.Unlock()
+		if n > 0 && n%b.migrateEvery == 0 {
+			from := b.cl.Route(stream)
+			to := b.nextMember(from)
+			if err := b.cl.Migrate(b.ctx, stream, from, to); err != nil {
+				b.fail(fmt.Errorf("migrating stream %d %s -> %s: %w", stream, from, to, err))
+			}
+		}
+	}
+	d, est, err := b.cl.Decide(b.ctx, stream, spec)
+	if err != nil {
+		b.fail(fmt.Errorf("decide stream %d: %w", stream, err))
+	}
+	return d, est
+}
+
+func (b *clusterBackend) Observe(stream int, fb alert.Feedback) {
+	if err := b.cl.Observe(b.ctx, stream, fb); err != nil {
+		b.fail(fmt.Errorf("observe stream %d: %w", stream, err))
+	}
+}
+
+// Stats sums the members' serving counters; the latency columns take the
+// cluster-wide max and the decision-weighted average.
+func (b *clusterBackend) Stats() alert.ServerStats {
+	var sum alert.ServerStats
+	var weightedAvg time.Duration
+	for _, addr := range b.members {
+		node, ok := b.cl.Node(addr)
+		if !ok {
+			continue
+		}
+		stats, err := node.Stats(b.ctx)
+		if err != nil {
+			b.fail(fmt.Errorf("stats from %s: %w", addr, err))
+			continue
+		}
+		s := stats.Serve
+		sum.Decisions += s.Decisions
+		sum.Observes += s.Observes
+		sum.Batches += s.Batches
+		sum.Streams += s.Streams
+		sum.SessionBytes += s.SessionBytes
+		sum.StreamExports += s.StreamExports
+		sum.StreamImports += s.StreamImports
+		sum.DecidesPerSec += s.DecidesPerSec
+		weightedAvg += s.AvgDecideLatency * time.Duration(s.Decisions)
+		if s.MaxDecideLatency > sum.MaxDecideLatency {
+			sum.MaxDecideLatency = s.MaxDecideLatency
+		}
+		if s.Uptime > sum.Uptime {
+			sum.Uptime = s.Uptime
+		}
+	}
+	if sum.Decisions > 0 {
+		sum.AvgDecideLatency = weightedAvg / time.Duration(sum.Decisions)
+	}
+	return sum
+}
+
+// nextMember returns the member after addr in -addrs order, wrapping.
+func (b *clusterBackend) nextMember(addr string) string {
+	for i, a := range b.members {
+		if a == addr {
+			return b.members[(i+1)%len(b.members)]
+		}
+	}
+	return b.members[0]
 }
 
 // runLoad executes the load test and returns the aggregate report.
@@ -331,9 +520,16 @@ func runLoad(cfg loadConfig) (*loadReport, error) {
 	// alert.NewServer default).
 	var (
 		bk     backend
-		remote *remoteBackend
+		remote interface{ firstErr() error }
 	)
-	if cfg.addr != "" {
+	if cfg.addrs != "" {
+		cb, err := newClusterBackend(cfg, plat, models)
+		if err != nil {
+			return nil, err
+		}
+		defer cb.cl.Close()
+		bk, remote = cb, cb
+	} else if cfg.addr != "" {
 		base := cfg.addr
 		if !strings.Contains(base, "://") {
 			base = "http://" + base
@@ -346,11 +542,11 @@ func runLoad(cfg loadConfig) (*loadReport, error) {
 			return nil, err
 		}
 		defer cl.Close()
-		remote = &remoteBackend{c: cl, ctx: context.Background()}
+		rb := &remoteBackend{c: cl, ctx: context.Background()}
 		// Preflight: the remote server must be profiled like this run, or
 		// its decisions answer a different question and every comparison
 		// (and the byte-identical replay property) is silently garbage.
-		stats, err := cl.Stats(remote.ctx)
+		stats, err := cl.Stats(rb.ctx)
 		if err != nil {
 			return nil, fmt.Errorf("probing %s: %w", cfg.addr, err)
 		}
@@ -365,11 +561,11 @@ func runLoad(cfg loadConfig) (*loadReport, error) {
 		// Fresh sessions for the streams this run drives, so the replay is
 		// reproducible regardless of the server's prior traffic.
 		for s := 0; s < cfg.streams; s++ {
-			if err := cl.EvictStream(remote.ctx, s); err != nil {
+			if err := cl.EvictStream(rb.ctx, s); err != nil {
 				return nil, fmt.Errorf("evicting stream %d on %s: %w", s, cfg.addr, err)
 			}
 		}
-		bk = remote
+		bk, remote = rb, rb
 	} else {
 		srv, err := alert.NewServer(plat, models, alert.ServerOptions{
 			Shards:  cfg.shards,

@@ -398,3 +398,80 @@ func TestFlagErrors(t *testing.T) {
 		t.Error("missing replay file must error")
 	}
 }
+
+// TestAddrsModeMatchesInProcess is the cluster acceptance criterion: the
+// same replay routed across a 3-node cluster — with every stream
+// live-migrated to the next member every 25 inputs — produces byte-
+// identical per-stream decision sequences to the single in-process
+// server. The session snapshot wire is canonical binary, so a stream
+// served by three nodes in sequence is indistinguishable (decision-wise)
+// from one served by a single process.
+func TestAddrsModeMatchesInProcess(t *testing.T) {
+	inProc, err := runLoad(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	urls := []string{
+		startAlertserve(t, netserve.Config{NodeID: "a"}),
+		startAlertserve(t, netserve.Config{NodeID: "b"}),
+		startAlertserve(t, netserve.Config{NodeID: "c"}),
+	}
+	clusterCfg := testConfig()
+	clusterCfg.addrs = strings.Join(urls, ",")
+	clusterCfg.migrateEvery = 25
+	clustered, err := runLoad(clusterCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range inProc.DecisionSeqs {
+		if inProc.DecisionSeqs[s] != clustered.DecisionSeqs[s] {
+			t.Errorf("stream %d: clustered decisions diverge from in-process", s)
+		}
+		if clustered.DecisionSeqs[s] == "" {
+			t.Errorf("stream %d produced no decisions across the cluster", s)
+		}
+	}
+	if inProc.SLOAttainment != clustered.SLOAttainment || inProc.MissRate != clustered.MissRate ||
+		inProc.AvgEnergy != clustered.AvgEnergy || inProc.AvgQuality != clustered.AvgQuality {
+		t.Error("aggregate metrics diverge between in-process and clustered runs")
+	}
+	// With 80 inputs and a 25-input cadence every stream migrated at least
+	// once, so the cluster must have performed real exports and imports.
+	if clustered.ServerStats.StreamExports == 0 || clustered.ServerStats.StreamImports == 0 {
+		t.Errorf("no migrations recorded: exports=%d imports=%d",
+			clustered.ServerStats.StreamExports, clustered.ServerStats.StreamImports)
+	}
+	// A second clustered run against the SAME nodes must match too: the
+	// preflight evicts the driven streams on every member, wherever their
+	// sessions ended up.
+	again, err := runLoad(clusterCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range inProc.DecisionSeqs {
+		if inProc.DecisionSeqs[s] != again.DecisionSeqs[s] {
+			t.Errorf("stream %d: second clustered run diverges (cluster-wide eviction failed)", s)
+		}
+	}
+}
+
+// TestAddrsFlagErrors: the cluster flags compose safely.
+func TestAddrsFlagErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-addr", "x:1", "-addrs", "x:1,y:2"}, &out); err == nil {
+		t.Error("-addr with -addrs must error")
+	}
+	if err := run([]string{"-migrate-every", "10"}, &out); err == nil {
+		t.Error("-migrate-every without -addrs must error")
+	}
+	if err := run([]string{"-addrs", "x:1", "-migrate-every", "-1"}, &out); err == nil {
+		t.Error("negative -migrate-every must error")
+	}
+	if err := run([]string{"-addrs", " , "}, &out); err == nil {
+		t.Error("empty -addrs list must error")
+	}
+	if err := run([]string{"-addrs", "x:1", "-shards", "4"}, &out); err == nil {
+		t.Error("-shards with -addrs must error")
+	}
+}

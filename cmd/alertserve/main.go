@@ -7,6 +7,13 @@
 //
 //	alertserve -addr 127.0.0.1:8372 -platform CPU1 -task image
 //	alertserve -addr :8372 -max-inflight 256 -max-queue 1024 -idle-evict 10m
+//	alertserve -addr :8372 -node-id n1 -peers host2:8372,host3:8372
+//
+// -node-id and -peers give the node a cluster identity, advertised as soft
+// state in GET /v1/stats: routing clients (client/cluster) discover the
+// member set from any one node and route streams by consistent hashing,
+// migrating live sessions between nodes with GET /v1/streams/{id}/snapshot
+// and PUT /v1/streams/{id}. cmd/alertload -addrs drives such a cluster.
 //
 // Clients talk to it with the typed client package (client/) or plain
 // HTTP; cmd/alertload -addr drives it with scenario-shaped load. On
@@ -55,6 +62,8 @@ func run(ctx context.Context, args []string, stdout io.Writer, onReady func(addr
 	maxInflight := fs.Int("max-inflight", 0, "admission gate: concurrent requests (0 = default 64)")
 	maxQueue := fs.Int("max-queue", 0, "admission gate: waiting requests before 429 (0 = 2x max-inflight)")
 	retryAfter := fs.Duration("retry-after", 0, "backoff hint on 429/503 (0 = 50ms)")
+	nodeID := fs.String("node-id", "", "cluster identity advertised in /v1/stats (empty = standalone)")
+	peers := fs.String("peers", "", "comma-separated peer addresses advertised in /v1/stats for client-side member discovery")
 	idleEvict := fs.Duration("idle-evict", 0, "evict sessions idle longer than this, swept at the same period (0 = never)")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "max wait for in-flight requests on shutdown")
 	if err := fs.Parse(args); err != nil {
@@ -78,10 +87,18 @@ func run(ctx context.Context, args []string, stdout io.Writer, onReady func(addr
 		return err
 	}
 	defer srv.Close()
+	var peerList []string
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerList = append(peerList, p)
+		}
+	}
 	front := netserve.New(srv, netserve.Config{
 		MaxInflight: *maxInflight,
 		MaxQueue:    *maxQueue,
 		RetryAfter:  *retryAfter,
+		NodeID:      *nodeID,
+		Peers:       peerList,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -90,6 +107,9 @@ func run(ctx context.Context, args []string, stdout io.Writer, onReady func(addr
 	}
 	fmt.Fprintf(stdout, "alertserve: listening on %s platform=%s task=%s shards=%d\n",
 		ln.Addr(), plat.Name, *task, srv.Shards())
+	if *nodeID != "" {
+		fmt.Fprintf(stdout, "alertserve: cluster node %q peers=%d\n", *nodeID, len(peerList))
+	}
 	if onReady != nil {
 		onReady(ln.Addr().String())
 	}

@@ -105,3 +105,57 @@ func TestFlagAndConfigErrors(t *testing.T) {
 		t.Error("unlistenable address must error")
 	}
 }
+
+// TestClusterIdentityFlags: -node-id and -peers surface in /v1/stats so
+// routing clients can discover the member set from one seed address.
+func TestClusterIdentityFlags(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	var out strings.Builder
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0", "-shards", "1",
+			"-node-id", "n1", "-peers", "10.0.0.2:8372, 10.0.0.3:8372,",
+		}, &out, func(addr string) { ready <- addr })
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("server exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	c, err := client.New("http://"+addr, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.NodeID != "n1" {
+		t.Errorf("node_id = %q, want n1", stats.NodeID)
+	}
+	if len(stats.Peers) != 2 || stats.Peers[0] != "10.0.0.2:8372" || stats.Peers[1] != "10.0.0.3:8372" {
+		t.Errorf("peers = %v, want the two trimmed addresses", stats.Peers)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+	if !strings.Contains(out.String(), `cluster node "n1" peers=2`) {
+		t.Errorf("startup banner lacks cluster identity:\n%s", out.String())
+	}
+}

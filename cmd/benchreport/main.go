@@ -84,7 +84,7 @@ func run(args []string, stdout io.Writer) error {
 	var cfg config
 	fs := flag.NewFlagSet("benchreport", flag.ContinueOnError)
 	fs.StringVar(&cfg.bench, "bench",
-		"^(BenchmarkDecide|BenchmarkDecideZoo|BenchmarkDecideAtCap|BenchmarkPoolDecide|BenchmarkPoolDecideObserve|BenchmarkPoolDecideBatch|BenchmarkPoolManyStreams|BenchmarkServeBatch|BenchmarkNetServe)$",
+		"^(BenchmarkDecide|BenchmarkDecideZoo|BenchmarkDecideAtCap|BenchmarkPoolDecide|BenchmarkPoolDecideObserve|BenchmarkPoolDecideBatch|BenchmarkPoolManyStreams|BenchmarkServeBatch|BenchmarkNetServe|BenchmarkSnapshotRoundTrip)$",
 		"benchmark regex passed to go test -bench")
 	fs.StringVar(&cfg.benchtime, "benchtime", "300x", "benchtime passed to go test")
 	fs.IntVar(&cfg.count, "count", 3,

@@ -125,3 +125,41 @@ func BenchmarkDecideAtCap(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkSnapshotRoundTrip measures the migration hot loop — snapshot a
+// live session, encode it to the canonical binary form, decode, and restore
+// — reporting bytes/snapshot (the wire cost of shipping one stream) and
+// snapshots/s (how fast a node can drain its stream table during a rolling
+// restart). cmd/benchreport carries both into BENCH_<pr>.json.
+func BenchmarkSnapshotRoundTrip(b *testing.B) {
+	prof := benchProfile(b)
+	eng := NewEngine(prof, DefaultOptions())
+	sess := eng.NewSession()
+	spec := benchSpec()
+	for i := 0; i < 64; i++ {
+		sess.Observe(sim.Outcome{ObservedXi: 1.05, IdlePower: 6, CapApplied: 30})
+		sess.Decide(spec)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wire []byte
+	for i := 0; i < b.N; i++ {
+		var err error
+		wire, err = sess.Snapshot().MarshalBinary()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var snap SessionSnapshot
+		if err := snap.UnmarshalBinary(wire); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.RestoreSession(snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(wire)), "bytes/snapshot")
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(b.N)/sec, "snapshots/s")
+	}
+}

@@ -170,6 +170,43 @@ func (f *XiFilter) Reset() {
 	f.n = 0
 }
 
+// XiState is the complete mutable state of an XiFilter — everything the
+// recursion of Eq. 5 carries from one observation to the next, exported so
+// a serving layer can snapshot a filter, ship it to another process, and
+// resume it there with bit-identical behaviour (see MakeXiFilterFromState).
+// The parameters are deliberately not part of the state: they belong to the
+// engine configuration both endpoints already share.
+type XiState struct {
+	// K is the Kalman gain K(n), Q the adaptive process noise Q(n), Y the
+	// last innovation y(n), Mu the posterior mean µ(n), Sigma2 the posterior
+	// variance σ²(n).
+	K, Q, Y, Mu, Sigma2 float64
+	// N counts the observations folded in so far.
+	N int64
+}
+
+// State captures the filter's mutable state. Restoring it with
+// MakeXiFilterFromState under the same parameters yields a filter whose
+// every future output is bit-identical to this one's.
+func (f *XiFilter) State() XiState {
+	return XiState{K: f.k, Q: f.q, Y: f.y, Mu: f.mu, Sigma2: f.sigma2, N: int64(f.n)}
+}
+
+// MakeXiFilterFromState rebuilds a filter from a captured state, by value
+// for embedding. It is the inverse of State: the restored filter and the
+// original produce bit-identical observation sequences from here on.
+func MakeXiFilterFromState(p XiParams, st XiState) XiFilter {
+	return XiFilter{
+		p:      p,
+		k:      st.K,
+		q:      st.Q,
+		y:      st.Y,
+		mu:     st.Mu,
+		sigma2: st.Sigma2,
+		n:      int(st.N),
+	}
+}
+
 // IdleParams collects the Eq. 8 constants. M0 is the initial process
 // variance M(0), S the process noise, V the measurement noise, Phi0 the
 // initial idle-power ratio estimate.
@@ -233,4 +270,23 @@ func (f *IdlePowerFilter) Reset() {
 	f.m = f.p.M0
 	f.phi = f.p.Phi0
 	f.n = 0
+}
+
+// IdleState is the complete mutable state of an IdlePowerFilter, the Eq. 8
+// companion of XiState: M the process variance M(n), Phi the posterior
+// estimate φ(n), N the observation count.
+type IdleState struct {
+	M, Phi float64
+	N      int64
+}
+
+// State captures the filter's mutable state for snapshot/restore.
+func (f *IdlePowerFilter) State() IdleState {
+	return IdleState{M: f.m, Phi: f.phi, N: int64(f.n)}
+}
+
+// MakeIdlePowerFilterFromState rebuilds a filter from a captured state, by
+// value for embedding; the inverse of State.
+func MakeIdlePowerFilterFromState(p IdleParams, st IdleState) IdlePowerFilter {
+	return IdlePowerFilter{p: p, m: st.M, phi: st.Phi, n: int(st.N)}
 }

@@ -25,6 +25,13 @@ type ServeCounters struct {
 	streams      atomic.Int64
 	sessionBytes atomic.Int64
 
+	// exports and imports count migrations: sessions snapshotted out of this
+	// pool's stream table (ExportStream) and sessions restored into it
+	// (ImportStream). exports − imports is a node's net outflow during a
+	// rebalance or drain-down.
+	exports atomic.Int64
+	imports atomic.Int64
+
 	// decideNanos accumulates end-to-end Decide service time (submit to
 	// reply), the serving-latency signal; maxNanos tracks its high-water
 	// mark via CAS.
@@ -65,6 +72,14 @@ func (c *ServeCounters) RecordSessionEvict(bytes int64) {
 	c.sessionBytes.Add(-bytes)
 }
 
+// RecordStreamExport folds in one session snapshotted out of the table
+// (the export path already moves the table gauges via RecordSessionEvict).
+func (c *ServeCounters) RecordStreamExport() { c.exports.Add(1) }
+
+// RecordStreamImport folds in one session restored into the table (the
+// import path already moves the table gauges via RecordSessionCreate).
+func (c *ServeCounters) RecordStreamImport() { c.imports.Add(1) }
+
 // RecordBatch folds in one dispatched batch.
 func (c *ServeCounters) RecordBatch() { c.batches.Add(1) }
 
@@ -83,6 +98,10 @@ type ServeSnapshot struct {
 	// table; SessionBytes their aggregate in-memory footprint.
 	Streams      int64 `json:"streams"`
 	SessionBytes int64 `json:"session_bytes"`
+	// StreamExports and StreamImports count sessions migrated out of and
+	// into the stream table.
+	StreamExports int64 `json:"stream_exports"`
+	StreamImports int64 `json:"stream_imports"`
 	// AvgDecideLatency and MaxDecideLatency are end-to-end (submit to
 	// reply) per-decision times.
 	AvgDecideLatency time.Duration `json:"avg_decide_latency_ns"`
@@ -97,12 +116,14 @@ type ServeSnapshot struct {
 // read atomically, though the set is not a single atomic cut.
 func (c *ServeCounters) Snapshot() ServeSnapshot {
 	s := ServeSnapshot{
-		Decisions:    c.decisions.Load(),
-		Observes:     c.observes.Load(),
-		Batches:      c.batches.Load(),
-		Streams:      c.streams.Load(),
-		SessionBytes: c.sessionBytes.Load(),
-		Uptime:       time.Since(c.start),
+		Decisions:     c.decisions.Load(),
+		Observes:      c.observes.Load(),
+		Batches:       c.batches.Load(),
+		Streams:       c.streams.Load(),
+		SessionBytes:  c.sessionBytes.Load(),
+		StreamExports: c.exports.Load(),
+		StreamImports: c.imports.Load(),
+		Uptime:        time.Since(c.start),
 	}
 	s.MaxDecideLatency = time.Duration(c.maxNanos.Load())
 	if s.Decisions > 0 {
@@ -116,6 +137,6 @@ func (c *ServeCounters) Snapshot() ServeSnapshot {
 
 // String renders the snapshot for logs and CLI output.
 func (s ServeSnapshot) String() string {
-	return fmt.Sprintf("decisions=%d observes=%d batches=%d streams=%d session_bytes=%d avg_latency=%s max_latency=%s rate=%.0f/s",
-		s.Decisions, s.Observes, s.Batches, s.Streams, s.SessionBytes, s.AvgDecideLatency, s.MaxDecideLatency, s.DecidesPerSec)
+	return fmt.Sprintf("decisions=%d observes=%d batches=%d streams=%d session_bytes=%d exports=%d imports=%d avg_latency=%s max_latency=%s rate=%.0f/s",
+		s.Decisions, s.Observes, s.Batches, s.Streams, s.SessionBytes, s.StreamExports, s.StreamImports, s.AvgDecideLatency, s.MaxDecideLatency, s.DecidesPerSec)
 }

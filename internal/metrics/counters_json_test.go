@@ -17,6 +17,8 @@ func TestServeSnapshotJSONRoundTrip(t *testing.T) {
 		Batches:          9,
 		Streams:          42,
 		SessionBytes:     42 * 768,
+		StreamExports:    6,
+		StreamImports:    4,
 		AvgDecideLatency: 1234 * time.Nanosecond,
 		MaxDecideLatency: 5 * time.Millisecond,
 		Uptime:           3 * time.Hour,
@@ -36,6 +38,7 @@ func TestServeSnapshotJSONRoundTrip(t *testing.T) {
 
 	assertJSONKeys(t, b, []string{
 		"decisions", "observes", "batches", "streams", "session_bytes",
+		"stream_exports", "stream_imports",
 		"avg_decide_latency_ns", "max_decide_latency_ns", "uptime_ns",
 		"decides_per_sec",
 	})
@@ -51,6 +54,8 @@ func TestNetSnapshotJSONRoundTrip(t *testing.T) {
 		Observes:          99,
 		Reads:             3,
 		Evictions:         2,
+		Exports:           8,
+		Imports:           6,
 		RejectedOverload:  11,
 		RejectedDeadline:  1,
 		RejectedDraining:  4,
@@ -73,9 +78,9 @@ func TestNetSnapshotJSONRoundTrip(t *testing.T) {
 
 	assertJSONKeys(t, b, []string{
 		"decides", "batches", "batch_decisions", "observes", "reads",
-		"evictions", "rejected_overload", "rejected_deadline",
-		"rejected_draining", "bad_requests", "avg_request_latency_ns",
-		"max_request_latency_ns", "uptime_ns",
+		"evictions", "exports", "imports", "rejected_overload",
+		"rejected_deadline", "rejected_draining", "bad_requests",
+		"avg_request_latency_ns", "max_request_latency_ns", "uptime_ns",
 	})
 }
 

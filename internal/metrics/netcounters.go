@@ -21,6 +21,8 @@ type NetCounters struct {
 	observes       atomic.Int64
 	reads          atomic.Int64
 	evictions      atomic.Int64
+	exports        atomic.Int64
+	imports        atomic.Int64
 
 	rejectedOverload atomic.Int64
 	rejectedDeadline atomic.Int64
@@ -75,6 +77,14 @@ func (c *NetCounters) RecordRead() { c.reads.Add(1) }
 // RecordEviction folds in one DELETE /v1/streams/{id}.
 func (c *NetCounters) RecordEviction() { c.evictions.Add(1) }
 
+// RecordExport folds in one served GET /v1/streams/{id}/snapshot (a
+// session left this node).
+func (c *NetCounters) RecordExport() { c.exports.Add(1) }
+
+// RecordImport folds in one served PUT /v1/streams/{id} (a session arrived
+// at this node).
+func (c *NetCounters) RecordImport() { c.imports.Add(1) }
+
 // RecordRejectOverload counts a 429: the admission queue was full.
 func (c *NetCounters) RecordRejectOverload() { c.rejectedOverload.Add(1) }
 
@@ -105,6 +115,10 @@ type NetSnapshot struct {
 	// Reads counts stats/streams GETs; Evictions counts stream DELETEs.
 	Reads     int64 `json:"reads"`
 	Evictions int64 `json:"evictions"`
+	// Exports counts served snapshot exports; Imports counts served
+	// session imports (the HTTP ends of stream migration).
+	Exports int64 `json:"exports"`
+	Imports int64 `json:"imports"`
 	// RejectedOverload counts 429s from a full admission queue;
 	// RejectedDeadline requests whose Spec deadline expired while queued;
 	// RejectedDraining requests refused during shutdown drain; BadRequests
@@ -131,6 +145,8 @@ func (c *NetCounters) Snapshot() NetSnapshot {
 		Observes:          c.observes.Load(),
 		Reads:             c.reads.Load(),
 		Evictions:         c.evictions.Load(),
+		Exports:           c.exports.Load(),
+		Imports:           c.imports.Load(),
 		RejectedOverload:  c.rejectedOverload.Load(),
 		RejectedDeadline:  c.rejectedDeadline.Load(),
 		RejectedDraining:  c.rejectedDraining.Load(),

@@ -8,9 +8,11 @@
 //	POST   /v1/decide        one decision for one stream
 //	POST   /v1/observe       feedback for one stream (fire-and-forget)
 //	POST   /v1/decide-batch  one decision per request, request order
-//	GET    /v1/stats         serve + front-end counter snapshots
+//	GET    /v1/stats         serve + front-end counter snapshots, node identity
 //	GET    /v1/streams       live stream ids
 //	DELETE /v1/streams/{id}  evict one stream's session
+//	GET    /v1/streams/{id}/snapshot  export (snapshot + remove) a session
+//	PUT    /v1/streams/{id}  import a previously exported session
 //
 // # Admission control
 //
@@ -47,6 +49,7 @@ package netserve
 
 import (
 	"context"
+	"encoding/base64"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -74,6 +77,15 @@ type Config struct {
 	// RetryAfter is the backoff hint attached to 429/503 responses; 0
 	// means 50ms.
 	RetryAfter time.Duration
+	// NodeID names this node in a cluster; it is echoed in GET /v1/stats so
+	// routing clients can verify they reached the member they meant to.
+	// Empty means a standalone node.
+	NodeID string
+	// Peers lists the other cluster members' addresses, also echoed in
+	// /v1/stats. Purely advisory soft state: clients treat it as a
+	// bootstrap hint and re-probe members directly, so a stale list
+	// degrades discovery, never correctness.
+	Peers []string
 }
 
 func (c Config) maxInflight() int {
@@ -104,6 +116,8 @@ type Server struct {
 	alert      *alert.Server
 	net        *metrics.NetCounters
 	retryAfter time.Duration
+	nodeID     string
+	peers      []string
 
 	// tokens is the admission gate: a request must deposit a token to run
 	// and withdraws it when done. queued counts requests waiting at the
@@ -129,6 +143,8 @@ func New(srv *alert.Server, cfg Config) *Server {
 		alert:      srv,
 		net:        metrics.NewNetCounters(),
 		retryAfter: cfg.retryAfter(),
+		nodeID:     cfg.NodeID,
+		peers:      cfg.Peers,
 		tokens:     make(chan struct{}, cfg.maxInflight()),
 		maxQueue:   int64(cfg.maxQueue()),
 		drained:    make(chan struct{}),
@@ -171,10 +187,14 @@ const (
 // call s.release() when done — from that point the request is "accepted"
 // and will be served no matter what. ctx carries the request's admission
 // deadline (the Spec deadline for decides, the connection's lifetime
-// otherwise).
-func (s *Server) admit(ctx context.Context) admitStatus {
+// otherwise). drainExempt requests are still token-gated but admitted
+// while the server drains: stream export is the mechanism for moving
+// sessions OFF a draining node, so refusing it would deadlock a graceful
+// hand-off (imports stay refused — a draining node must shed state, not
+// accept it).
+func (s *Server) admit(ctx context.Context, drainExempt bool) admitStatus {
 	s.mu.Lock()
-	if s.draining {
+	if s.draining && !drainExempt {
 		s.mu.Unlock()
 		return admitDraining
 	}
@@ -201,7 +221,7 @@ func (s *Server) admit(ctx context.Context) admitStatus {
 		// A drain that started while this request queued wins: give the
 		// token back and refuse, so Drain's "no new work after the flip"
 		// promise holds even for requests that were already waiting.
-		if s.draining {
+		if s.draining && !drainExempt {
 			s.mu.Unlock()
 			<-s.tokens
 			return admitDraining
@@ -256,7 +276,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	case path == "/v1/streams":
 		s.get(w, r, s.handleStreams)
 	case strings.HasPrefix(path, "/v1/streams/"):
-		s.handleStreamDelete(w, r, strings.TrimPrefix(path, "/v1/streams/"))
+		s.routeStream(w, r, strings.TrimPrefix(path, "/v1/streams/"))
 	default:
 		s.net.RecordBadRequest()
 		s.writeError(w, http.StatusNotFound, fmt.Sprintf("no such endpoint %s", path), false)
@@ -396,6 +416,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Models:   len(s.alert.Models()),
 		Shards:   s.alert.Shards(),
 		Streams:  s.alert.Streams(),
+		NodeID:   s.nodeID,
+		Peers:    s.peers,
 	})
 }
 
@@ -405,17 +427,36 @@ func (s *Server) handleStreams(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, StreamsResponse{Count: len(ids), IDs: ids})
 }
 
-func (s *Server) handleStreamDelete(w http.ResponseWriter, r *http.Request, rest string) {
-	if r.Method != http.MethodDelete {
-		s.methodNotAllowed(w, http.MethodDelete)
-		return
-	}
-	id, err := strconv.Atoi(rest)
-	if err != nil {
+// routeStream dispatches the per-stream endpoints:
+//
+//	DELETE /v1/streams/{id}           evict
+//	PUT    /v1/streams/{id}           import a migrated session
+//	GET    /v1/streams/{id}/snapshot  export (snapshot + remove) a session
+func (s *Server) routeStream(w http.ResponseWriter, r *http.Request, rest string) {
+	idStr, isSnapshot := strings.CutSuffix(rest, "/snapshot")
+	id, err := strconv.Atoi(idStr)
+	if err != nil || strings.Contains(idStr, "/") {
 		s.net.RecordBadRequest()
-		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("bad stream id %q", rest), false)
+		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("bad stream id %q", idStr), false)
 		return
 	}
+	switch {
+	case isSnapshot:
+		if r.Method != http.MethodGet {
+			s.methodNotAllowed(w, http.MethodGet)
+			return
+		}
+		s.handleStreamExport(w, r, id)
+	case r.Method == http.MethodDelete:
+		s.handleStreamDelete(w, r, id)
+	case r.Method == http.MethodPut:
+		s.handleStreamImport(w, r, id)
+	default:
+		s.methodNotAllowed(w, "DELETE, PUT")
+	}
+}
+
+func (s *Server) handleStreamDelete(w http.ResponseWriter, r *http.Request, id int) {
 	if !s.admitOrReject(w, r.Context()) {
 		return
 	}
@@ -424,6 +465,70 @@ func (s *Server) handleStreamDelete(w http.ResponseWriter, r *http.Request, rest
 	s.alert.EvictStream(id)
 	s.net.RecordEviction()
 	s.writeJSON(w, http.StatusOK, EvictResponse{Stream: id, Streams: s.alert.Streams()})
+}
+
+// handleStreamExport serves GET /v1/streams/{id}/snapshot: drain the
+// stream, snapshot its session, remove it, and ship the canonical binary
+// snapshot (base64 in JSON — session floats never pass through JSON number
+// formatting). Export is admission-gated but drain-exempt: it is how
+// sessions leave a draining node.
+func (s *Server) handleStreamExport(w http.ResponseWriter, r *http.Request, id int) {
+	if !s.admitOrRejectExempt(w, r.Context(), true) {
+		return
+	}
+	defer s.release()
+
+	snap, ok := s.alert.ExportStream(id)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Sprintf("stream %d has no session", id), false)
+		return
+	}
+	blob, err := snap.MarshalBinary()
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err.Error(), false)
+		return
+	}
+	s.net.RecordExport()
+	s.writeJSON(w, http.StatusOK, SnapshotResponse{
+		Stream:      id,
+		Version:     int(snap.Version),
+		SnapshotB64: base64.StdEncoding.EncodeToString(blob),
+	})
+}
+
+// handleStreamImport serves PUT /v1/streams/{id}: restore an exported
+// session under the given id. Unlike export it is NOT drain-exempt — a
+// draining node sheds state, it must not accept more.
+func (s *Server) handleStreamImport(w http.ResponseWriter, r *http.Request, id int) {
+	var req ImportRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	blob, err := base64.StdEncoding.DecodeString(req.SnapshotB64)
+	if err != nil {
+		s.net.RecordBadRequest()
+		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("bad snapshot encoding: %v", err), false)
+		return
+	}
+	var snap alert.SessionSnapshot
+	if err := snap.UnmarshalBinary(blob); err != nil {
+		s.net.RecordBadRequest()
+		s.writeError(w, http.StatusBadRequest, err.Error(), false)
+		return
+	}
+	if !s.admitOrReject(w, r.Context()) {
+		return
+	}
+	defer s.release()
+
+	if err := s.alert.ImportStream(id, snap); err != nil {
+		// A live target session is the caller racing itself (or another
+		// migrator); 409 tells it the stream is already being served here.
+		s.writeError(w, http.StatusConflict, err.Error(), false)
+		return
+	}
+	s.net.RecordImport()
+	s.writeJSON(w, http.StatusOK, ImportResponse{Stream: id, Streams: s.alert.Streams()})
 }
 
 // admissionTimeout converts a Spec deadline in seconds to an admission
@@ -445,7 +550,13 @@ func admissionTimeout(seconds float64) (time.Duration, bool) {
 // admitOrReject runs the admission gate and writes the rejection response
 // itself; the caller proceeds (and later releases) only on true.
 func (s *Server) admitOrReject(w http.ResponseWriter, ctx context.Context) bool {
-	switch s.admit(ctx) {
+	return s.admitOrRejectExempt(w, ctx, false)
+}
+
+// admitOrRejectExempt is admitOrReject with control over the drain
+// exemption (see admit).
+func (s *Server) admitOrRejectExempt(w http.ResponseWriter, ctx context.Context, drainExempt bool) bool {
+	switch s.admit(ctx, drainExempt) {
 	case admitOK:
 		return true
 	case admitOverload:

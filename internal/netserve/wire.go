@@ -232,6 +232,12 @@ type StatsResponse struct {
 	Models   int    `json:"models"`
 	Shards   int    `json:"shards"`
 	Streams  int    `json:"streams"`
+	// NodeID and Peers are the node's cluster identity as configured at
+	// startup (cmd/alertserve -node-id/-peers): soft state that routing
+	// clients use for discovery and sanity checks. Empty for a standalone
+	// node.
+	NodeID string   `json:"node_id,omitempty"`
+	Peers  []string `json:"peers,omitempty"`
 }
 
 // StreamsResponse is the GET /v1/streams reply.
@@ -242,6 +248,31 @@ type StreamsResponse struct {
 
 // EvictResponse is the DELETE /v1/streams/{id} reply.
 type EvictResponse struct {
+	Stream  int `json:"stream"`
+	Streams int `json:"streams"`
+}
+
+// SnapshotResponse is the GET /v1/streams/{id}/snapshot reply: the
+// exported session in its canonical binary encoding, base64-wrapped so the
+// filter floats ride JSON as opaque bytes instead of formatted numbers
+// (bit-exactness is the whole point of the binary format). Version echoes
+// the snapshot's format version for operators; the blob itself carries it
+// too and the importing node revalidates.
+type SnapshotResponse struct {
+	Stream      int    `json:"stream"`
+	Version     int    `json:"version"`
+	SnapshotB64 string `json:"snapshot_b64"`
+}
+
+// ImportRequest is the PUT /v1/streams/{id} body; SnapshotB64 is the
+// base64 canonical binary encoding, normally copied verbatim from a
+// SnapshotResponse.
+type ImportRequest struct {
+	SnapshotB64 string `json:"snapshot_b64"`
+}
+
+// ImportResponse is the PUT /v1/streams/{id} reply.
+type ImportResponse struct {
 	Stream  int `json:"stream"`
 	Streams int `json:"streams"`
 }

@@ -57,6 +57,7 @@
 package serve
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"time"
@@ -105,6 +106,8 @@ const (
 	taskStreams
 	taskBarrier
 	taskXi
+	taskExport
+	taskImport
 )
 
 type decideReply struct {
@@ -140,16 +143,26 @@ type task struct {
 	stream  int
 	spec    core.Spec
 	out     sim.Outcome
-	reply   chan decideReply // decide: buffered 1, worker never blocks
-	group   *batchGroup      // decide group: one per shard per batch
-	done    chan struct{}    // barrier/evict ack: closed when the shard reaches it
-	xiReply chan [2]float64  // xi read: buffered 1
-	evicted chan int         // idle sweep: evicted-count reply, buffered 1
-	ids     chan []int       // stream listing: shard's stream ids, buffered 1
+	reply   chan decideReply     // decide: buffered 1, worker never blocks
+	group   *batchGroup          // decide group: one per shard per batch
+	done    chan struct{}        // barrier/evict ack: closed when the shard reaches it
+	xiReply chan [2]float64      // xi read: buffered 1
+	evicted chan int             // idle sweep: evicted-count reply, buffered 1
+	ids     chan []int           // stream listing: shard's stream ids, buffered 1
+	snap    core.SessionSnapshot // import: the state to restore
+	export  chan exportReply     // export: snapshot-and-remove reply, buffered 1
+	imErr   chan error           // import: restore verdict, buffered 1
 	// start is the submission timestamp of traffic tasks (decide/observe):
 	// it feeds the latency counters and the session's last-use time. For
 	// taskEvictIdle it carries the idle cutoff instead.
 	start time.Time
+}
+
+// exportReply carries an ExportStream verdict: the snapshot, and whether
+// the stream had a live session to snapshot at all.
+type exportReply struct {
+	snap core.SessionSnapshot
+	ok   bool
 }
 
 // entry is one stream's slot in a shard's table: its session plus the
@@ -271,6 +284,38 @@ func (p *Pool) work(s *shard) {
 				ids = append(ids, stream)
 			}
 			t.ids <- ids
+		case taskExport:
+			// Snapshot-and-remove on the owning worker: FIFO ordering means
+			// every Decide/Observe submitted before the export has already
+			// been applied (the queue IS the drain), and nothing can touch
+			// the session between the snapshot and the delete.
+			if e, ok := s.sessions[t.stream]; ok {
+				snap := e.sess.Snapshot()
+				delete(s.sessions, t.stream)
+				p.counters.RecordSessionEvict(int64(core.SessionBytes()))
+				p.counters.RecordStreamExport()
+				t.export <- exportReply{snap: snap, ok: true}
+			} else {
+				t.export <- exportReply{}
+			}
+		case taskImport:
+			// Restore onto this shard's shared workspace. An already-live
+			// stream refuses the import: silently replacing a session that is
+			// actively deciding would fork its decision sequence, which is
+			// exactly what migration exists to prevent.
+			if _, ok := s.sessions[t.stream]; ok {
+				t.imErr <- fmt.Errorf("serve: stream %d already live, refusing import", t.stream)
+				break
+			}
+			sess, err := s.eng.RestoreSessionWith(s.sc, t.snap)
+			if err != nil {
+				t.imErr <- err
+				break
+			}
+			s.sessions[t.stream] = &entry{sess: sess, lastUse: t.start}
+			p.counters.RecordSessionCreate(int64(core.SessionBytes()))
+			p.counters.RecordStreamImport()
+			t.imErr <- nil
 		case taskBarrier:
 			close(t.done)
 		case taskXi:
@@ -460,6 +505,39 @@ func (p *Pool) DecideBatch(reqs []Request) []Result {
 	}
 	wg.Wait()
 	return out
+}
+
+// ExportStream drains the stream's pending traffic, snapshots its session,
+// and atomically removes it from the table — the send side of a live
+// migration (or a crash-consistent backup of one stream). The three steps
+// are one task on the owning worker: per-stream FIFO ordering guarantees
+// every Decide/Observe submitted before the export is folded into the
+// snapshot, and nothing can slip between the snapshot and the removal. The
+// second return is false if the stream had no live session (nothing to
+// ship — the stream can simply start fresh elsewhere, exactly as if idle
+// eviction had reaped it).
+//
+// Traffic submitted after the export recreates the stream from the initial
+// filter state, exactly like EvictStream; callers migrating a stream stop
+// routing to it first.
+func (p *Pool) ExportStream(stream int) (core.SessionSnapshot, bool) {
+	reply := make(chan exportReply, 1)
+	p.shardFor(stream).ch <- task{kind: taskExport, stream: stream, export: reply}
+	r := <-reply
+	return r.snap, r.ok
+}
+
+// ImportStream restores a snapshotted session into the table under the
+// given stream id — the receive side of a migration. The restore runs on
+// the owning worker ordered like any task, so traffic for the stream
+// submitted after ImportStream returns is served by the restored session,
+// continuing the exported stream's decision sequence bit-for-bit. It
+// refuses a stream that already has a live session (the caller is
+// migrating onto a stale target) and snapshots that fail validation.
+func (p *Pool) ImportStream(stream int, snap core.SessionSnapshot) error {
+	reply := make(chan error, 1)
+	p.shardFor(stream).ch <- task{kind: taskImport, stream: stream, snap: snap, imErr: reply, start: p.clock()}
+	return <-reply
 }
 
 // Drain blocks until every shard has served everything submitted before the

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"time"
 
+	"github.com/alert-project/alert/internal/core"
 	"github.com/alert-project/alert/internal/dnn"
 	"github.com/alert-project/alert/internal/metrics"
 	"github.com/alert-project/alert/internal/serve"
@@ -86,6 +87,32 @@ func (s *Server) EvictIdle(maxAge time.Duration) int { return s.pool.EvictIdle(m
 
 // StreamIDs returns the ids of every live session, sorted ascending.
 func (s *Server) StreamIDs() []int { return s.pool.StreamIDs() }
+
+// SessionSnapshot is the serializable state of one stream's session: a
+// flat, versioned value with a canonical binary encoding
+// (MarshalBinary/UnmarshalBinary), the unit of stream migration and crash
+// recovery. See internal/core for the format contract.
+type SessionSnapshot = core.SessionSnapshot
+
+// ExportStream drains the stream's pending traffic, snapshots its session,
+// and atomically removes it from the table — the send side of a live
+// migration. The second return is false when the stream has no session
+// (nothing to ship; the stream can start fresh elsewhere). Traffic arriving
+// after the export recreates the stream from the initial filter state, so
+// callers migrating a stream stop routing to this server first.
+func (s *Server) ExportStream(stream int) (SessionSnapshot, bool) {
+	return s.pool.ExportStream(stream)
+}
+
+// ImportStream restores an exported session under the given stream id — the
+// receive side of a migration. The restored session continues the exported
+// stream's decision sequence bit-for-bit, provided both servers were built
+// from the same platform, candidate set, and options (callers verify this
+// out of band; see StatsResponse.Platform/Models). It refuses a stream that
+// already has a live session and snapshots that fail validation.
+func (s *Server) ImportStream(stream int, snap SessionSnapshot) error {
+	return s.pool.ImportStream(stream, snap)
+}
 
 // Models returns the profiled candidate set in index order.
 func (s *Server) Models() []*Model { return s.prof.Models }
