@@ -169,6 +169,20 @@ func (c *Client) Decide(ctx context.Context, stream int, spec alert.Spec) (alert
 	return out.Decision.ToDecision(), out.Estimate.ToEstimate(), nil
 }
 
+// DecideServed is Decide plus the identity of the node that served the
+// decision (the server's configured -node-id; empty for a standalone
+// node). The chaos harness's single-ownership checker uses it to attribute
+// every decision to a member without a second round trip.
+func (c *Client) DecideServed(ctx context.Context, stream int, spec alert.Spec) (alert.Decision, alert.Estimate, string, error) {
+	var out netserve.DecideResponse
+	err := c.do(ctx, http.MethodPost, "/v1/decide",
+		netserve.DecideRequest{Stream: stream, Spec: netserve.FromSpec(spec)}, &out)
+	if err != nil {
+		return alert.Decision{}, alert.Estimate{}, "", err
+	}
+	return out.Decision.ToDecision(), out.Estimate.ToEstimate(), out.NodeID, nil
+}
+
 // Observe reports a measurement for the stream. The server enqueues it
 // before replying, so a subsequent Decide on the same stream (over this or
 // any connection) sees the updated filter state.
@@ -240,6 +254,32 @@ var ErrNoSession = errors.New("client: stream has no session")
 func (c *Client) ExportStream(ctx context.Context, stream int) (alert.SessionSnapshot, error) {
 	var out netserve.SnapshotResponse
 	err := c.do(ctx, http.MethodGet, "/v1/streams/"+strconv.Itoa(stream)+"/snapshot", nil, &out)
+	var snap alert.SessionSnapshot
+	if err != nil {
+		var ae *APIError
+		if errors.As(err, &ae) && ae.StatusCode == http.StatusNotFound {
+			return snap, fmt.Errorf("%w: stream %d", ErrNoSession, stream)
+		}
+		return snap, err
+	}
+	blob, err := base64.StdEncoding.DecodeString(out.SnapshotB64)
+	if err != nil {
+		return snap, fmt.Errorf("client: bad snapshot encoding from server: %w", err)
+	}
+	if err := snap.UnmarshalBinary(blob); err != nil {
+		return snap, fmt.Errorf("client: %w", err)
+	}
+	return snap, nil
+}
+
+// CheckpointStream snapshots the stream's session on the server WITHOUT
+// removing it — the periodic-backup read behind crash recovery. It returns
+// ErrNoSession (wrapped) when the stream has no session. Unlike
+// ExportStream it is ungated server-side and keeps answering under
+// overload and drain.
+func (c *Client) CheckpointStream(ctx context.Context, stream int) (alert.SessionSnapshot, error) {
+	var out netserve.SnapshotResponse
+	err := c.do(ctx, http.MethodGet, "/v1/streams/"+strconv.Itoa(stream)+"/checkpoint", nil, &out)
 	var snap alert.SessionSnapshot
 	if err != nil {
 		var ae *APIError

@@ -44,10 +44,11 @@ type Options struct {
 type Cluster struct {
 	opts client.Options
 
-	mu    sync.RWMutex
-	nodes map[string]*client.Client // every current member, by address
-	ring  ring
-	pins  map[int]string // stream -> address, overriding the ring
+	mu        sync.RWMutex
+	nodes     map[string]*client.Client // every current member, by address
+	ring      ring
+	pins      map[int]string // stream -> address, overriding the ring
+	migrating map[int]bool   // streams with a Migrate in flight
 }
 
 // New builds a cluster over the given member addresses (host:port or full
@@ -58,9 +59,10 @@ func New(addrs []string, opts Options) (*Cluster, error) {
 		return nil, errors.New("cluster: no members")
 	}
 	c := &Cluster{
-		opts:  opts.Client,
-		nodes: make(map[string]*client.Client, len(addrs)),
-		pins:  make(map[int]string),
+		opts:      opts.Client,
+		nodes:     make(map[string]*client.Client, len(addrs)),
+		pins:      make(map[int]string),
+		migrating: make(map[int]bool),
 	}
 	if err := c.setMembers(addrs); err != nil {
 		c.Close()
@@ -192,6 +194,19 @@ func (c *Cluster) Decide(ctx context.Context, stream int, spec alert.Spec) (aler
 	return cl.Decide(ctx, stream, spec)
 }
 
+// DecideServed is Decide plus the identity of the node that actually served
+// the decision as the server reported it (its -node-id, which need not
+// equal the routed address). The chaos harness's single-ownership checker
+// feeds on it: every decision is attributed to a member, so a stream served
+// by two nodes at once cannot hide.
+func (c *Cluster) DecideServed(ctx context.Context, stream int, spec alert.Spec) (alert.Decision, alert.Estimate, string, error) {
+	cl, _, err := c.clientFor(stream)
+	if err != nil {
+		return alert.Decision{}, alert.Estimate{}, "", err
+	}
+	return cl.DecideServed(ctx, stream, spec)
+}
+
 // Observe routes the feedback to the stream's serving node.
 func (c *Cluster) Observe(ctx context.Context, stream int, fb alert.Feedback) error {
 	cl, _, err := c.clientFor(stream)
@@ -270,12 +285,26 @@ func (c *Cluster) Refresh(ctx context.Context) error {
 	return c.SetMembers(members)
 }
 
+// ErrMigrationInFlight reports that another Migrate for the same stream is
+// still running on this Cluster. Concurrent migrations of one stream are
+// refused rather than serialized: the loser's from/to plan was made against
+// a routing state the winner is in the middle of changing, so running it
+// afterwards would be wrong anyway. The caller re-plans (or simply skips —
+// the stream is being handled).
+var ErrMigrationInFlight = errors.New("cluster: migration already in flight for stream")
+
 // Migrate moves a stream's live session from one member to another:
 // export (which drains the stream's queued work and atomically removes the
 // session), ship the canonical snapshot, import, and pin the stream so
 // subsequent routed traffic resumes on the target. A stream with no
 // session on the source is nothing to ship: Migrate pins and returns nil,
 // so migration plans are idempotent.
+//
+// At most one Migrate per stream runs at a time on a Cluster: a concurrent
+// second call gets ErrMigrationInFlight (wrapped) immediately. Without the
+// guard two racing migrations could fork the stream — each exporting,
+// importing to different targets, and pinning over each other — which is
+// exactly the double-serve state the cluster exists to prevent.
 //
 // If the import is refused the session is re-imported into the source
 // (the export already removed it there); only if that recovery also fails
@@ -284,6 +313,19 @@ func (c *Cluster) Migrate(ctx context.Context, stream int, from, to string) erro
 	if from == to {
 		return nil
 	}
+	c.mu.Lock()
+	if c.migrating[stream] {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: stream %d", ErrMigrationInFlight, stream)
+	}
+	c.migrating[stream] = true
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.migrating, stream)
+		c.mu.Unlock()
+	}()
+
 	src, ok := c.Node(from)
 	if !ok {
 		return fmt.Errorf("cluster: migrate source %q is not a member", from)
@@ -323,6 +365,61 @@ func (c *Cluster) pin(stream int, addr string) {
 		return
 	}
 	c.pins[stream] = addr
+}
+
+// Pin explicitly routes a stream to a member, overriding the ring — the
+// restart-aware hook chaos harnesses and rebalancers use when they move a
+// session by hand (e.g. import from a crash checkpoint) and must point
+// routing at wherever the session actually lives. Pinning to the stream's
+// hash-home just drops any pin. It refuses a non-member address.
+func (c *Cluster) Pin(stream int, addr string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.nodes[addr]; !ok {
+		return fmt.Errorf("cluster: pin target %q is not a member", addr)
+	}
+	if c.ring.owner(stream) == addr {
+		delete(c.pins, stream)
+		return nil
+	}
+	c.pins[stream] = addr
+	return nil
+}
+
+// AddMember adds one address to the member set (a node coming back after a
+// restart, or a fresh node joining), rebuilding the ring. Adding an
+// existing member is a no-op. Note that re-adding a member remaps ~1/N of
+// unpinned streams' hash-homes onto it while their sessions still live
+// elsewhere; callers either migrate those streams to the new home or Pin
+// them where they are, or their next request forks a fresh session.
+func (c *Cluster) AddMember(addr string) error {
+	members := c.Members()
+	for _, m := range members {
+		if m == addr {
+			return nil
+		}
+	}
+	return c.SetMembers(append(members, addr))
+}
+
+// RemoveMember drops one address from the member set (a killed or draining
+// node), rebuilding the ring and dropping pins onto it. Removing the last
+// member is refused; removing a non-member is a no-op.
+func (c *Cluster) RemoveMember(addr string) error {
+	members := c.Members()
+	kept := members[:0]
+	for _, m := range members {
+		if m != addr {
+			kept = append(kept, m)
+		}
+	}
+	if len(kept) == len(members) {
+		return nil
+	}
+	if len(kept) == 0 {
+		return errors.New("cluster: cannot remove the last member")
+	}
+	return c.SetMembers(kept)
 }
 
 // Pins returns a copy of the pin table: every stream currently routed away

@@ -2,7 +2,11 @@ package cluster
 
 import (
 	"context"
+	"errors"
+	"net/http"
 	"net/http/httptest"
+	"net/http/httputil"
+	"net/url"
 	"sync"
 	"testing"
 
@@ -312,5 +316,150 @@ func TestSetMembersDropsOrphanedPins(t *testing.T) {
 	}
 	if wantPinned && len(cl.Pins()) != 0 {
 		t.Errorf("orphaned pin retained: %v", cl.Pins())
+	}
+}
+
+// TestConcurrentMigrateSameStream pins down the in-flight guard: two
+// Migrates for the same stream overlap deterministically (the first one's
+// import is stalled behind a proxy), exactly one wins, the loser gets
+// ErrMigrationInFlight immediately, and the stream never forks — its one
+// session ends up on exactly one node with every decision intact. Run under
+// -race this also exercises the guard's locking against routed traffic.
+func TestConcurrentMigrateSameStream(t *testing.T) {
+	a := startNode(t, "a", nil, 1)
+	b := startNode(t, "b", nil, 1)
+	c := startNode(t, "c", nil, 1)
+
+	// slowB fronts b, stalling the first import (PUT /v1/streams/{id})
+	// until released so the overlap window is a certainty, not a sleep.
+	bURL, err := url.Parse(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy := httputil.NewSingleHostReverseProxy(bURL)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	slowB := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPut {
+			once.Do(func() { close(entered) })
+			<-release
+		}
+		proxy.ServeHTTP(w, r)
+	}))
+	defer slowB.Close()
+
+	cl, err := New([]string{a, slowB.URL, c}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+	spec := alert.Spec{Objective: alert.MinimizeEnergy, Deadline: 0.2, AccuracyGoal: 0.9}
+
+	// Pick a stream whose hash-home is NOT the stalled node, so the winner's
+	// migration imports through the stall while the loser races it.
+	stream := -1
+	for s := 0; s < 64; s++ {
+		if cl.Route(s) != slowB.URL {
+			stream = s
+			break
+		}
+	}
+	if stream < 0 {
+		t.Fatal("no stream routes away from the stalled member")
+	}
+	home := cl.Route(stream)
+	other := a
+	if home == a {
+		other = c
+	}
+	if _, _, err := cl.Decide(ctx, stream, spec); err != nil {
+		t.Fatal(err)
+	}
+
+	winner := make(chan error, 1)
+	go func() { winner <- cl.Migrate(ctx, stream, home, slowB.URL) }()
+	<-entered // the winner's import is now in flight
+
+	// The concurrent second Migrate must lose fast, without touching the
+	// session mid-ship.
+	if err := cl.Migrate(ctx, stream, home, other); !errors.Is(err, ErrMigrationInFlight) {
+		t.Fatalf("concurrent migrate: err = %v, want ErrMigrationInFlight", err)
+	}
+	close(release)
+	if err := <-winner; err != nil {
+		t.Fatalf("winning migrate: %v", err)
+	}
+
+	// No fork: the session lives exactly once, behind the stalled node, with
+	// its decision intact, and routing follows the winner.
+	if got := cl.Route(stream); got != slowB.URL {
+		t.Errorf("route = %s, want the winning target %s", got, slowB.URL)
+	}
+	holders := 0
+	for _, addr := range []string{a, slowB.URL, c} {
+		node, _ := cl.Node(addr)
+		ids, err := node.Streams(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range ids {
+			if id == stream {
+				holders++
+			}
+		}
+	}
+	if holders != 1 {
+		t.Fatalf("stream %d live on %d nodes, want exactly 1", stream, holders)
+	}
+	node, _ := cl.Node(slowB.URL)
+	snap, err := node.ExportStream(ctx, stream)
+	if err != nil {
+		t.Fatalf("session not on the winning target: %v", err)
+	}
+	if snap.Decisions != 1 {
+		t.Errorf("session holds %d decisions after the race, want 1", snap.Decisions)
+	}
+
+	// Hammer phase: many goroutines race the same migration plan. The guard
+	// serializes them into one winner plus idempotent no-session pins —
+	// every error is nil or ErrMigrationInFlight, never a forked session.
+	if err := node.ImportStream(ctx, stream, snap); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = cl.Migrate(ctx, stream, slowB.URL, other)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil && !errors.Is(err, ErrMigrationInFlight) {
+			t.Errorf("hammer migrate %d: %v", i, err)
+		}
+	}
+	holders = 0
+	for _, addr := range []string{a, slowB.URL, c} {
+		n, _ := cl.Node(addr)
+		ids, err := n.Streams(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range ids {
+			if id == stream {
+				holders++
+			}
+		}
+	}
+	if holders != 1 {
+		t.Fatalf("after hammer: stream %d live on %d nodes, want exactly 1", stream, holders)
+	}
+	if got := cl.Route(stream); got != other {
+		t.Errorf("after hammer: route = %s, want %s", got, other)
 	}
 }

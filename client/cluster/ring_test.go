@@ -59,3 +59,56 @@ func TestRingEmpty(t *testing.T) {
 		t.Errorf("empty ring owner = %q, want empty", got)
 	}
 }
+
+// TestRingAdversarialLowEntropyKeys pins the avalanche finalizer: stream
+// ids in real deployments are tiny sequential integers and member
+// addresses differ in a single character, so the ring's raw FNV-1a hashes
+// differ in only a few low bits. Without mix64 those near-collisions
+// cluster consecutive ids onto one member; with it, even the lowest-
+// entropy key sets must spread fairly and decorrelate neighboring ids.
+func TestRingAdversarialLowEntropyKeys(t *testing.T) {
+	// Four members distinguishable only by their final port digit.
+	members := []string{
+		"10.0.0.1:8370", "10.0.0.1:8371", "10.0.0.1:8372", "10.0.0.1:8373",
+	}
+	r := buildRing(members)
+
+	const n = 2048 // sequential ids 0..n-1: the least entropy a key set can have
+	counts := map[string]int{}
+	adjacent := 0
+	prev := ""
+	for stream := 0; stream < n; stream++ {
+		owner := r.owner(stream)
+		counts[owner]++
+		if owner == prev {
+			adjacent++
+		}
+		prev = owner
+	}
+	for _, m := range members {
+		share := float64(counts[m]) / n
+		if share < 0.10 || share > 0.45 {
+			t.Errorf("member %s owns %.1f%% of sequential ids, want a roughly fair share", m, 100*share)
+		}
+	}
+	// Uncorrelated neighbors land on the same member ~sum(share^2) ≈ 25%
+	// of the time; heavy clustering of consecutive ids means the id's low
+	// bits never reached the ring.
+	if frac := float64(adjacent) / n; frac > 0.5 {
+		t.Errorf("%.1f%% of consecutive ids share an owner; low-entropy ids are clustering", 100*frac)
+	}
+
+	// Negative and huge ids hash just as well (fixed-width little-endian
+	// bytes, no decimal formatting): same-magnitude ids of opposite sign
+	// must not collapse onto one owner systematically.
+	negCounts := map[string]int{}
+	for stream := -n; stream < 0; stream++ {
+		negCounts[r.owner(stream)]++
+	}
+	for _, m := range members {
+		share := float64(negCounts[m]) / n
+		if share < 0.10 || share > 0.45 {
+			t.Errorf("member %s owns %.1f%% of negative ids, want a roughly fair share", m, 100*share)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package client
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"github.com/alert-project/alert/internal/netserve"
+)
+
+// TestRetryAfterOfEdgeCases extends the basic parser test with the hostile
+// corners: precedence between the body hint and the header, duplicate
+// Retry-After headers (forbidden by RFC 9110 but sent anyway by misbehaving
+// servers — Header.Get takes the first), the exact cap boundary, and
+// non-finite values. None may ever yield a negative or multi-hour sleep.
+func TestRetryAfterOfEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		ms      int64
+		headers []string // Retry-After values, in order
+		want    time.Duration
+	}{
+		{name: "body ms preferred over header", ms: 250, headers: []string{"5"}, want: 250 * time.Millisecond},
+		{name: "negative body ms ignored, header used", ms: -100, headers: []string{"2"}, want: 2 * time.Second},
+		{name: "whitespace-padded seconds", headers: []string{"  2  "}, want: 2 * time.Second},
+		{name: "huge seconds degrade to no hint", headers: []string{"86400"}, want: 0},
+		{name: "at the cap", headers: []string{"3600"}, want: 3600 * time.Second},
+		{name: "just over the cap", headers: []string{"3600.5"}, want: 0},
+		{name: "positive infinity", headers: []string{"+Inf"}, want: 0},
+		{name: "duplicate headers take the first", headers: []string{"2", "900"}, want: 2 * time.Second},
+		{name: "duplicate with garbage first stays unhinted", headers: []string{"soon", "2"}, want: 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := &http.Response{Header: http.Header{}}
+			for _, v := range tc.headers {
+				resp.Header.Add("Retry-After", v)
+			}
+			got := retryAfterOf(resp, netserve.ErrorResponse{RetryAfterMs: tc.ms})
+			if got != tc.want {
+				t.Errorf("retryAfterOf(ms=%d, headers=%q) = %v, want %v", tc.ms, tc.headers, got, tc.want)
+			}
+		})
+	}
+}

@@ -18,6 +18,8 @@
 //	alertload -replay trace.json                             # replay a recording
 //	alertload -replay trace.json -addr 127.0.0.1:8372        # drive a live alertserve
 //	alertload -addrs h1:8372,h2:8372,h3:8372 -migrate-every 50  # drive a cluster
+//	alertload -chaos -nodes 3 -kill-every 12                 # chaos harness run
+//	alertload -chaos -fleet fleet.json                       # replay a chaos schedule
 //
 // With -addr the same load is driven over the network against a running
 // cmd/alertserve instead of an in-process server, through the typed client
@@ -33,6 +35,16 @@
 // -migrate-every N live-migrates each stream to the next member every N
 // inputs — decision sequences stay byte-identical through every move
 // because session snapshots ship in their canonical binary encoding.
+//
+// With -chaos the run becomes a fleet-scale failure drill instead of a load
+// test: an in-process cluster of -nodes members is driven through a compiled
+// scenario.FleetTrace — kill/restart cycles every -kill-every inputs, a flash
+// crowd, byzantine clients — while internal/chaos machine-checks the serving
+// invariants (no lost accepted requests, balanced gauges, single ownership,
+// determinism vs a solo controller) continuously. -fleet-record writes the
+// compiled FleetTrace; -fleet replays one (same bytes in, same schedule out,
+// which is how CI pins chaos-schedule determinism). The exit status is the
+// verdict: non-zero iff an invariant was violated.
 //
 // Replays are deterministic: the same trace and seed yield byte-identical
 // per-stream decision sequences (verified in main_test.go) at ANY shard
@@ -57,6 +69,7 @@ import (
 	"github.com/alert-project/alert"
 	"github.com/alert-project/alert/client"
 	"github.com/alert-project/alert/client/cluster"
+	"github.com/alert-project/alert/internal/chaos"
 	"github.com/alert-project/alert/internal/dnn"
 	"github.com/alert-project/alert/internal/metrics"
 	"github.com/alert-project/alert/internal/scenario"
@@ -87,6 +100,15 @@ type loadConfig struct {
 	addrs        string // non-empty: drive a cluster of alertserves with hash routing
 	migrateEvery int    // with addrs: migrate each stream every N inputs
 	decisionsOut string // non-empty: write per-stream decision sequences here
+
+	// chaos mode: drive an in-process fleet through failures instead of a
+	// load test, with the invariant checker trailing.
+	chaos        bool
+	nodes        int    // fleet size
+	killEvery    int    // kill a node every N inputs (0 = inputs/3)
+	restartAfter int    // restart it N inputs later (0 = killEvery/2)
+	fleetPath    string // replay a recorded FleetTrace instead of compiling
+	fleetRecord  string // record the compiled FleetTrace here
 
 	objective      string
 	deadlineFactor float64
@@ -136,6 +158,9 @@ func run(args []string, stdout io.Writer) error {
 	cfg, err := parseFlags(args)
 	if err != nil {
 		return err
+	}
+	if cfg.chaos {
+		return runChaos(cfg, stdout)
 	}
 	if cfg.addr != "" {
 		fmt.Fprintf(stdout, "driving remote server at %s\n", cfg.addr)
@@ -201,6 +226,17 @@ func parseFlags(args []string) (loadConfig, error) {
 	fs.Float64Var(&cfg.budgetW, "budget-watts", 0, "energy budget as avg watts over the deadline window (error objective; 0 = platform default cap)")
 	fs.BoolVar(&cfg.referenceScorer, "reference-scorer", false,
 		"score with the naive reference scorer instead of the optimized hot path (differential testing; decisions are identical)")
+	fs.BoolVar(&cfg.chaos, "chaos", false,
+		"run the chaos harness: an in-process fleet driven through kill/restart cycles, flash crowds, and byzantine clients under the invariant checker")
+	fs.IntVar(&cfg.nodes, "nodes", 3, "with -chaos: fleet size")
+	fs.IntVar(&cfg.killEvery, "kill-every", 0,
+		"with -chaos: kill a node every N inputs, alternating graceful and checkpoint-aligned hard kills (0 = inputs/3)")
+	fs.IntVar(&cfg.restartAfter, "restart-after", 0,
+		"with -chaos: restart each killed node N inputs after its kill (0 = half of -kill-every)")
+	fs.StringVar(&cfg.fleetPath, "fleet", "",
+		"with -chaos: replay a recorded fleet trace (JSON) instead of compiling one from -scenario")
+	fs.StringVar(&cfg.fleetRecord, "fleet-record", "",
+		"with -chaos: record the compiled fleet trace to this path")
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
 	}
@@ -227,6 +263,30 @@ func parseFlags(args []string) (loadConfig, error) {
 	}
 	if cfg.migrateEvery > 0 && cfg.addrs == "" {
 		return cfg, fmt.Errorf("-migrate-every requires -addrs (migration moves sessions between cluster members)")
+	}
+	if cfg.chaos {
+		if remote {
+			return cfg, fmt.Errorf("-chaos builds its own in-process fleet and cannot drive -addr/-addrs")
+		}
+		if cfg.replayPath != "" || cfg.recordPath != "" {
+			return cfg, fmt.Errorf("-chaos schedules are recorded and replayed with -fleet-record/-fleet, not -record/-replay")
+		}
+		if cfg.referenceScorer || cfg.decisionsOut != "" {
+			return cfg, fmt.Errorf("-reference-scorer and -decisions-out do not apply to -chaos (the checker compares decisions itself)")
+		}
+		if cfg.nodes < 2 {
+			return cfg, fmt.Errorf("-chaos needs -nodes >= 2 (kill recovery migrates to survivors)")
+		}
+		if cfg.killEvery < 0 || cfg.restartAfter < 0 {
+			return cfg, fmt.Errorf("-kill-every and -restart-after must be >= 0")
+		}
+		// The harness fleet is profiled like the default run; other
+		// platforms/tasks would diverge from its solo reference controller.
+		if !strings.EqualFold(cfg.platform, "CPU1") || !strings.HasPrefix(strings.ToLower(cfg.task), "image") {
+			return cfg, fmt.Errorf("-chaos supports -platform CPU1 -task image (the fleet nodes are profiled for them)")
+		}
+	} else if cfg.nodes != 3 || cfg.killEvery != 0 || cfg.restartAfter != 0 || cfg.fleetPath != "" || cfg.fleetRecord != "" {
+		return cfg, fmt.Errorf("-nodes, -kill-every, -restart-after, -fleet, and -fleet-record require -chaos")
 	}
 	return cfg, nil
 }
@@ -466,30 +526,11 @@ func runLoad(cfg loadConfig) (*loadReport, error) {
 		task = dnn.SentencePrediction
 	}
 
-	// The deadline yardstick is the slowest candidate at the top cap.
-	slowest := 0.0
-	for _, m := range models {
-		if lat := m.RefLatency / plat.Speed(plat.PMax); lat > slowest {
-			slowest = lat
-		}
+	spec, err := baseSpec(cfg, plat, models)
+	if err != nil {
+		return nil, err
 	}
-	deadline := cfg.deadlineFactor * slowest
-
-	spec := alert.Spec{Deadline: deadline}
-	switch strings.ToLower(cfg.objective) {
-	case "energy":
-		spec.Objective = alert.MinimizeEnergy
-		spec.AccuracyGoal = cfg.accuracy
-	case "error":
-		spec.Objective = alert.MaximizeAccuracy
-		w := cfg.budgetW
-		if w <= 0 {
-			w = plat.DefaultCap
-		}
-		spec.EnergyBudget = w * deadline
-	default:
-		return nil, fmt.Errorf("unknown objective %q", cfg.objective)
-	}
+	deadline := spec.Deadline
 
 	var tr *scenario.Trace
 	if cfg.replayPath != "" {
@@ -634,6 +675,99 @@ func runLoad(cfg loadConfig) (*loadReport, error) {
 		}
 	}
 	return rep, nil
+}
+
+// baseSpec resolves the objective flags into the nominal request spec. The
+// deadline yardstick is the slowest candidate at the top cap.
+func baseSpec(cfg loadConfig, plat *alert.Platform, models []*dnn.Model) (alert.Spec, error) {
+	slowest := 0.0
+	for _, m := range models {
+		if lat := m.RefLatency / plat.Speed(plat.PMax); lat > slowest {
+			slowest = lat
+		}
+	}
+	deadline := cfg.deadlineFactor * slowest
+
+	spec := alert.Spec{Deadline: deadline}
+	switch strings.ToLower(cfg.objective) {
+	case "energy":
+		spec.Objective = alert.MinimizeEnergy
+		spec.AccuracyGoal = cfg.accuracy
+	case "error":
+		spec.Objective = alert.MaximizeAccuracy
+		w := cfg.budgetW
+		if w <= 0 {
+			w = plat.DefaultCap
+		}
+		spec.EnergyBudget = w * deadline
+	default:
+		return alert.Spec{}, fmt.Errorf("unknown objective %q", cfg.objective)
+	}
+	return spec, nil
+}
+
+// runChaos drives the chaos harness: compile (or replay) a fleet schedule,
+// run the in-process fleet through it with the invariant checker trailing,
+// and turn the checker's verdict into the exit status.
+func runChaos(cfg loadConfig, stdout io.Writer) error {
+	plat, models := alert.CPU1(), alert.ImageCandidates()
+	spec, err := baseSpec(cfg, plat, models)
+	if err != nil {
+		return err
+	}
+
+	var ft *scenario.FleetTrace
+	if cfg.fleetPath != "" {
+		if ft, err = scenario.ReadFleetFile(cfg.fleetPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "replaying fleet %s: %d rounds, %d streams, %d nodes, seed %d\n",
+			ft.Fleet, ft.Len(), ft.Streams, ft.Nodes, ft.Seed)
+	} else {
+		sspec, err := scenario.ByName(cfg.scenarioName)
+		if err != nil {
+			return err
+		}
+		killEvery := cfg.killEvery
+		if killEvery <= 0 {
+			killEvery = cfg.inputs / 3
+		}
+		fspec, err := scenario.DefaultFleet(sspec, cfg.streams, cfg.nodes, cfg.inputs, killEvery, cfg.restartAfter)
+		if err != nil {
+			return err
+		}
+		if ft, err = scenario.CompileFleet(fspec, plat, cfg.inputs, spec.Deadline, cfg.seed); err != nil {
+			return err
+		}
+	}
+	if cfg.fleetRecord != "" {
+		if err := ft.WriteFile(cfg.fleetRecord); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "fleet trace recorded to %s (%d rounds)\n", cfg.fleetRecord, ft.Len())
+	}
+
+	// Seed 0: a replayed trace reproduces with its own recorded seed.
+	h, err := chaos.New(chaos.Options{
+		Fleet: ft,
+		Base:  spec,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(stdout, "chaos: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer h.Close()
+	rep, err := h.Run(context.Background())
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(stdout, rep.Summary())
+	if !rep.OK() {
+		return fmt.Errorf("%d invariant violations", len(rep.Violations))
+	}
+	return nil
 }
 
 // driveConfig parameterizes one stream's drive loop.

@@ -475,3 +475,82 @@ func TestAddrsFlagErrors(t *testing.T) {
 		t.Error("-shards with -addrs must error")
 	}
 }
+
+// TestChaosSmoke runs the chaos mode end-to-end through run(): a 3-node
+// fleet with a graceful and a checkpoint-aligned hard kill/restart cycle,
+// recorded to a fleet trace. The run must come back green, the recording
+// must be byte-identical across same-seed invocations (the chaos-schedule
+// determinism CI pins), and replaying it must reproduce the schedule.
+func TestChaosSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node chaos run")
+	}
+	dir := t.TempDir()
+	f1 := filepath.Join(dir, "f1.json")
+	f2 := filepath.Join(dir, "f2.json")
+	args := []string{"-chaos", "-streams", "4", "-inputs", "36", "-kill-every", "12", "-seed", "9"}
+
+	var out strings.Builder
+	if err := run(append(args, "-fleet-record", f1), &out); err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{"all invariants held", "kill", "restart", "fleet trace recorded"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output lacks %q:\n%s", want, got)
+		}
+	}
+
+	var out2 strings.Builder
+	if err := run(append(args, "-fleet-record", f2), &out2); err != nil {
+		t.Fatalf("%v\n%s", err, out2.String())
+	}
+	b1, err := os.ReadFile(f1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Error("same seed compiled different fleet traces")
+	}
+
+	var replay strings.Builder
+	if err := run([]string{"-chaos", "-fleet", f1}, &replay); err != nil {
+		t.Fatalf("%v\n%s", err, replay.String())
+	}
+	if !strings.Contains(replay.String(), "all invariants held") {
+		t.Errorf("fleet replay not green:\n%s", replay.String())
+	}
+	if !strings.Contains(replay.String(), "replaying fleet") {
+		t.Errorf("replay banner missing:\n%s", replay.String())
+	}
+}
+
+// TestChaosFlagErrors: the chaos flag set composes with nothing that drives
+// a remote server or rewires the in-process controller.
+func TestChaosFlagErrors(t *testing.T) {
+	var out strings.Builder
+	for _, args := range [][]string{
+		{"-chaos", "-addr", "127.0.0.1:1"},
+		{"-chaos", "-addrs", "127.0.0.1:1"},
+		{"-chaos", "-replay", "x.json"},
+		{"-chaos", "-record", "x.json"},
+		{"-chaos", "-reference-scorer"},
+		{"-chaos", "-decisions-out", "x.txt"},
+		{"-chaos", "-nodes", "1"},
+		{"-chaos", "-platform", "GPU"},
+		{"-chaos", "-task", "sentence"},
+		{"-nodes", "5"},
+		{"-kill-every", "10"},
+		{"-fleet", "x.json"},
+		{"-fleet-record", "x.json"},
+		{"-chaos", "-fleet", "/does/not/exist.json"},
+	} {
+		if err := run(args, &out); err == nil {
+			t.Errorf("%v accepted, want error", args)
+		}
+	}
+}

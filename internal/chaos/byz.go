@@ -1,0 +1,44 @@
+package chaos
+
+import (
+	"bytes"
+	"encoding/base64"
+	"io"
+
+	"github.com/alert-project/alert/internal/mathx"
+)
+
+// oversizeBody is one byte past the netserve request-body bound (8 MiB,
+// netserve.maxBody) plus slack, so an oversize byzantine request is always
+// refused by MaxBytesReader.
+const oversizeBody = 8<<20 + 16
+
+// newByzRng derives the deterministic payload randomness for one byzantine
+// request from its compiled seed.
+func newByzRng(seed int64) *mathx.Rand { return mathx.NewRand(seed) }
+
+func bytesReader(b []byte) io.Reader { return bytes.NewReader(b) }
+
+func b64(b []byte) string { return base64.StdEncoding.EncodeToString(b) }
+
+// junkReader yields n copies of c without materializing them — the
+// oversize byzantine body.
+type junkReader struct {
+	n int
+	c byte
+}
+
+func (j *junkReader) Read(p []byte) (int, error) {
+	if j.n <= 0 {
+		return 0, io.EOF
+	}
+	k := len(p)
+	if k > j.n {
+		k = j.n
+	}
+	for i := 0; i < k; i++ {
+		p[i] = j.c
+	}
+	j.n -= k
+	return k, nil
+}

@@ -1,0 +1,83 @@
+package netserve
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/alert-project/alert"
+)
+
+// FuzzImportStreamBody throws arbitrary bodies at PUT /v1/streams/{id} —
+// the endpoint a byzantine migrator controls end to end. Garbage JSON,
+// truncated or mispadded base64, and valid base64 of corrupt snapshot
+// binary must all come back 4xx: the handler must never panic, never 5xx,
+// and never let a malformed body touch the stream table or an existing
+// session's state.
+func FuzzImportStreamBody(f *testing.F) {
+	srv := testAlertServer(f, 1)
+	s := New(srv, Config{})
+
+	// A resident session whose state must survive every malformed import
+	// bit-for-bit (checkpoint reads don't disturb it).
+	srv.Decide(0, alert.Spec{Objective: alert.MinimizeEnergy, Deadline: 0.2, AccuracyGoal: 0.9})
+	baseSnap, ok := srv.SnapshotStream(0)
+	if !ok {
+		f.Fatal("resident session missing")
+	}
+	baseline, err := baseSnap.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	validB64 := base64.StdEncoding.EncodeToString(baseline)
+	validBody, _ := json.Marshal(ImportRequest{SnapshotB64: validB64})
+
+	f.Add(validBody)
+	f.Add([]byte(`{not json`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"snapshot_b64": 42}`))
+	f.Add([]byte(`{"snapshot_b64": "!!!not-base64!!!"}`))
+	truncated, _ := json.Marshal(ImportRequest{SnapshotB64: validB64[:len(validB64)/2+1]})
+	f.Add(truncated)
+	corrupt, _ := json.Marshal(ImportRequest{SnapshotB64: base64.StdEncoding.EncodeToString([]byte("junk binary"))})
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		before := srv.Streams()
+		req := httptest.NewRequest("PUT", "/v1/streams/7", bytes.NewReader(body))
+		w := httptest.NewRecorder()
+		s.ServeHTTP(w, req)
+
+		code := w.Code
+		switch {
+		case code >= 500:
+			t.Fatalf("body %q: server error %d: %s", body, code, w.Body.String())
+		case code == 200:
+			// The fuzzer built a genuinely valid import; undo it so the next
+			// iteration starts from the same table.
+			if srv.Streams() != before+1 {
+				t.Fatalf("accepted import did not add exactly one session (%d -> %d)", before, srv.Streams())
+			}
+			srv.EvictStream(7)
+		default:
+			// Rejected: the table must be untouched.
+			if got := srv.Streams(); got != before {
+				t.Fatalf("body %q: rejected with %d but stream count %d -> %d", body, code, before, got)
+			}
+		}
+
+		snap, ok := srv.SnapshotStream(0)
+		if !ok {
+			t.Fatal("resident session vanished")
+		}
+		got, err := snap.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, baseline) {
+			t.Fatalf("body %q: resident session state changed", body)
+		}
+	})
+}

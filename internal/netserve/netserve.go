@@ -12,6 +12,7 @@
 //	GET    /v1/streams       live stream ids
 //	DELETE /v1/streams/{id}  evict one stream's session
 //	GET    /v1/streams/{id}/snapshot  export (snapshot + remove) a session
+//	GET    /v1/streams/{id}/checkpoint  checkpoint (snapshot, keep serving)
 //	PUT    /v1/streams/{id}  import a previously exported session
 //
 // # Admission control
@@ -335,6 +336,7 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, DecideResponse{
 		Decision: FromDecision(d),
 		Estimate: FromEstimate(est),
+		NodeID:   s.nodeID,
 	})
 }
 
@@ -429,11 +431,16 @@ func (s *Server) handleStreams(w http.ResponseWriter, r *http.Request) {
 
 // routeStream dispatches the per-stream endpoints:
 //
-//	DELETE /v1/streams/{id}           evict
-//	PUT    /v1/streams/{id}           import a migrated session
-//	GET    /v1/streams/{id}/snapshot  export (snapshot + remove) a session
+//	DELETE /v1/streams/{id}             evict
+//	PUT    /v1/streams/{id}             import a migrated session
+//	GET    /v1/streams/{id}/snapshot    export (snapshot + remove) a session
+//	GET    /v1/streams/{id}/checkpoint  checkpoint a session in place
 func (s *Server) routeStream(w http.ResponseWriter, r *http.Request, rest string) {
 	idStr, isSnapshot := strings.CutSuffix(rest, "/snapshot")
+	var isCheckpoint bool
+	if !isSnapshot {
+		idStr, isCheckpoint = strings.CutSuffix(rest, "/checkpoint")
+	}
 	id, err := strconv.Atoi(idStr)
 	if err != nil || strings.Contains(idStr, "/") {
 		s.net.RecordBadRequest()
@@ -447,6 +454,12 @@ func (s *Server) routeStream(w http.ResponseWriter, r *http.Request, rest string
 			return
 		}
 		s.handleStreamExport(w, r, id)
+	case isCheckpoint:
+		if r.Method != http.MethodGet {
+			s.methodNotAllowed(w, http.MethodGet)
+			return
+		}
+		s.handleStreamCheckpoint(w, r, id)
 	case r.Method == http.MethodDelete:
 		s.handleStreamDelete(w, r, id)
 	case r.Method == http.MethodPut:
@@ -489,6 +502,32 @@ func (s *Server) handleStreamExport(w http.ResponseWriter, r *http.Request, id i
 		return
 	}
 	s.net.RecordExport()
+	s.writeJSON(w, http.StatusOK, SnapshotResponse{
+		Stream:      id,
+		Version:     int(snap.Version),
+		SnapshotB64: base64.StdEncoding.EncodeToString(blob),
+	})
+}
+
+// handleStreamCheckpoint serves GET /v1/streams/{id}/checkpoint: snapshot
+// the stream's session WITHOUT removing it — the periodic-backup read
+// behind crash recovery (a node that dies ungracefully restarts its streams
+// from their last checkpoints). Like the stats/streams reads it bypasses
+// the admission gate entirely: it mutates nothing, must keep answering
+// under overload and drain, and does not count toward the export/import
+// balance that migration accounting checks.
+func (s *Server) handleStreamCheckpoint(w http.ResponseWriter, r *http.Request, id int) {
+	s.net.RecordRead()
+	snap, ok := s.alert.SnapshotStream(id)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Sprintf("stream %d has no session", id), false)
+		return
+	}
+	blob, err := snap.MarshalBinary()
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err.Error(), false)
+		return
+	}
 	s.writeJSON(w, http.StatusOK, SnapshotResponse{
 		Stream:      id,
 		Version:     int(snap.Version),

@@ -187,10 +187,14 @@ type DecideRequest struct {
 	Spec   Spec `json:"spec"`
 }
 
-// DecideResponse is the POST /v1/decide reply.
+// DecideResponse is the POST /v1/decide reply. NodeID echoes the serving
+// node's cluster identity (empty for a standalone node): routing clients —
+// and the chaos harness's single-ownership checker — use it to verify which
+// member actually served each decision.
 type DecideResponse struct {
 	Decision Decision `json:"decision"`
 	Estimate Estimate `json:"estimate"`
+	NodeID   string   `json:"node_id,omitempty"`
 }
 
 // ObserveRequest is the POST /v1/observe body.

@@ -1,0 +1,124 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/alert-project/alert/internal/platform"
+)
+
+// FuzzFleetTraceRoundTrip extends FuzzTraceRoundTrip's contract to the
+// fleet layer: any bytes DecodeFleet accepts must re-encode to a canonical
+// fixed point, every compiled schedule invariant (sorted events, legal
+// kill/restart program, in-range crowd members) must hold on the decoded
+// trace, and the accessors must be drivable without panics.
+func FuzzFleetTraceRoundTrip(f *testing.F) {
+	addCompiled := func(spec FleetSpec, seed int64) {
+		ft, err := CompileFleet(spec, platform.CPU1(), 60, 0.1, seed)
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := ft.Encode(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	for _, name := range []string{"steady", "bursty", "churn"} {
+		base, err := ByName(name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		spec, err := DefaultFleet(base, 6, 3, 60, 20, 10)
+		if err != nil {
+			f.Fatal(err)
+		}
+		addCompiled(spec, 7)
+	}
+	base, err := ByName("phased")
+	if err != nil {
+		f.Fatal(err)
+	}
+	addCompiled(FleetSpec{
+		Name: "bare", Streams: 2, Nodes: 2, Base: base,
+	}, 11)
+	// Handcrafted near-misses: unsorted events, dead-node kill, member out
+	// of range, junk.
+	f.Add([]byte(`{"fleet":"x","streams":2,"nodes":2,"checkpoint_every":5,"events":[{"at":9,"node":0,"kind":"kill"},{"at":3,"node":1,"kind":"kill"}]}`))
+	f.Add([]byte(`{"fleet":"x","streams":2,"nodes":2,"checkpoint_every":5,"events":[{"at":3,"node":0,"kind":"restart"}]}`))
+	f.Add([]byte(`{"fleet":"x","streams":2,"nodes":2,"checkpoint_every":5,"crowds":[{"from":0,"until":5,"gap_factor":0.5,"members":[7]}]}`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ft, err := DecodeFleet(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input; nothing to round-trip
+		}
+
+		var first bytes.Buffer
+		if err := ft.Encode(&first); err != nil {
+			t.Fatalf("encoding a decoded fleet trace failed: %v", err)
+		}
+		ft2, err := DecodeFleet(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decoding our own encoding failed: %v\n%s", err, first.Bytes())
+		}
+		var second bytes.Buffer
+		if err := ft2.Encode(&second); err != nil {
+			t.Fatalf("second encode failed: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("encode∘decode is not a fixed point:\nfirst:  %s\nsecond: %s",
+				first.Bytes(), second.Bytes())
+		}
+
+		// Schedule invariants DecodeFleet promises: a legal liveness
+		// program over the events, sorted byz schedule, in-range members.
+		live := make([]bool, ft.Nodes)
+		for i := range live {
+			live[i] = true
+		}
+		for i, ev := range ft.Events {
+			if i > 0 && ft.Events[i-1].AtInput > ev.AtInput {
+				t.Fatalf("DecodeFleet accepted unsorted events at %d", i)
+			}
+			switch ev.Kind {
+			case EventKill:
+				if !live[ev.Node] {
+					t.Fatalf("DecodeFleet accepted kill of dead node %d", ev.Node)
+				}
+				live[ev.Node] = false
+			case EventRestart:
+				if live[ev.Node] {
+					t.Fatalf("DecodeFleet accepted restart of live node %d", ev.Node)
+				}
+				live[ev.Node] = true
+			default:
+				t.Fatalf("DecodeFleet accepted event kind %q", ev.Kind)
+			}
+		}
+		for _, c := range ft.Crowds {
+			for i, m := range c.Members {
+				if m < 0 || m >= ft.Streams {
+					t.Fatalf("DecodeFleet accepted crowd member %d outside [0,%d)", m, ft.Streams)
+				}
+				if i > 0 && c.Members[i-1] >= m {
+					t.Fatalf("DecodeFleet accepted unsorted/duplicate crowd members")
+				}
+			}
+		}
+
+		// Accessors must be drivable without panics, including past the end.
+		n := ft.Len()
+		for _, r := range []int{0, 1, n, 2*n + 3} {
+			_ = ft.EventsAt(r)
+			_ = ft.ByzAt(r)
+			_ = ft.CheckpointAt(r)
+			for s := -1; s <= ft.Streams; s++ {
+				if g := ft.GapScale(s, r); g <= 0 {
+					t.Fatalf("GapScale(%d,%d) = %g, want > 0", s, r, g)
+				}
+			}
+		}
+	})
+}

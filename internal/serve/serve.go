@@ -108,6 +108,7 @@ const (
 	taskXi
 	taskExport
 	taskImport
+	taskSnapshot
 )
 
 type decideReply struct {
@@ -316,6 +317,18 @@ func (p *Pool) work(s *shard) {
 			p.counters.RecordSessionCreate(int64(core.SessionBytes()))
 			p.counters.RecordStreamImport()
 			t.imErr <- nil
+		case taskSnapshot:
+			// Checkpoint: snapshot on the owning worker WITHOUT removing the
+			// session. FIFO ordering still gives crash consistency — every
+			// Decide/Observe submitted before the checkpoint is folded in —
+			// but the stream keeps serving here. Like XiEstimate, this is a
+			// read, not traffic: it does not refresh lastUse, so periodic
+			// checkpointing never keeps an abandoned stream alive.
+			if e, ok := s.sessions[t.stream]; ok {
+				t.export <- exportReply{snap: e.sess.Snapshot(), ok: true}
+			} else {
+				t.export <- exportReply{}
+			}
 		case taskBarrier:
 			close(t.done)
 		case taskXi:
@@ -523,6 +536,22 @@ func (p *Pool) DecideBatch(reqs []Request) []Result {
 func (p *Pool) ExportStream(stream int) (core.SessionSnapshot, bool) {
 	reply := make(chan exportReply, 1)
 	p.shardFor(stream).ch <- task{kind: taskExport, stream: stream, export: reply}
+	r := <-reply
+	return r.snap, r.ok
+}
+
+// SnapshotStream checkpoints the stream's session without removing it —
+// the periodic-backup primitive behind crash recovery: a node that dies
+// without a graceful export restarts from its streams' last checkpoints.
+// Like ExportStream the snapshot runs as one task on the owning worker, so
+// it folds in every Decide/Observe submitted before the call; unlike
+// ExportStream the session stays live and keeps serving. It is a pure read:
+// it does not refresh the stream's last-use time, so periodic checkpoints
+// never keep an idle stream alive. The second return is false if the stream
+// has no live session.
+func (p *Pool) SnapshotStream(stream int) (core.SessionSnapshot, bool) {
+	reply := make(chan exportReply, 1)
+	p.shardFor(stream).ch <- task{kind: taskSnapshot, stream: stream, export: reply}
 	r := <-reply
 	return r.snap, r.ok
 }

@@ -104,6 +104,16 @@ func (s *Server) ExportStream(stream int) (SessionSnapshot, bool) {
 	return s.pool.ExportStream(stream)
 }
 
+// SnapshotStream checkpoints the stream's session without removing it —
+// the periodic-backup primitive behind crash recovery: a node that dies
+// without a graceful export restarts its streams from their last
+// checkpoints. The snapshot folds in everything submitted before the call,
+// the session keeps serving, and the stream's idle-eviction clock is not
+// refreshed. The second return is false when the stream has no session.
+func (s *Server) SnapshotStream(stream int) (SessionSnapshot, bool) {
+	return s.pool.SnapshotStream(stream)
+}
+
 // ImportStream restores an exported session under the given stream id — the
 // receive side of a migration. The restored session continues the exported
 // stream's decision sequence bit-for-bit, provided both servers were built
