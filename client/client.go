@@ -38,6 +38,7 @@ import (
 
 	"github.com/alert-project/alert"
 	"github.com/alert-project/alert/internal/mathx"
+	"github.com/alert-project/alert/internal/membership"
 	"github.com/alert-project/alert/internal/netserve"
 )
 
@@ -224,6 +225,25 @@ func (c *Client) Stats(ctx context.Context) (netserve.StatsResponse, error) {
 	var out netserve.StatsResponse
 	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out)
 	return out, err
+}
+
+// Membership fetches the node's live membership view — the addresses and
+// lease states of every member the node knows, as maintained by its
+// membership agent. Nodes running without membership (no -membership flag)
+// answer 404, surfaced as *APIError; callers fall back to the static
+// -peers soft state in Stats. The reply is decoded with the membership
+// package's strict decoder, so a malformed view is an error here, never a
+// silently partial member set.
+func (c *Client) Membership(ctx context.Context) (membership.View, error) {
+	var raw json.RawMessage
+	if err := c.do(ctx, http.MethodGet, membership.Endpoint, nil, &raw); err != nil {
+		return membership.View{}, err
+	}
+	v, err := membership.DecodeView(raw)
+	if err != nil {
+		return membership.View{}, fmt.Errorf("client: bad membership view from server: %w", err)
+	}
+	return v, nil
 }
 
 // Streams lists the server's live stream ids.

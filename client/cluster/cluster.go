@@ -30,6 +30,7 @@ import (
 
 	"github.com/alert-project/alert"
 	"github.com/alert-project/alert/client"
+	"github.com/alert-project/alert/internal/hashring"
 )
 
 // Options configures a Cluster.
@@ -46,9 +47,15 @@ type Cluster struct {
 
 	mu        sync.RWMutex
 	nodes     map[string]*client.Client // every current member, by address
-	ring      ring
+	ring      hashring.Ring
 	pins      map[int]string // stream -> address, overriding the ring
 	migrating map[int]bool   // streams with a Migrate in flight
+
+	// Membership-subscription soft state (sync.go). Guarded by sync.mu,
+	// not c.mu: sync rounds call SetMembers, which takes c.mu.
+	sync          syncState
+	syncThreshold int
+	syncChange    func([]string)
 }
 
 // New builds a cluster over the given member addresses (host:port or full
@@ -79,7 +86,7 @@ func (c *Cluster) Close() {
 		cl.Close()
 	}
 	c.nodes = map[string]*client.Client{}
-	c.ring = ring{}
+	c.ring = hashring.Ring{}
 }
 
 // Members returns the current member addresses, sorted.
@@ -141,7 +148,7 @@ func (c *Cluster) setMembers(addrs []string) error {
 		members = append(members, addr)
 	}
 	c.nodes = next
-	c.ring = buildRing(members)
+	c.ring = hashring.Build(members)
 	for stream, addr := range c.pins {
 		if _, ok := next[addr]; !ok {
 			delete(c.pins, stream)
@@ -158,7 +165,7 @@ func (c *Cluster) Route(stream int) string {
 	if addr, ok := c.pins[stream]; ok {
 		return addr
 	}
-	return c.ring.owner(stream)
+	return c.ring.Owner(stream)
 }
 
 // Node returns the underlying client for a member address, for operations
@@ -176,7 +183,7 @@ func (c *Cluster) clientFor(stream int) (*client.Client, string, error) {
 	defer c.mu.RUnlock()
 	addr, ok := c.pins[stream]
 	if !ok {
-		addr = c.ring.owner(stream)
+		addr = c.ring.Owner(stream)
 	}
 	cl, live := c.nodes[addr]
 	if !live {
@@ -360,7 +367,7 @@ func (c *Cluster) Migrate(ctx context.Context, stream int, from, to string) erro
 func (c *Cluster) pin(stream int, addr string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.ring.owner(stream) == addr {
+	if c.ring.Owner(stream) == addr {
 		delete(c.pins, stream)
 		return
 	}
@@ -378,7 +385,7 @@ func (c *Cluster) Pin(stream int, addr string) error {
 	if _, ok := c.nodes[addr]; !ok {
 		return fmt.Errorf("cluster: pin target %q is not a member", addr)
 	}
-	if c.ring.owner(stream) == addr {
+	if c.ring.Owner(stream) == addr {
 		delete(c.pins, stream)
 		return nil
 	}

@@ -276,7 +276,7 @@ func TestMigrateEdgeCases(t *testing.T) {
 	if _, _, err := cl.Decide(ctx, 42, alert.Spec{Objective: alert.MinimizeEnergy, Deadline: 0.2, AccuracyGoal: 0.9}); err != nil {
 		t.Fatal(err)
 	}
-	home := cl.ring.owner(42)
+	home := cl.ring.Owner(42)
 	other := nextMember([]string{a, b}, home)
 	if err := cl.Migrate(ctx, 42, cl.Route(42), home); err != nil {
 		t.Fatal(err)
@@ -307,7 +307,7 @@ func TestSetMembersDropsOrphanedPins(t *testing.T) {
 	if err := cl.Migrate(context.Background(), 7, a, b); err != nil {
 		t.Fatal(err)
 	}
-	wantPinned := cl.Route(7) == b && cl.ring.owner(7) != b
+	wantPinned := cl.Route(7) == b && cl.ring.Owner(7) != b
 	if err := cl.SetMembers([]string{a}); err != nil {
 		t.Fatal(err)
 	}

@@ -19,6 +19,7 @@
 //	alertload -replay trace.json -addr 127.0.0.1:8372        # drive a live alertserve
 //	alertload -addrs h1:8372,h2:8372,h3:8372 -migrate-every 50  # drive a cluster
 //	alertload -chaos -nodes 3 -kill-every 12                 # chaos harness run
+//	alertload -chaos -unmanaged -nodes 4 -kill-every 12      # self-healing drill
 //	alertload -chaos -fleet fleet.json                       # replay a chaos schedule
 //
 // With -addr the same load is driven over the network against a running
@@ -107,6 +108,7 @@ type loadConfig struct {
 	nodes        int    // fleet size
 	killEvery    int    // kill a node every N inputs (0 = inputs/3)
 	restartAfter int    // restart it N inputs later (0 = killEvery/2)
+	unmanaged    bool   // hard kills only, absorbed by the cluster itself
 	fleetPath    string // replay a recorded FleetTrace instead of compiling
 	fleetRecord  string // record the compiled FleetTrace here
 
@@ -233,6 +235,8 @@ func parseFlags(args []string) (loadConfig, error) {
 		"with -chaos: kill a node every N inputs, alternating graceful and checkpoint-aligned hard kills (0 = inputs/3)")
 	fs.IntVar(&cfg.restartAfter, "restart-after", 0,
 		"with -chaos: restart each killed node N inputs after its kill (0 = half of -kill-every)")
+	fs.BoolVar(&cfg.unmanaged, "unmanaged", false,
+		"with -chaos: unmanaged hard kills only — no restarts, no harness orchestration; the cluster's membership + self-healing layer absorbs each kill by itself")
 	fs.StringVar(&cfg.fleetPath, "fleet", "",
 		"with -chaos: replay a recorded fleet trace (JSON) instead of compiling one from -scenario")
 	fs.StringVar(&cfg.fleetRecord, "fleet-record", "",
@@ -280,13 +284,16 @@ func parseFlags(args []string) (loadConfig, error) {
 		if cfg.killEvery < 0 || cfg.restartAfter < 0 {
 			return cfg, fmt.Errorf("-kill-every and -restart-after must be >= 0")
 		}
+		if cfg.unmanaged && cfg.restartAfter != 0 {
+			return cfg, fmt.Errorf("-unmanaged runs without an orchestrator and cannot -restart-after (dead nodes stay dead)")
+		}
 		// The harness fleet is profiled like the default run; other
 		// platforms/tasks would diverge from its solo reference controller.
 		if !strings.EqualFold(cfg.platform, "CPU1") || !strings.HasPrefix(strings.ToLower(cfg.task), "image") {
 			return cfg, fmt.Errorf("-chaos supports -platform CPU1 -task image (the fleet nodes are profiled for them)")
 		}
-	} else if cfg.nodes != 3 || cfg.killEvery != 0 || cfg.restartAfter != 0 || cfg.fleetPath != "" || cfg.fleetRecord != "" {
-		return cfg, fmt.Errorf("-nodes, -kill-every, -restart-after, -fleet, and -fleet-record require -chaos")
+	} else if cfg.nodes != 3 || cfg.killEvery != 0 || cfg.restartAfter != 0 || cfg.unmanaged || cfg.fleetPath != "" || cfg.fleetRecord != "" {
+		return cfg, fmt.Errorf("-nodes, -kill-every, -restart-after, -unmanaged, -fleet, and -fleet-record require -chaos")
 	}
 	return cfg, nil
 }
@@ -721,8 +728,15 @@ func runChaos(cfg loadConfig, stdout io.Writer) error {
 		if ft, err = scenario.ReadFleetFile(cfg.fleetPath); err != nil {
 			return err
 		}
-		fmt.Fprintf(stdout, "replaying fleet %s: %d rounds, %d streams, %d nodes, seed %d\n",
-			ft.Fleet, ft.Len(), ft.Streams, ft.Nodes, ft.Seed)
+		if cfg.unmanaged && !ft.Unmanaged {
+			return fmt.Errorf("-unmanaged with a managed fleet trace: the recorded schedule decides the mode")
+		}
+		mode := ""
+		if ft.Unmanaged {
+			mode = " (unmanaged)"
+		}
+		fmt.Fprintf(stdout, "replaying fleet %s%s: %d rounds, %d streams, %d nodes, seed %d\n",
+			ft.Fleet, mode, ft.Len(), ft.Streams, ft.Nodes, ft.Seed)
 	} else {
 		sspec, err := scenario.ByName(cfg.scenarioName)
 		if err != nil {
@@ -732,7 +746,12 @@ func runChaos(cfg loadConfig, stdout io.Writer) error {
 		if killEvery <= 0 {
 			killEvery = cfg.inputs / 3
 		}
-		fspec, err := scenario.DefaultFleet(sspec, cfg.streams, cfg.nodes, cfg.inputs, killEvery, cfg.restartAfter)
+		var fspec scenario.FleetSpec
+		if cfg.unmanaged {
+			fspec, err = scenario.DefaultUnmanagedFleet(sspec, cfg.streams, cfg.nodes, cfg.inputs, killEvery)
+		} else {
+			fspec, err = scenario.DefaultFleet(sspec, cfg.streams, cfg.nodes, cfg.inputs, killEvery, cfg.restartAfter)
+		}
 		if err != nil {
 			return err
 		}

@@ -8,12 +8,21 @@
 //	alertserve -addr 127.0.0.1:8372 -platform CPU1 -task image
 //	alertserve -addr :8372 -max-inflight 256 -max-queue 1024 -idle-evict 10m
 //	alertserve -addr :8372 -node-id n1 -peers host2:8372,host3:8372
+//	alertserve -addr 127.0.0.1:8372 -node-id n1 -membership -peers host2:8372,host3:8372
 //
 // -node-id and -peers give the node a cluster identity, advertised as soft
 // state in GET /v1/stats: routing clients (client/cluster) discover the
 // member set from any one node and route streams by consistent hashing,
 // migrating live sessions between nodes with GET /v1/streams/{id}/snapshot
 // and PUT /v1/streams/{id}. cmd/alertload -addrs drives such a cluster.
+//
+// -membership additionally runs the self-healing layer: the node
+// heartbeats its peers (lease-based failure detection, view served on
+// GET /v1/membership), replicates each stream's checkpoint to its ring
+// successor every -replicate-every, and when a peer's lease expires
+// restores the streams it owned from the freshest replicated checkpoint —
+// no external orchestrator. Clients subscribed to the membership view
+// (client/cluster.StartSync) follow the cluster through the failover.
 //
 // Clients talk to it with the typed client package (client/) or plain
 // HTTP; cmd/alertload -addr drives it with scenario-shaped load. On
@@ -36,7 +45,9 @@ import (
 	"time"
 
 	"github.com/alert-project/alert"
+	"github.com/alert-project/alert/internal/membership"
 	"github.com/alert-project/alert/internal/netserve"
+	"github.com/alert-project/alert/internal/selfheal"
 )
 
 func main() {
@@ -66,8 +77,17 @@ func run(ctx context.Context, args []string, stdout io.Writer, onReady func(addr
 	peers := fs.String("peers", "", "comma-separated peer addresses advertised in /v1/stats for client-side member discovery")
 	idleEvict := fs.Duration("idle-evict", 0, "evict sessions idle longer than this, swept at the same period (0 = never)")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "max wait for in-flight requests on shutdown")
+	memberOn := fs.Bool("membership", false, "run the membership + self-healing layer (requires -node-id; -peers become heartbeat seeds)")
+	advertise := fs.String("advertise", "", "address peers and clients dial to reach this node (default: the bound listen address)")
+	heartbeat := fs.Duration("heartbeat", 0, "membership heartbeat period (0 = 250ms)")
+	suspectAfter := fs.Duration("suspect-after", 0, "silence before a peer is suspected (0 = 4x heartbeat)")
+	deadAfter := fs.Duration("dead-after", 0, "silence before a suspect is declared dead (0 = 3x suspect-after)")
+	replicateEvery := fs.Duration("replicate-every", 0, "checkpoint-replication period to ring successors (0 = 2s)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *memberOn && *nodeID == "" {
+		return errors.New("-membership requires -node-id")
 	}
 
 	plat, err := alert.PlatformByName(*platName)
@@ -93,22 +113,89 @@ func run(ctx context.Context, args []string, stdout io.Writer, onReady func(addr
 			peerList = append(peerList, p)
 		}
 	}
-	front := netserve.New(srv, netserve.Config{
+	// Bind before building the front end: the membership layer advertises
+	// the bound address, which is only known once the listener is up.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	cfg := netserve.Config{
 		MaxInflight: *maxInflight,
 		MaxQueue:    *maxQueue,
 		RetryAfter:  *retryAfter,
 		NodeID:      *nodeID,
 		Peers:       peerList,
-	})
-
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		return err
 	}
+	var agent *membership.Agent
+	var heal *selfheal.Manager
+	if *memberOn {
+		selfAddr := *advertise
+		if selfAddr == "" {
+			selfAddr = ln.Addr().String()
+			if host, _, err := net.SplitHostPort(selfAddr); err == nil {
+				if ip := net.ParseIP(host); ip != nil && ip.IsUnspecified() {
+					ln.Close()
+					return fmt.Errorf("listening on the unspecified address %s: peers cannot dial it, set -advertise", selfAddr)
+				}
+			}
+		}
+		agent, err = membership.New(membership.Config{
+			ID:   *nodeID,
+			Addr: selfAddr,
+			// Wall-clock nanoseconds: strictly above anything a previous
+			// instance of this ID ever advertised, so the cluster's memory
+			// of our past death cannot outvote this incarnation.
+			Incarnation:    uint64(time.Now().UnixNano()),
+			Seeds:          peerList,
+			HeartbeatEvery: *heartbeat,
+			SuspectAfter:   *suspectAfter,
+			DeadAfter:      *deadAfter,
+			Transport:      &membership.HTTPTransport{},
+			OnChange: func(v membership.View) {
+				if heal != nil {
+					heal.OnViewChange(v)
+				}
+			},
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(stdout, "alertserve: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		re := *replicateEvery
+		if re == 0 {
+			re = 2 * time.Second
+		}
+		heal, err = selfheal.New(selfheal.Config{
+			NodeID:         *nodeID,
+			Addr:           selfAddr,
+			Agent:          agent,
+			Server:         srv,
+			ReplicateEvery: re,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(stdout, "alertserve: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		cfg.Membership = agent
+		cfg.Recovery = heal
+	}
+	front := netserve.New(srv, cfg)
+
 	fmt.Fprintf(stdout, "alertserve: listening on %s platform=%s task=%s shards=%d\n",
 		ln.Addr(), plat.Name, *task, srv.Shards())
 	if *nodeID != "" {
 		fmt.Fprintf(stdout, "alertserve: cluster node %q peers=%d\n", *nodeID, len(peerList))
+	}
+	if *memberOn {
+		fmt.Fprintf(stdout, "alertserve: membership on, advertising %s, %d seeds\n", agent.Addr(), len(peerList))
+		go agent.Run(ctx)
+		go heal.Run(ctx)
 	}
 	if onReady != nil {
 		onReady(ln.Addr().String())

@@ -196,6 +196,83 @@ func TestHarnessAlignedHardKillIsLossless(t *testing.T) {
 	}
 }
 
+// TestHarnessUnmanagedKill is the tentpole acceptance run: hard kills with
+// NO harness orchestration — no RemoveMember, no restore, no Pin. The
+// cluster's own failure detector declares the victims dead, the router
+// ejects them through its membership subscription, and each ring successor
+// restores the orphans from its replicated snapshots. Kills ride the
+// replication cadence, so nothing accepted is ever lost and every decision
+// stays byte-identical to the solo reference.
+func TestHarnessUnmanagedKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node harness run")
+	}
+	base, err := scenario.ByName("steady")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const inputs = 36
+	spec, err := scenario.DefaultUnmanagedFleet(base, 6, 4, inputs, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft := compileFleet(t, spec, inputs, 42)
+	if !ft.Unmanaged {
+		t.Fatal("compiled trace lost the unmanaged flag")
+	}
+
+	h, err := New(Options{Fleet: ft, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	rep, err := h.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(rep.Summary())
+	if !rep.OK() {
+		t.Fatalf("invariant violations:\n%s", strings.Join(rep.Violations, "\n"))
+	}
+	if rep.Failovers != rep.Kills || rep.Kills < 2 {
+		t.Errorf("absorbed %d of %d kills as unmanaged failovers, want all of >= 2", rep.Failovers, rep.Kills)
+	}
+	if rep.Migrations != 0 {
+		t.Errorf("unmanaged run performed %d harness migrations, want 0", rep.Migrations)
+	}
+	if len(rep.Diverged) != 0 {
+		t.Errorf("replication-aligned kills diverged: %+v", rep.Diverged)
+	}
+	if rep.MatchedRounds != rep.Decides {
+		t.Errorf("matched %d of %d decisions; aligned unmanaged kills must stay byte-identical", rep.MatchedRounds, rep.Decides)
+	}
+	if rep.ByzSent > 0 && rep.ByzRejected != rep.ByzSent {
+		t.Errorf("byzantine: %d of %d rejected cleanly", rep.ByzRejected, rep.ByzSent)
+	}
+}
+
+// TestHarnessRejectsManagedEventsWhenUnmanaged: an unmanaged trace carrying
+// a restart (or graceful kill) must be refused up front — there is no
+// orchestrator to execute it.
+func TestHarnessRejectsManagedEventsWhenUnmanaged(t *testing.T) {
+	base, err := scenario.ByName("steady")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := scenario.FleetSpec{
+		Name: "bad", Streams: 2, Nodes: 2, Base: base,
+		NodeEvents: []scenario.NodeEvent{
+			{AtInput: 4, Node: 0, Kind: scenario.EventKill},
+			{AtInput: 8, Node: 0, Kind: scenario.EventRestart},
+		},
+	}
+	ft := compileFleet(t, spec, 12, 1)
+	ft.Unmanaged = true // forced past scenario validation, straight at the harness
+	if _, err := New(Options{Fleet: ft}); err == nil {
+		t.Fatal("harness accepted an unmanaged trace with a restart")
+	}
+}
+
 // TestCheckerOwnership: decisions served by a node other than the announced
 // owner are single-ownership violations; announced reroutes are not.
 func TestCheckerOwnership(t *testing.T) {

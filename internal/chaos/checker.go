@@ -66,13 +66,16 @@ type Divergence struct {
 
 // Report is the checker's verdict over a finished run.
 type Report struct {
-	Rounds        int   `json:"rounds"`
-	Streams       int   `json:"streams"`
-	Decides       int64 `json:"decides"`
-	Observes      int64 `json:"observes"`
-	Checkpoints   int   `json:"checkpoints"`
-	Kills         int   `json:"kills"`
-	Restarts      int   `json:"restarts"`
+	Rounds      int   `json:"rounds"`
+	Streams     int   `json:"streams"`
+	Decides     int64 `json:"decides"`
+	Observes    int64 `json:"observes"`
+	Checkpoints int   `json:"checkpoints"`
+	Kills       int   `json:"kills"`
+	Restarts    int   `json:"restarts"`
+	// Failovers counts kills the cluster absorbed on its own (unmanaged
+	// mode): membership convergence + successor restore, no orchestrator.
+	Failovers     int   `json:"failovers,omitempty"`
 	Migrations    int   `json:"migrations"`
 	ByzSent       int   `json:"byz_sent"`
 	ByzRejected   int   `json:"byz_rejected"`
@@ -94,6 +97,9 @@ func (r *Report) Summary() string {
 		r.Rounds, r.Streams, r.Decides, r.MatchedRounds, r.Observes)
 	fmt.Fprintf(&b, "chaos: %d checkpoints, %d kills, %d restarts, %d migrations, %d/%d byzantine rejected\n",
 		r.Checkpoints, r.Kills, r.Restarts, r.Migrations, r.ByzRejected, r.ByzSent)
+	if r.Failovers > 0 {
+		fmt.Fprintf(&b, "chaos: %d unmanaged failovers absorbed by the cluster itself\n", r.Failovers)
+	}
 	for _, d := range r.Diverged {
 		fmt.Fprintf(&b, "chaos: stream %d diverged at round %d: %s\n", d.Stream, d.Round, d.Reason)
 	}

@@ -16,10 +16,23 @@ import (
 	"github.com/alert-project/alert/client"
 	"github.com/alert-project/alert/client/cluster"
 	"github.com/alert-project/alert/internal/dnn"
+	"github.com/alert-project/alert/internal/membership"
 	"github.com/alert-project/alert/internal/netserve"
 	"github.com/alert-project/alert/internal/scenario"
+	"github.com/alert-project/alert/internal/selfheal"
 	"github.com/alert-project/alert/internal/sim"
 	"github.com/alert-project/alert/internal/workload"
+)
+
+// Unmanaged drills run the cluster's own failure detector with tight
+// leases so a kill is absorbed in well under a second of wall time. The
+// convergence grace is deliberately loose: it bounds how long the harness
+// waits before calling a failover broken, not how fast a healthy one is.
+const (
+	unmanagedHeartbeat = 25 * time.Millisecond
+	unmanagedSuspect   = 120 * time.Millisecond
+	unmanagedDead      = 300 * time.Millisecond
+	convergeGrace      = 20 * time.Second
 )
 
 // Options configures a Harness.
@@ -56,48 +69,115 @@ type node struct {
 	// (first start binds :0 and records what it got).
 	hostport string
 	addr     string // http://hostport
+	// selfHealing wires a membership agent and selfheal manager into the
+	// node (unmanaged fleets); managed fleets leave both nil and the
+	// harness orchestrates failures itself, as before.
+	selfHealing bool
 
-	srv   *alert.Server
-	front *netserve.Server
-	hsrv  *http.Server
-	alive bool
+	srv    *alert.Server
+	front  *netserve.Server
+	hsrv   *http.Server
+	agent  *membership.Agent
+	heal   *selfheal.Manager
+	cancel context.CancelFunc // stops the agent's heartbeat loop
+	alive  bool
 }
 
-func (n *node) start() error {
+// listen binds the node's address (remembered across restarts) without
+// starting anything, so a self-healing fleet can learn every peer address
+// before the first agent sends a heartbeat.
+func (n *node) listen() (net.Listener, error) {
 	listenOn := n.hostport
 	if listenOn == "" {
 		listenOn = "127.0.0.1:0"
 	}
 	ln, err := net.Listen("tcp", listenOn)
 	if err != nil {
-		return fmt.Errorf("chaos: node %s: listen %s: %w", n.id, listenOn, err)
+		return nil, fmt.Errorf("chaos: node %s: listen %s: %w", n.id, listenOn, err)
 	}
 	n.hostport = ln.Addr().String()
 	n.addr = "http://" + n.hostport
+	return ln, nil
+}
+
+// serve builds the stream table, the (optional) membership agent and
+// self-healing manager, and the front end, then starts serving on ln.
+// peers seeds the agent; ignored for non-self-healing nodes.
+func (n *node) serve(ln net.Listener, peers []string) error {
 	srv, err := alert.NewServer(alert.CPU1(), alert.ImageCandidates(), alert.ServerOptions{Shards: n.shards})
 	if err != nil {
 		ln.Close()
 		return fmt.Errorf("chaos: node %s: %w", n.id, err)
 	}
 	n.srv = srv
-	n.front = netserve.New(srv, netserve.Config{NodeID: n.id})
+	cfg := netserve.Config{NodeID: n.id}
+	if n.selfHealing {
+		agent, err := membership.New(membership.Config{
+			ID:             n.id,
+			Addr:           n.addr,
+			Seeds:          peers,
+			HeartbeatEvery: unmanagedHeartbeat,
+			SuspectAfter:   unmanagedSuspect,
+			DeadAfter:      unmanagedDead,
+			Transport:      &membership.HTTPTransport{},
+			OnChange: func(v membership.View) {
+				if n.heal != nil {
+					n.heal.OnViewChange(v)
+				}
+			},
+		})
+		if err != nil {
+			ln.Close()
+			srv.Close()
+			return fmt.Errorf("chaos: node %s: %w", n.id, err)
+		}
+		heal, err := selfheal.New(selfheal.Config{
+			NodeID: n.id, Addr: n.addr, Agent: agent, Server: srv,
+		})
+		if err != nil {
+			ln.Close()
+			srv.Close()
+			return fmt.Errorf("chaos: node %s: %w", n.id, err)
+		}
+		n.agent, n.heal = agent, heal
+		cfg.Membership, cfg.Recovery = agent, heal
+		ctx, cancel := context.WithCancel(context.Background())
+		n.cancel = cancel
+		go agent.Run(ctx)
+	}
+	n.front = netserve.New(srv, cfg)
 	n.hsrv = &http.Server{Handler: n.front}
 	go n.hsrv.Serve(ln)
 	n.alive = true
 	return nil
 }
 
+// start is listen+serve in one step — the managed path, where peers are
+// irrelevant (restarts only happen in managed fleets).
+func (n *node) start() error {
+	ln, err := n.listen()
+	if err != nil {
+		return err
+	}
+	return n.serve(ln, nil)
+}
+
 // stop takes the node down hard: listener and in-flight connections are
 // severed, the pool is closed, the stream table is gone. Graceful kills
-// migrate everything away before calling this.
+// migrate everything away before calling this. For self-healing nodes the
+// heartbeat loop dies with the process, exactly like kill -9 would.
 func (n *node) stop() {
 	if !n.alive {
 		return
 	}
 	n.alive = false
+	if n.cancel != nil {
+		n.cancel()
+	}
 	n.hsrv.Close()
 	n.srv.Close()
 	n.srv, n.front, n.hsrv = nil, nil, nil
+	n.agent, n.heal, n.cancel = nil, nil, nil
 }
 
 // checkpointRec is one stream's latest checkpoint: the snapshot plus the
@@ -179,23 +259,66 @@ func New(opts Options) (*Harness, error) {
 		expectedLive: make(map[int]bool),
 		checkpoints:  make(map[int]checkpointRec),
 	}
+	if opts.Fleet.Unmanaged {
+		// Double safety beyond scenario validation: an unmanaged fleet has
+		// no orchestrator, so restarts and graceful drains are meaningless.
+		for r := 0; r < opts.Fleet.Len(); r++ {
+			for _, ev := range opts.Fleet.EventsAt(r) {
+				if ev.Kind == scenario.EventRestart || ev.Graceful {
+					return nil, fmt.Errorf("chaos: unmanaged trace schedules %s at round %d", ev.Kind, r)
+				}
+			}
+		}
+	}
+	// Bind every listener first, then serve: self-healing nodes need the
+	// full peer address list as membership seeds before the first heartbeat.
+	listeners := make([]net.Listener, 0, opts.Fleet.Nodes)
 	for i := 0; i < opts.Fleet.Nodes; i++ {
 		shards := 1 + i
 		if len(opts.Shards) > 0 {
 			shards = opts.Shards[i%len(opts.Shards)]
 		}
-		n := &node{id: fmt.Sprintf("n%d", i), index: i, shards: shards}
-		if err := n.start(); err != nil {
+		n := &node{id: fmt.Sprintf("n%d", i), index: i, shards: shards, selfHealing: opts.Fleet.Unmanaged}
+		ln, err := n.listen()
+		if err != nil {
+			for _, l := range listeners {
+				l.Close()
+			}
 			h.Close()
 			return nil, err
 		}
 		h.nodes = append(h.nodes, n)
+		listeners = append(listeners, ln)
+	}
+	for i, n := range h.nodes {
+		var peers []string
+		if n.selfHealing {
+			for j, m := range h.nodes {
+				if j != i {
+					peers = append(peers, m.addr)
+				}
+			}
+		}
+		if err := n.serve(listeners[i], peers); err != nil {
+			for _, l := range listeners[i+1:] {
+				l.Close()
+			}
+			h.Close()
+			return nil, err
+		}
 	}
 	addrs := make([]string, len(h.nodes))
 	for i, n := range h.nodes {
 		addrs[i] = n.addr
 	}
-	h.cl, err = cluster.New(addrs, cluster.Options{})
+	clOpts := cluster.Options{}
+	if opts.Fleet.Unmanaged {
+		// During an unmanaged failover the new owner sheds requests with
+		// 503 + Retry-After until the restore lands; a retry budget lets the
+		// driver ride the hold out instead of counting a shed as a loss.
+		clOpts.Client = client.Options{MaxRetries: 8, BackoffSeed: seed}
+	}
+	h.cl, err = cluster.New(addrs, clOpts)
 	if err != nil {
 		h.Close()
 		return nil, err
@@ -338,6 +461,17 @@ func (h *Harness) Run(ctx context.Context) (*Report, error) {
 		}
 		if h.fleet.CheckpointAt(r) {
 			h.takeCheckpoints(ctx, r)
+			if h.fleet.Unmanaged {
+				// Replication rides the checkpoint cadence: every live node
+				// ships each stream's canonical snapshot to its ring
+				// successor, so a kill later this round (events run after
+				// checkpoints) finds a same-round replica waiting.
+				for _, n := range h.nodes {
+					if n.alive && n.heal != nil {
+						n.heal.ReplicateOnce(ctx)
+					}
+				}
+			}
 			h.checker.Poll(ctx, h.liveClients(), h.expectedSet())
 			h.report.Checkpoints++
 		}
@@ -449,10 +583,14 @@ func (h *Harness) applyEvent(ctx context.Context, round int, ev scenario.NodeEve
 		if !n.alive {
 			return fmt.Errorf("chaos: round %d: kill of dead node %s (trace bug)", round, n.id)
 		}
-		if ev.Graceful {
+		switch {
+		case h.fleet.Unmanaged:
+			h.logf("round %d: unmanaged kill %s", round, n.id)
+			h.unmanagedKill(ctx, round, n)
+		case ev.Graceful:
 			h.logf("round %d: graceful kill %s", round, n.id)
 			h.gracefulKill(ctx, n)
-		} else {
+		default:
 			h.logf("round %d: hard kill %s", round, n.id)
 			h.hardKill(ctx, round, n)
 		}
@@ -550,6 +688,149 @@ func (h *Harness) hardKill(ctx context.Context, round int, victim *node) {
 			h.checker.Violate("hard kill %s: pin stream %d to %s: %v", victim.id, s, target.id, err)
 		}
 	}
+}
+
+// unmanagedKill stops the victim and then only watches: the surviving
+// agents must declare it dead on their own, the router must eject it via
+// its membership subscription, and the ring successor must restore every
+// orphaned stream from its replicated snapshot — no RemoveMember, no
+// harness-side restore. The harness's role shrinks to bookkeeping: wait
+// for convergence (bounded by convergeGrace), account provable losses as
+// expected divergence, and flag anything else as a violation.
+func (h *Harness) unmanagedKill(ctx context.Context, round int, victim *node) {
+	orphans := h.ownedBy(victim.addr)
+	victim.stop()
+	start := time.Now()
+	deadline := start.Add(convergeGrace)
+
+	// 1. Every survivor's failure detector converges on the death.
+	for _, n := range h.survivorsAfter(victim) {
+		for {
+			if e, ok := n.agent.View().Entry(victim.id); ok && e.State == membership.StateDead {
+				break
+			}
+			if time.Now().After(deadline) {
+				h.checker.Violate("unmanaged kill %s: %s never declared it dead within %s", victim.id, n.id, convergeGrace)
+				return
+			}
+			if sleepCtx(ctx, 5*time.Millisecond) != nil {
+				return
+			}
+		}
+	}
+	h.logf("round %d: survivors declared %s dead after %s (lease timeout %s)",
+		round, victim.id, time.Since(start).Round(time.Millisecond), unmanagedDead)
+
+	// 2. The router ejects the victim through its membership subscription.
+	for {
+		if err := h.cl.SyncMembership(ctx); err == nil && !containsAddr(h.cl.Members(), victim.addr) {
+			break
+		}
+		if time.Now().After(deadline) {
+			h.checker.Violate("unmanaged kill %s: router never ejected it within %s", victim.id, convergeGrace)
+			return
+		}
+		if sleepCtx(ctx, 10*time.Millisecond) != nil {
+			return
+		}
+	}
+
+	// 3. Each orphan resurfaces on a survivor — or its loss is accounted.
+	for _, s := range orphans {
+		if !h.isLive(s) {
+			// Never served a request: nothing to restore, the ring just
+			// routes its first decide somewhere new.
+			if n := h.nodeByAddr(h.cl.Route(s)); n != nil {
+				h.setOwner(s, n)
+			}
+			continue
+		}
+		ck, has := h.checkpoints[s]
+		if !has {
+			// Killed before the first replication round: no replica ever
+			// shipped, so the stream restarts from scratch.
+			if issued := h.checker.Issued(s); issued > 0 {
+				h.checker.ExpectDivergence(s, issued,
+					fmt.Sprintf("unmanaged kill of %s at round %d before any replication (%d decisions lost)", victim.id, round, issued))
+			}
+			h.markLive(s, false)
+			if n := h.nodeByAddr(h.cl.Route(s)); n != nil {
+				h.setOwner(s, n)
+			}
+			continue
+		}
+		holder := h.awaitRestore(ctx, s, deadline)
+		if holder == nil {
+			h.checker.Violate("unmanaged kill %s: stream %d never restored from its replica", victim.id, s)
+			continue
+		}
+		h.setOwner(s, holder)
+		// The successor==new-owner theorem, end to end: the node that held
+		// the replica must be exactly where the rebuilt ring routes.
+		if route := h.cl.Route(s); route != holder.addr {
+			h.checker.Violate("unmanaged kill %s: stream %d restored on %s but routes to %s", victim.id, s, holder.addr, route)
+		}
+		if lost := h.checker.Issued(s) - int64(ck.snap.Decisions); lost > 0 {
+			h.checker.ExpectDivergence(s, lost,
+				fmt.Sprintf("unmanaged kill of %s at round %d restored the round-%d replica (%d decisions lost)",
+					victim.id, round, ck.round, lost))
+		}
+	}
+	h.report.Failovers++
+	h.logf("round %d: cluster absorbed kill of %s in %s", round, victim.id, time.Since(start).Round(time.Millisecond))
+}
+
+// awaitRestore polls the survivors' stream listings until one of them holds
+// the stream (restores announce themselves by simply appearing in the
+// table), or the deadline passes.
+func (h *Harness) awaitRestore(ctx context.Context, stream int, deadline time.Time) *node {
+	for {
+		for _, n := range h.nodes {
+			if !n.alive {
+				continue
+			}
+			cl, ok := h.cl.Node(n.addr)
+			if !ok {
+				continue
+			}
+			ids, err := cl.Streams(ctx)
+			if err != nil {
+				continue
+			}
+			for _, id := range ids {
+				if id == stream {
+					return n
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			return nil
+		}
+		if sleepCtx(ctx, 10*time.Millisecond) != nil {
+			return nil
+		}
+	}
+}
+
+// sleepCtx sleeps d or returns early with the context's error.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+func containsAddr(addrs []string, addr string) bool {
+	for _, a := range addrs {
+		if a == addr {
+			return true
+		}
+	}
+	return false
 }
 
 // restart brings a node back on its remembered address with an empty table,

@@ -1,4 +1,13 @@
-package cluster
+// Package hashring is the cluster's consistent-hash ring over member
+// addresses. It lives in one place on purpose: the client router
+// (client/cluster) and the server-side checkpoint replicator
+// (internal/selfheal) must agree byte-for-byte on which member owns which
+// stream — the replicator ships each stream's checkpoint to the member
+// that WOULD own it if the current owner died, and that is only the right
+// target if both sides hash identically. Both hash the same member
+// address strings, so "the ring minus the dead node routes stream s to
+// its successor" is a theorem, not a convention.
+package hashring
 
 import (
 	"encoding/binary"
@@ -12,9 +21,9 @@ import (
 // N nodes is N*64 sorted uint64s).
 const vnodesPerMember = 64
 
-// ring is a consistent-hash ring over member addresses. It is immutable
-// after build: membership changes build a new ring, so readers never lock.
-type ring struct {
+// Ring is a consistent-hash ring over member addresses. It is immutable
+// after Build: membership changes build a new ring, so readers never lock.
+type Ring struct {
 	points []ringPoint // sorted by hash
 }
 
@@ -23,11 +32,11 @@ type ringPoint struct {
 	addr string
 }
 
-// buildRing places vnodesPerMember points per member on the ring. Member
+// Build places vnodesPerMember points per member on the ring. Member
 // order does not matter: point positions depend only on the address
 // strings, so every client that knows the same member set routes every
 // stream identically — the property that makes routing coordination-free.
-func buildRing(members []string) ring {
+func Build(members []string) Ring {
 	points := make([]ringPoint, 0, len(members)*vnodesPerMember)
 	var buf [4]byte
 	for _, addr := range members {
@@ -48,12 +57,12 @@ func buildRing(members []string) ring {
 		// possible) still order deterministically across clients.
 		return points[i].addr < points[j].addr
 	})
-	return ring{points: points}
+	return Ring{points: points}
 }
 
-// owner returns the member owning a stream: the first ring point at or
+// Owner returns the member owning a stream: the first ring point at or
 // clockwise-after the stream's hash. Empty ring returns "".
-func (r ring) owner(stream int) string {
+func (r Ring) Owner(stream int) string {
 	if len(r.points) == 0 {
 		return ""
 	}
@@ -63,6 +72,23 @@ func (r ring) owner(stream int) string {
 		i = 0 // wrap
 	}
 	return r.points[i].addr
+}
+
+// Successor returns the member that would own a stream if `exclude` were
+// not on the ring — the stream's failover home, and therefore the correct
+// replication target for a checkpoint held by `exclude`. It builds the
+// reduced ring on the fly; at replication cadence (not per-request) that
+// cost is irrelevant, and it guarantees the answer equals what every
+// client computes after the member is declared dead. Returns "" if no
+// other member exists.
+func Successor(members []string, exclude string, stream int) string {
+	rest := make([]string, 0, len(members))
+	for _, m := range members {
+		if m != exclude {
+			rest = append(rest, m)
+		}
+	}
+	return Build(rest).Owner(stream)
 }
 
 // streamHash hashes a stream id onto the ring. Fixed-width little-endian

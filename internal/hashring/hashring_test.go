@@ -1,4 +1,4 @@
-package cluster
+package hashring
 
 import "testing"
 
@@ -6,12 +6,12 @@ import "testing"
 // member order must not matter, or two clients with the same members would
 // route the same stream differently.
 func TestRingDeterministic(t *testing.T) {
-	a := buildRing([]string{"n1:1", "n2:2", "n3:3"})
-	b := buildRing([]string{"n3:3", "n1:1", "n2:2"})
+	a := Build([]string{"n1:1", "n2:2", "n3:3"})
+	b := Build([]string{"n3:3", "n1:1", "n2:2"})
 	for stream := 0; stream < 2000; stream++ {
-		if a.owner(stream) != b.owner(stream) {
+		if a.Owner(stream) != b.Owner(stream) {
 			t.Fatalf("stream %d: owner depends on member order (%s vs %s)",
-				stream, a.owner(stream), b.owner(stream))
+				stream, a.Owner(stream), b.Owner(stream))
 		}
 	}
 }
@@ -20,11 +20,11 @@ func TestRingDeterministic(t *testing.T) {
 // should own a wildly disproportionate share of streams.
 func TestRingBalance(t *testing.T) {
 	members := []string{"10.0.0.1:8372", "10.0.0.2:8372", "10.0.0.3:8372"}
-	r := buildRing(members)
+	r := Build(members)
 	counts := map[string]int{}
 	const n = 30000
 	for stream := 0; stream < n; stream++ {
-		counts[r.owner(stream)]++
+		counts[r.Owner(stream)]++
 	}
 	for _, m := range members {
 		share := float64(counts[m]) / n
@@ -39,14 +39,14 @@ func TestRingBalance(t *testing.T) {
 // what makes membership changes cheap (only the departed node's sessions
 // need migrating).
 func TestRingMinimalDisruption(t *testing.T) {
-	before := buildRing([]string{"a:1", "b:2", "c:3"})
-	after := buildRing([]string{"a:1", "b:2"})
+	before := Build([]string{"a:1", "b:2", "c:3"})
+	after := Build([]string{"a:1", "b:2"})
 	for stream := 0; stream < 5000; stream++ {
-		was := before.owner(stream)
+		was := before.Owner(stream)
 		if was == "c:3" {
 			continue // the departed member's streams must move somewhere
 		}
-		if now := after.owner(stream); now != was {
+		if now := after.Owner(stream); now != was {
 			t.Fatalf("stream %d moved %s -> %s though its owner survived", stream, was, now)
 		}
 	}
@@ -54,9 +54,42 @@ func TestRingMinimalDisruption(t *testing.T) {
 
 // TestRingEmpty: an empty ring routes nowhere rather than panicking.
 func TestRingEmpty(t *testing.T) {
-	var r ring
-	if got := r.owner(1); got != "" {
+	var r Ring
+	if got := r.Owner(1); got != "" {
 		t.Errorf("empty ring owner = %q, want empty", got)
+	}
+}
+
+// TestSuccessorMatchesPostFailureRing pins the property self-healing
+// stands on: the replication target computed while the owner is alive
+// (Successor of the full member set excluding the owner) must equal the
+// hash-home every router computes after the owner is removed. If these
+// ever diverged, a dead node's streams would be restored on one member
+// while clients route them to another.
+func TestSuccessorMatchesPostFailureRing(t *testing.T) {
+	members := []string{"a:1", "b:2", "c:3", "d:4"}
+	for _, dead := range members {
+		survivors := make([]string, 0, len(members)-1)
+		for _, m := range members {
+			if m != dead {
+				survivors = append(survivors, m)
+			}
+		}
+		after := Build(survivors)
+		for stream := 0; stream < 3000; stream++ {
+			want := after.Owner(stream)
+			if got := Successor(members, dead, stream); got != want {
+				t.Fatalf("stream %d: Successor(-%s) = %s, post-failure ring owner = %s",
+					stream, dead, got, want)
+			}
+		}
+	}
+}
+
+// TestSuccessorNoOthers: a one-member cluster has nowhere to replicate.
+func TestSuccessorNoOthers(t *testing.T) {
+	if got := Successor([]string{"a:1"}, "a:1", 7); got != "" {
+		t.Errorf("Successor with no other members = %q, want empty", got)
 	}
 }
 
@@ -71,14 +104,14 @@ func TestRingAdversarialLowEntropyKeys(t *testing.T) {
 	members := []string{
 		"10.0.0.1:8370", "10.0.0.1:8371", "10.0.0.1:8372", "10.0.0.1:8373",
 	}
-	r := buildRing(members)
+	r := Build(members)
 
 	const n = 2048 // sequential ids 0..n-1: the least entropy a key set can have
 	counts := map[string]int{}
 	adjacent := 0
 	prev := ""
 	for stream := 0; stream < n; stream++ {
-		owner := r.owner(stream)
+		owner := r.Owner(stream)
 		counts[owner]++
 		if owner == prev {
 			adjacent++
@@ -103,7 +136,7 @@ func TestRingAdversarialLowEntropyKeys(t *testing.T) {
 	// must not collapse onto one owner systematically.
 	negCounts := map[string]int{}
 	for stream := -n; stream < 0; stream++ {
-		negCounts[r.owner(stream)]++
+		negCounts[r.Owner(stream)]++
 	}
 	for _, m := range members {
 		share := float64(negCounts[m]) / n

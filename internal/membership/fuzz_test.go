@@ -1,0 +1,111 @@
+package membership
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// FuzzMembershipWire holds the membership codec and state machine to the
+// same standard as the fleet-trace codec (FuzzFleetTraceRoundTrip): any
+// payload the decoder accepts must re-encode byte-identically after one
+// canonicalizing round trip, and feeding it to a live agent must never
+// panic — a byzantine peer controls this input end to end. Both message
+// kinds are tried against every input: heartbeats (the POST body) and
+// bare views (the GET body and heartbeat reply).
+func FuzzMembershipWire(f *testing.F) {
+	// Seed corpus: real payloads from a small simulated cluster...
+	clock := newFakeClock()
+	tr := newMemTransport()
+	a1 := newTestAgent(f, clock, tr, "n1", "h1:1", []string{"h2:2"})
+	a2 := newTestAgent(f, clock, tr, "n2", "h2:2", []string{"h1:1"})
+	beatAll(a1, a2)
+	tr.setDown("h2:2", true)
+	clock.Advance(150 * time.Millisecond)
+	a1.Tick() // n2 dead in n1's view: a view with a tombstone
+	if hb, err := EncodeHeartbeat(Heartbeat{From: "n1", Seq: 7, View: a1.View()}); err == nil {
+		f.Add(hb)
+	}
+	if v, err := EncodeView(a1.View()); err == nil {
+		f.Add(v)
+	}
+	if v, err := EncodeView(View{Version: 1, Entries: []Entry{
+		{ID: "solo", Addr: "s:1", Incarnation: 1, State: StateAlive},
+	}}); err == nil {
+		f.Add(v)
+	}
+	f.Add([]byte(`{"version":0}`))
+	// ...and handcrafted near-misses the decoder must reject.
+	f.Add([]byte(`{"from":"a","seq":1,"view":{"version":1,"entries":[{"id":"b","addr":"x","incarnation":1,"state":"alive"},{"id":"a","addr":"y","incarnation":1,"state":"alive"}]}}`))
+	f.Add([]byte(`{"from":"a","seq":1,"view":{"version":1,"entries":[{"id":"a","addr":"x","incarnation":1,"state":"zombie"}]}}`))
+	f.Add([]byte(`{"from":"ghost","seq":1,"view":{"version":1}}`))
+	f.Add([]byte(`{"version":1,"entries":[{"id":"a","addr":"","incarnation":1,"state":"dead"}]}`))
+	f.Add([]byte(`null`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if hb, err := DecodeHeartbeat(data); err == nil {
+			// Accepted heartbeat: canonical re-encode is a fixed point.
+			first, err := EncodeHeartbeat(hb)
+			if err != nil {
+				t.Fatalf("decode-accepted heartbeat refuses to encode: %v", err)
+			}
+			hb2, err := DecodeHeartbeat(first)
+			if err != nil {
+				t.Fatalf("canonical heartbeat refuses to decode: %v", err)
+			}
+			second, err := EncodeHeartbeat(hb2)
+			if err != nil {
+				t.Fatalf("re-encode failed: %v", err)
+			}
+			if !bytes.Equal(first, second) {
+				t.Fatalf("heartbeat round trip not a fixed point:\n %s\n %s", first, second)
+			}
+			// And the state machine absorbs it without panicking, from the
+			// perspective of a bystander agent AND the named sender (the
+			// self-refutation path).
+			for _, id := range []string{"bystander", hb.From} {
+				a, err := New(Config{ID: id, Addr: "fuzz:1", Now: clock.Now})
+				if err != nil {
+					t.Fatalf("New: %v", err)
+				}
+				reply := a.HandleHeartbeat(hb)
+				checkCanonicalView(t, reply)
+				a.Tick()
+				checkCanonicalView(t, a.View())
+			}
+		}
+		if v, err := DecodeView(data); err == nil {
+			first, err := EncodeView(v)
+			if err != nil {
+				t.Fatalf("decode-accepted view refuses to encode: %v", err)
+			}
+			v2, err := DecodeView(first)
+			if err != nil {
+				t.Fatalf("canonical view refuses to decode: %v", err)
+			}
+			second, err := EncodeView(v2)
+			if err != nil {
+				t.Fatalf("re-encode failed: %v", err)
+			}
+			if !bytes.Equal(first, second) {
+				t.Fatalf("view round trip not a fixed point:\n %s\n %s", first, second)
+			}
+			// The client-side merge must also stay canonical and
+			// idempotent on whatever the decoder let through.
+			merged, _ := MergeViews(v, v)
+			checkCanonicalView(t, merged)
+			if again, changed := MergeViews(merged, v); changed {
+				t.Fatalf("self-merge not idempotent: %+v vs %+v", merged, again)
+			}
+		}
+	})
+}
+
+// checkCanonicalView asserts a view produced by the state machine always
+// satisfies the wire invariants — i.e. it can be served to peers as-is.
+func checkCanonicalView(t *testing.T, v View) {
+	t.Helper()
+	if err := v.validate(); err != nil {
+		t.Fatalf("state machine produced a non-canonical view: %v (%+v)", err, v)
+	}
+}

@@ -1,0 +1,236 @@
+package membership
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// State is a member's lease state as one node sees it. The order matters:
+// dead > suspect > alive — at equal incarnation the worse state wins a
+// merge, so a death observed anywhere spreads everywhere, while "alive"
+// gossip can never resurrect a member (only the member itself can, by
+// bumping its incarnation — see Agent).
+type State string
+
+const (
+	StateAlive   State = "alive"
+	StateSuspect State = "suspect"
+	StateDead    State = "dead"
+)
+
+// rank orders states by badness for merge purposes.
+func (s State) rank() int {
+	switch s {
+	case StateAlive:
+		return 0
+	case StateSuspect:
+		return 1
+	case StateDead:
+		return 2
+	}
+	return -1
+}
+
+func (s State) valid() bool { return s.rank() >= 0 }
+
+// worse reports whether a is a strictly worse (more-failed) state than b.
+func worse(a, b State) bool { return a.rank() > b.rank() }
+
+// Entry is one member as seen in a view: identity, dialable address, and
+// the (incarnation, state) pair that makes merges conflict-free. A higher
+// incarnation always wins wholesale; at equal incarnation the worse state
+// wins. Only the member itself ever bumps its incarnation (to refute a
+// suspicion or death pinned on it), which is what makes "dead" safe to
+// gossip: nobody else can undo it by accident.
+type Entry struct {
+	ID          string `json:"id"`
+	Addr        string `json:"addr"`
+	Incarnation uint64 `json:"incarnation"`
+	State       State  `json:"state"`
+}
+
+// View is one node's current belief about the whole membership, version-
+// stamped. Version is per-origin monotonic — it increments every time the
+// origin's belief changes — and is NOT comparable across origins; merging
+// two nodes' views goes entry-by-entry (MergeViews), never by version.
+// Entries are canonically sorted by ID, strictly ascending.
+type View struct {
+	Version uint64  `json:"version"`
+	Entries []Entry `json:"entries,omitempty"`
+}
+
+// Heartbeat is the one membership message: "I am <From>, here is
+// everything I believe". Piggybacking the full view on every heartbeat is
+// the peer-exchange mechanism — a node that can reach any one member
+// transitively learns the whole cluster. From must name one of the view's
+// entries (a sender always carries its own entry).
+type Heartbeat struct {
+	From string `json:"from"`
+	Seq  uint64 `json:"seq"`
+	View View   `json:"view"`
+}
+
+// Clone deep-copies a view so callers can hold it without aliasing agent
+// internals.
+func (v View) Clone() View {
+	out := View{Version: v.Version}
+	if len(v.Entries) > 0 {
+		out.Entries = make([]Entry, len(v.Entries))
+		copy(out.Entries, v.Entries)
+	}
+	return out
+}
+
+// Entry returns the entry for a member id, if present.
+func (v View) Entry(id string) (Entry, bool) {
+	for _, e := range v.Entries {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// validate enforces the canonical-form invariants decode promises:
+// strictly ID-sorted unique entries, non-empty ids and addresses, known
+// states. Everything downstream (merge, ring build, fuzz round-trip)
+// leans on these, so a payload that violates them is rejected at the
+// boundary rather than detonating in the state machine.
+func (v View) validate() error {
+	prev := ""
+	for i, e := range v.Entries {
+		if e.ID == "" {
+			return fmt.Errorf("membership: entry %d: empty id", i)
+		}
+		if e.Addr == "" {
+			return fmt.Errorf("membership: entry %q: empty addr", e.ID)
+		}
+		if !e.State.valid() {
+			return fmt.Errorf("membership: entry %q: unknown state %q", e.ID, e.State)
+		}
+		if i > 0 && e.ID <= prev {
+			return fmt.Errorf("membership: entries not strictly sorted by id (%q after %q)", e.ID, prev)
+		}
+		prev = e.ID
+	}
+	return nil
+}
+
+// EncodeView renders a view in canonical form: compact JSON, fixed field
+// order, ID-sorted entries. Encoding a decoded payload is a byte-level
+// fixed point — the property the wire fuzzer pins.
+func EncodeView(v View) ([]byte, error) {
+	if err := v.validate(); err != nil {
+		return nil, err
+	}
+	return json.Marshal(v)
+}
+
+// DecodeView parses and validates a view payload.
+func DecodeView(data []byte) (View, error) {
+	var v View
+	if err := strictUnmarshal(data, &v); err != nil {
+		return View{}, err
+	}
+	if err := v.validate(); err != nil {
+		return View{}, err
+	}
+	return v, nil
+}
+
+// EncodeHeartbeat renders a heartbeat in canonical form.
+func EncodeHeartbeat(hb Heartbeat) ([]byte, error) {
+	if err := hb.validate(); err != nil {
+		return nil, err
+	}
+	return json.Marshal(hb)
+}
+
+// DecodeHeartbeat parses and validates a heartbeat payload.
+func DecodeHeartbeat(data []byte) (Heartbeat, error) {
+	var hb Heartbeat
+	if err := strictUnmarshal(data, &hb); err != nil {
+		return Heartbeat{}, err
+	}
+	if err := hb.validate(); err != nil {
+		return Heartbeat{}, err
+	}
+	return hb, nil
+}
+
+func (hb Heartbeat) validate() error {
+	if hb.From == "" {
+		return fmt.Errorf("membership: heartbeat with empty from")
+	}
+	if err := hb.View.validate(); err != nil {
+		return err
+	}
+	if _, ok := hb.View.Entry(hb.From); !ok {
+		return fmt.Errorf("membership: heartbeat from %q does not carry its own entry", hb.From)
+	}
+	return nil
+}
+
+// strictUnmarshal decodes exactly one JSON value, rejecting unknown
+// fields and trailing garbage — the same posture as the fleet-trace
+// codec: a chaos replay or a byzantine peer must not be able to smuggle
+// state the re-encode would silently drop.
+func strictUnmarshal(data []byte, into any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		return fmt.Errorf("membership: decode: %w", err)
+	}
+	var trailing any
+	if err := dec.Decode(&trailing); err == nil || trailing != nil {
+		return fmt.Errorf("membership: trailing data after payload")
+	}
+	return nil
+}
+
+// MergeViews folds a remote view into a local one without any lease
+// bookkeeping — the client-side merge. Per entry: unknown ids are added,
+// a higher incarnation wins wholesale, and at equal incarnation the worse
+// state wins. That rule is a join on a lattice (commutative, associative,
+// idempotent), so any set of clients and servers that exchange views in
+// any order converge on the same belief — the fixed point IS the
+// membership. Version becomes the pairwise max, which keeps it monotonic
+// for change detection but carries no cross-node meaning. The returned
+// bool reports whether the merge changed anything.
+//
+// Agents do NOT use this for their own state: an agent additionally
+// refutes its own suspicion and grants leases on direct contact (see
+// Agent.HandleHeartbeat). MergeViews is for observers with no self entry.
+func MergeViews(local, remote View) (View, bool) {
+	out := local.Clone()
+	changed := false
+	for _, re := range remote.Entries {
+		idx := -1
+		for i, le := range out.Entries {
+			if le.ID == re.ID {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			out.Entries = append(out.Entries, re)
+			changed = true
+			continue
+		}
+		le := out.Entries[idx]
+		if re.Incarnation > le.Incarnation ||
+			(re.Incarnation == le.Incarnation && worse(re.State, le.State)) {
+			if le != re {
+				out.Entries[idx] = re
+				changed = true
+			}
+		}
+	}
+	if remote.Version > out.Version {
+		out.Version = remote.Version
+		changed = true
+	}
+	sortEntries(out.Entries)
+	return out, changed
+}

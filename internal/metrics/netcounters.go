@@ -24,10 +24,11 @@ type NetCounters struct {
 	exports        atomic.Int64
 	imports        atomic.Int64
 
-	rejectedOverload atomic.Int64
-	rejectedDeadline atomic.Int64
-	rejectedDraining atomic.Int64
-	badRequests      atomic.Int64
+	rejectedOverload  atomic.Int64
+	rejectedDeadline  atomic.Int64
+	rejectedDraining  atomic.Int64
+	rejectedRestoring atomic.Int64
+	badRequests       atomic.Int64
 
 	// reqNanos accumulates the handler time of decide and decide-batch
 	// requests (admission wait + service + encoding); maxNanos tracks the
@@ -96,6 +97,11 @@ func (c *NetCounters) RecordRejectDeadline() { c.rejectedDeadline.Add(1) }
 // draining for shutdown.
 func (c *NetCounters) RecordRejectDraining() { c.rejectedDraining.Add(1) }
 
+// RecordRejectRestoring counts a request shed with 503 because its stream
+// was mid-restore after a failover — the bounded, Retry-After-hinted shed
+// window the self-healing path is allowed.
+func (c *NetCounters) RecordRejectRestoring() { c.rejectedRestoring.Add(1) }
+
 // RecordBadRequest counts a 4xx other than admission rejections
 // (unparseable body, unknown objective, bad path).
 func (c *NetCounters) RecordBadRequest() { c.badRequests.Add(1) }
@@ -121,12 +127,14 @@ type NetSnapshot struct {
 	Imports int64 `json:"imports"`
 	// RejectedOverload counts 429s from a full admission queue;
 	// RejectedDeadline requests whose Spec deadline expired while queued;
-	// RejectedDraining requests refused during shutdown drain; BadRequests
-	// malformed requests.
-	RejectedOverload int64 `json:"rejected_overload"`
-	RejectedDeadline int64 `json:"rejected_deadline"`
-	RejectedDraining int64 `json:"rejected_draining"`
-	BadRequests      int64 `json:"bad_requests"`
+	// RejectedDraining requests refused during shutdown drain;
+	// RejectedRestoring requests shed while their stream was restoring
+	// after a failover; BadRequests malformed requests.
+	RejectedOverload  int64 `json:"rejected_overload"`
+	RejectedDeadline  int64 `json:"rejected_deadline"`
+	RejectedDraining  int64 `json:"rejected_draining"`
+	RejectedRestoring int64 `json:"rejected_restoring,omitempty"`
+	BadRequests       int64 `json:"bad_requests"`
 	// AvgRequestLatency and MaxRequestLatency are end-to-end handler times
 	// of decide and decide-batch requests, admission wait included.
 	AvgRequestLatency time.Duration `json:"avg_request_latency_ns"`
@@ -150,6 +158,7 @@ func (c *NetCounters) Snapshot() NetSnapshot {
 		RejectedOverload:  c.rejectedOverload.Load(),
 		RejectedDeadline:  c.rejectedDeadline.Load(),
 		RejectedDraining:  c.rejectedDraining.Load(),
+		RejectedRestoring: c.rejectedRestoring.Load(),
 		BadRequests:       c.badRequests.Load(),
 		MaxRequestLatency: time.Duration(c.maxNanos.Load()),
 		Uptime:            time.Since(c.start),

@@ -14,6 +14,16 @@
 //	GET    /v1/streams/{id}/snapshot  export (snapshot + remove) a session
 //	GET    /v1/streams/{id}/checkpoint  checkpoint (snapshot, keep serving)
 //	PUT    /v1/streams/{id}  import a previously exported session
+//	GET    /v1/membership    the node's membership view (when enabled)
+//	POST   /v1/membership    peer heartbeat; replies with the merged view
+//	PUT    /v1/replicas/{id} store a peer's replicated checkpoint
+//	GET    /v1/replicas      list held replicas
+//	POST   /v1/claims        resolve an ownership claim after import/restore
+//
+// The membership/replica/claim endpoints are the self-healing control
+// plane (see internal/membership and internal/selfheal); they bypass the
+// admission gate because they are what decides who should be taking load,
+// and they 404 on nodes that run without membership.
 //
 // # Admission control
 //
@@ -53,6 +63,7 @@ import (
 	"encoding/base64"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"strconv"
@@ -61,6 +72,7 @@ import (
 	"time"
 
 	"github.com/alert-project/alert"
+	"github.com/alert-project/alert/internal/membership"
 	"github.com/alert-project/alert/internal/metrics"
 )
 
@@ -87,6 +99,16 @@ type Config struct {
 	// bootstrap hint and re-probe members directly, so a stale list
 	// degrades discovery, never correctness.
 	Peers []string
+	// Membership, if set, serves the node's live membership view on
+	// GET /v1/membership and accepts peer heartbeats on POST
+	// /v1/membership. Nil keeps both endpoints 404 (a static-membership
+	// node).
+	Membership *membership.Agent
+	// Recovery, if set, enables the self-healing control plane — replica
+	// storage (PUT/GET /v1/replicas), ownership claims (POST /v1/claims)
+	// — and the restoring hold: decides/observes for a stream mid-restore
+	// are shed with 503 + Retry-After instead of forking a fresh session.
+	Recovery Recovery
 }
 
 func (c Config) maxInflight() int {
@@ -119,6 +141,8 @@ type Server struct {
 	retryAfter time.Duration
 	nodeID     string
 	peers      []string
+	agent      *membership.Agent
+	recovery   Recovery
 
 	// tokens is the admission gate: a request must deposit a token to run
 	// and withdraws it when done. queued counts requests waiting at the
@@ -146,6 +170,8 @@ func New(srv *alert.Server, cfg Config) *Server {
 		retryAfter: cfg.retryAfter(),
 		nodeID:     cfg.NodeID,
 		peers:      cfg.Peers,
+		agent:      cfg.Membership,
+		recovery:   cfg.Recovery,
 		tokens:     make(chan struct{}, cfg.maxInflight()),
 		maxQueue:   int64(cfg.maxQueue()),
 		drained:    make(chan struct{}),
@@ -278,6 +304,14 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.get(w, r, s.handleStreams)
 	case strings.HasPrefix(path, "/v1/streams/"):
 		s.routeStream(w, r, strings.TrimPrefix(path, "/v1/streams/"))
+	case path == membership.Endpoint:
+		s.handleMembership(w, r)
+	case path == "/v1/replicas":
+		s.get(w, r, s.handleReplicas)
+	case strings.HasPrefix(path, "/v1/replicas/"):
+		s.routeReplica(w, r, strings.TrimPrefix(path, "/v1/replicas/"))
+	case path == "/v1/claims":
+		s.post(w, r, s.handleClaim)
 	default:
 		s.net.RecordBadRequest()
 		s.writeError(w, http.StatusNotFound, fmt.Sprintf("no such endpoint %s", path), false)
@@ -318,6 +352,9 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err.Error(), false)
 		return
 	}
+	if s.rejectIfRestoring(w, req.Stream) {
+		return
+	}
 	ctx := r.Context()
 	// The Spec deadline propagates to admission: a decision still queued
 	// when the input's deadline has passed serves nobody.
@@ -343,6 +380,9 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	var req ObserveRequest
 	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if s.rejectIfRestoring(w, req.Stream) {
 		return
 	}
 	if !s.admitOrReject(w, r.Context()) {
@@ -381,6 +421,12 @@ func (s *Server) handleDecideBatch(w http.ResponseWriter, r *http.Request) {
 		inner[i] = alert.BatchRequest{Stream: br.Stream, Spec: spec}
 		if spec.Deadline > 0 && (minDeadline == 0 || spec.Deadline < minDeadline) {
 			minDeadline = spec.Deadline
+		}
+		// A batch touching a restoring stream sheds whole: serving the
+		// rest while silently skipping one slot would break the
+		// "results in request order" contract.
+		if s.rejectIfRestoring(w, br.Stream) {
+			return
 		}
 	}
 	ctx := r.Context()
@@ -566,8 +612,166 @@ func (s *Server) handleStreamImport(w http.ResponseWriter, r *http.Request, id i
 		s.writeError(w, http.StatusConflict, err.Error(), false)
 		return
 	}
+	// Announce ownership before answering: when this PUT returns 200,
+	// every reachable peer has either evicted its staler copy of the
+	// stream or outranked us (in which case our import is gone and the
+	// caller gets the conflict). This is what keeps a migration and a
+	// concurrent failover restore from forking the stream.
+	if s.recovery != nil {
+		if s.recovery.AnnounceImport(id, snap.Decisions) {
+			s.writeError(w, http.StatusConflict,
+				fmt.Sprintf("stream %d: a peer serves a fresher session; import evicted", id), false)
+			return
+		}
+	}
 	s.net.RecordImport()
 	s.writeJSON(w, http.StatusOK, ImportResponse{Stream: id, Streams: s.alert.Streams()})
+}
+
+// rejectIfRestoring sheds a request whose stream is mid-restore after a
+// failover: 503 + Retry-After, before any state is touched (so nothing is
+// lost — the client retries onto the finished restore). Never fires
+// without a Recovery.
+func (s *Server) rejectIfRestoring(w http.ResponseWriter, stream int) bool {
+	if s.recovery == nil || !s.recovery.Restoring(stream) {
+		return false
+	}
+	s.net.RecordRejectRestoring()
+	s.writeError(w, http.StatusServiceUnavailable,
+		fmt.Sprintf("stream %d is restoring after failover", stream), true)
+	return true
+}
+
+// handleMembership serves the membership endpoint: GET returns this
+// node's current view; POST delivers a peer heartbeat and returns the
+// merged view. Both bypass the admission gate — membership is the control
+// plane that decides who should be taking load, so it must keep answering
+// precisely when the data plane is saturated or draining.
+func (s *Server) handleMembership(w http.ResponseWriter, r *http.Request) {
+	if s.agent == nil {
+		s.writeError(w, http.StatusNotFound, "membership not enabled on this node", false)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		s.net.RecordRead()
+		s.writeView(w, s.agent.View())
+	case http.MethodPost:
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
+		if err != nil {
+			s.net.RecordBadRequest()
+			s.writeError(w, http.StatusBadRequest, fmt.Sprintf("bad heartbeat body: %v", err), false)
+			return
+		}
+		hb, err := membership.DecodeHeartbeat(body)
+		if err != nil {
+			s.net.RecordBadRequest()
+			s.writeError(w, http.StatusBadRequest, err.Error(), false)
+			return
+		}
+		s.writeView(w, s.agent.HandleHeartbeat(hb))
+	default:
+		s.methodNotAllowed(w, "GET, POST")
+	}
+}
+
+// writeView writes a membership view in its canonical encoding.
+func (s *Server) writeView(w http.ResponseWriter, v membership.View) {
+	data, err := membership.EncodeView(v)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err.Error(), false)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
+	w.Write([]byte("\n"))
+}
+
+// routeReplica dispatches PUT /v1/replicas/{id}.
+func (s *Server) routeReplica(w http.ResponseWriter, r *http.Request, idStr string) {
+	if s.recovery == nil {
+		s.writeError(w, http.StatusNotFound, "self-healing not enabled on this node", false)
+		return
+	}
+	id, err := strconv.Atoi(idStr)
+	if err != nil || strings.Contains(idStr, "/") {
+		s.net.RecordBadRequest()
+		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("bad stream id %q", idStr), false)
+		return
+	}
+	if r.Method != http.MethodPut {
+		s.methodNotAllowed(w, http.MethodPut)
+		return
+	}
+	s.handleReplicaPut(w, r, id)
+}
+
+// handleReplicaPut stores a peer's replicated checkpoint. Like the other
+// control-plane endpoints it is ungated: replication is what makes the
+// next failover lossless, so overload must not starve it.
+func (s *Server) handleReplicaPut(w http.ResponseWriter, r *http.Request, id int) {
+	var req ReplicaPutRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if req.Owner == "" {
+		s.net.RecordBadRequest()
+		s.writeError(w, http.StatusBadRequest, "replica without owner", false)
+		return
+	}
+	blob, err := base64.StdEncoding.DecodeString(req.SnapshotB64)
+	if err != nil {
+		s.net.RecordBadRequest()
+		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("bad snapshot encoding: %v", err), false)
+		return
+	}
+	var snap alert.SessionSnapshot
+	if err := snap.UnmarshalBinary(blob); err != nil {
+		s.net.RecordBadRequest()
+		s.writeError(w, http.StatusBadRequest, err.Error(), false)
+		return
+	}
+	s.recovery.StoreReplica(id, req.Owner, snap.Decisions, snap)
+	s.writeJSON(w, http.StatusOK, ReplicaPutResponse{Stream: id, Replicas: len(s.recovery.Replicas())})
+}
+
+// handleReplicas lists the replicas held for peers (ops and tests).
+func (s *Server) handleReplicas(w http.ResponseWriter, r *http.Request) {
+	if s.recovery == nil {
+		s.writeError(w, http.StatusNotFound, "self-healing not enabled on this node", false)
+		return
+	}
+	s.net.RecordRead()
+	infos := s.recovery.Replicas()
+	out := ReplicasResponse{Count: len(infos), Replicas: make([]ReplicaWire, len(infos))}
+	for i, ri := range infos {
+		out.Replicas[i] = ReplicaWire{Stream: ri.Stream, Owner: ri.Owner, Decisions: ri.Decisions}
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+// handleClaim answers a peer's ownership claim (see ClaimRequest).
+// Ungated: claims are how concurrent movers of one stream decide a single
+// winner, and parking one behind a saturated gate would hold the fork
+// window open.
+func (s *Server) handleClaim(w http.ResponseWriter, r *http.Request) {
+	if s.recovery == nil {
+		s.writeError(w, http.StatusNotFound, "self-healing not enabled on this node", false)
+		return
+	}
+	var req ClaimRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if req.NodeID == "" || (req.Kind != ClaimKindImport && req.Kind != ClaimKindRestore) {
+		s.net.RecordBadRequest()
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("claim needs node_id and kind %q or %q", ClaimKindImport, ClaimKindRestore), false)
+		return
+	}
+	superseded, local := s.recovery.HandleClaim(req.Stream, req.NodeID, req.Kind, req.Decisions)
+	s.writeJSON(w, http.StatusOK, ClaimResponse{Superseded: superseded, Decisions: local})
 }
 
 // admissionTimeout converts a Spec deadline in seconds to an admission

@@ -281,6 +281,55 @@ type ImportResponse struct {
 	Streams int `json:"streams"`
 }
 
+// ReplicaPutRequest is the PUT /v1/replicas/{id} body: a checkpoint of a
+// stream owned by Owner, replicated here so this node can restore the
+// stream if Owner dies. The snapshot's own decision count is its
+// freshness; no separate field to fall out of sync with the blob.
+type ReplicaPutRequest struct {
+	Owner       string `json:"owner"`
+	SnapshotB64 string `json:"snapshot_b64"`
+}
+
+// ReplicaPutResponse is the PUT /v1/replicas/{id} reply.
+type ReplicaPutResponse struct {
+	Stream   int `json:"stream"`
+	Replicas int `json:"replicas"`
+}
+
+// ReplicaWire is one held replica in a ReplicasResponse.
+type ReplicaWire struct {
+	Stream    int    `json:"stream"`
+	Owner     string `json:"owner"`
+	Decisions int64  `json:"decisions"`
+}
+
+// ReplicasResponse is the GET /v1/replicas reply, sorted by stream id.
+type ReplicasResponse struct {
+	Count    int           `json:"count"`
+	Replicas []ReplicaWire `json:"replicas,omitempty"`
+}
+
+// ClaimRequest is the POST /v1/claims body: NodeID announces it now
+// serves Stream with a session of Decisions decisions, acquired by Kind
+// (ClaimKindImport or ClaimKindRestore). Receivers holding a staler
+// session for the stream evict it; receivers holding a fresher one answer
+// superseded, and the claimant evicts instead. See the kind constants for
+// the total order that breaks ties.
+type ClaimRequest struct {
+	Stream    int    `json:"stream"`
+	NodeID    string `json:"node_id"`
+	Decisions int64  `json:"decisions"`
+	Kind      string `json:"kind"`
+}
+
+// ClaimResponse is the POST /v1/claims reply. Decisions is the answering
+// node's session decision count for the stream at answer time (-1 when it
+// holds none) — claimants use it for logging and invariant checks.
+type ClaimResponse struct {
+	Superseded bool  `json:"superseded"`
+	Decisions  int64 `json:"decisions"`
+}
+
 // ErrorResponse is the JSON body of every non-2xx reply. RetryAfterMs
 // mirrors the Retry-After header on 429/503 so clients that only read the
 // body still back off correctly.

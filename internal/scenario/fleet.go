@@ -130,6 +130,12 @@ type FleetSpec struct {
 	// (without disturbing it). A hard kill aligned to a checkpoint round is
 	// therefore lossless. 0 means 25.
 	CheckpointEvery int `json:"checkpointEvery,omitempty"`
+	// Unmanaged switches the harness from orchestrated failure handling to
+	// self-healing: a kill just stops the process, and the cluster itself —
+	// membership leases, replicated checkpoints, successor restores — must
+	// absorb it. Unmanaged schedules allow only hard kills: no restarts and
+	// no graceful drains, because both are orchestrator moves by definition.
+	Unmanaged bool `json:"unmanaged,omitempty"`
 	// FlashCrowds, NodeEvents, and Byzantine are the chaos layers; all are
 	// optional.
 	FlashCrowds []FlashCrowd     `json:"flashCrowds,omitempty"`
@@ -175,6 +181,11 @@ func (f FleetSpec) Validate() error {
 	}
 	if err := validateEvents(f.Name, f.NodeEvents, f.Nodes); err != nil {
 		return err
+	}
+	if f.Unmanaged {
+		if err := validateUnmanaged(f.Name, f.NodeEvents); err != nil {
+			return err
+		}
 	}
 	for i, b := range f.Byzantine {
 		if b.AtInput < 0 || b.Inputs <= 0 {
@@ -229,6 +240,21 @@ func validateEvents(name string, events []NodeEvent, nodes int) error {
 			liveCount++
 		default:
 			return fmt.Errorf("fleet %q: node event %d: unknown kind %q", name, i, e.Kind)
+		}
+	}
+	return nil
+}
+
+// validateUnmanaged rejects schedule entries that presuppose an
+// orchestrator: restarts (somebody must relaunch the process) and graceful
+// kills (somebody must drain it). An unmanaged drill is kill -9 or nothing.
+func validateUnmanaged(name string, events []NodeEvent) error {
+	for i, e := range events {
+		if e.Kind == EventRestart {
+			return fmt.Errorf("fleet %q: unmanaged schedules forbid restarts (event %d)", name, i)
+		}
+		if e.Graceful {
+			return fmt.Errorf("fleet %q: unmanaged schedules forbid graceful kills (event %d)", name, i)
 		}
 	}
 	return nil
@@ -293,6 +319,9 @@ type FleetTrace struct {
 	Nodes   int `json:"nodes"`
 	// CheckpointEvery is the resolved checkpoint cadence in rounds.
 	CheckpointEvery int `json:"checkpointEvery"`
+	// Unmanaged marks a self-healing drill: kills are absorbed by the
+	// cluster's own membership and recovery machinery, never the harness.
+	Unmanaged bool `json:"unmanaged,omitempty"`
 	// Base is the per-stream environment trace, compiled from the same seed
 	// as a non-fleet run of the base scenario (so the solo reference
 	// controller replays identical inputs).
@@ -389,6 +418,7 @@ func CompileFleet(spec FleetSpec, plat *platform.Platform, inputs int, period fl
 		Streams:         spec.Streams,
 		Nodes:           spec.Nodes,
 		CheckpointEvery: spec.checkpointEvery(),
+		Unmanaged:       spec.Unmanaged,
 		Base:            base,
 	}
 
@@ -498,6 +528,11 @@ func DecodeFleet(r io.Reader) (*FleetTrace, error) {
 	if err := validateEvents(t.Fleet, t.Events, t.Nodes); err != nil {
 		return nil, err
 	}
+	if t.Unmanaged {
+		if err := validateUnmanaged(t.Fleet, t.Events); err != nil {
+			return nil, err
+		}
+	}
 	for i, b := range t.Byz {
 		if b.AtInput < 0 || !knownByzKind(b.Kind) || b.Node < 0 || b.Node >= t.Nodes {
 			return nil, fmt.Errorf("scenario: fleet byz request %d invalid", i)
@@ -565,6 +600,51 @@ func DefaultFleet(base Spec, streams, nodes, inputs, killEvery, restartAfter int
 			)
 			victim = (victim + 1) % nodes
 			cycle++
+		}
+	}
+	if inputs >= 8 {
+		spec.FlashCrowds = []FlashCrowd{{
+			AtInput:        inputs / 4,
+			Inputs:         inputs / 4,
+			StreamFraction: 0.5,
+			GapFactor:      0.25,
+		}}
+		spec.Byzantine = []ByzantinePhase{{
+			AtInput:  inputs / 3,
+			Inputs:   inputs / 4,
+			PerRound: 1,
+		}}
+	}
+	if err := spec.Validate(); err != nil {
+		return FleetSpec{}, err
+	}
+	return spec, nil
+}
+
+// DefaultUnmanagedFleet builds the stock self-healing drill: hard kills
+// only, no restarts, each aligned to a checkpoint round (so the replicated
+// checkpoint the successor restores from is current and the drill stays
+// deterministic), walking over the nodes until one survivor remains.
+// killEvery is the rounds between kills (0 disables them) and doubles as
+// the checkpoint/replication cadence. The flash crowd and byzantine phase
+// from DefaultFleet ride along, so convergence happens under load and
+// hostile traffic, not in a quiet room.
+func DefaultUnmanagedFleet(base Spec, streams, nodes, inputs, killEvery int) (FleetSpec, error) {
+	spec := FleetSpec{
+		Name:        "unmanaged-" + base.Name,
+		Description: "self-healing drill: unmanaged hard kills, flash crowd, and byzantine clients over " + base.Name,
+		Streams:     streams,
+		Nodes:       nodes,
+		Base:        base,
+		Unmanaged:   true,
+	}
+	if killEvery > 0 {
+		spec.CheckpointEvery = killEvery
+		victim := 0
+		for at := killEvery; at < inputs && victim < nodes-1; at += killEvery {
+			spec.NodeEvents = append(spec.NodeEvents,
+				NodeEvent{AtInput: at, Node: victim, Kind: EventKill})
+			victim++
 		}
 	}
 	if inputs >= 8 {
