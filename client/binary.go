@@ -1,0 +1,499 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/alert-project/alert"
+	"github.com/alert-project/alert/internal/binwire"
+)
+
+// BinaryTransport speaks the binwire protocol over a small pool of
+// persistent TCP connections. Requests are pipelined: each is stamped
+// with a connection-unique id and its caller parks on a channel until the
+// reader goroutine routes the matching response frame back, so any number
+// of goroutines share a connection without head-of-line blocking in the
+// client. Server rejections surface as the same *OverloadError /
+// *APIError values the HTTP path produces — the Client's retry loop and
+// the cluster router cannot tell the transports apart by behavior, only
+// by speed.
+//
+// A Client uses it automatically (Options.BinaryAddr or PreferBinary);
+// it is exported for callers that want the raw transport without the
+// retry loop.
+type BinaryTransport struct {
+	addr string
+	next atomic.Uint32
+
+	mu     sync.Mutex
+	conns  []*binConn
+	closed bool
+}
+
+// binPoolSize is the persistent connections per transport. Pipelining
+// makes one connection enough to saturate a small host — and fewer
+// connections mean better write coalescing and fewer reader wakeups — so
+// the pool grows with cores only to keep reader goroutines from becoming
+// the bottleneck on big machines.
+var binPoolSize = func() int {
+	n := runtime.GOMAXPROCS(0) / 2
+	if n < 1 {
+		n = 1
+	}
+	if n > 4 {
+		n = 4
+	}
+	return n
+}()
+
+// NewBinaryTransport returns a transport for the given host:port. Dialing
+// is lazy — a server that is down fails per request, like HTTP.
+func NewBinaryTransport(addr string) *BinaryTransport {
+	return &BinaryTransport{addr: addr, conns: make([]*binConn, binPoolSize)}
+}
+
+// Close tears down every connection; in-flight requests fail. The
+// transport must not be used afterwards.
+func (t *BinaryTransport) Close() {
+	t.mu.Lock()
+	t.closed = true
+	conns := t.conns
+	t.conns = make([]*binConn, binPoolSize)
+	t.mu.Unlock()
+	for _, cc := range conns {
+		if cc != nil {
+			cc.fail(errors.New("client: binary transport closed"))
+		}
+	}
+}
+
+// conn returns a live pooled connection, dialing a replacement for a dead
+// slot. Slots rotate round-robin so concurrent streams spread across the
+// pool.
+func (t *BinaryTransport) conn() (*binConn, error) {
+	slot := int(t.next.Add(1)) % binPoolSize
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, errors.New("client: binary transport closed")
+	}
+	cc := t.conns[slot]
+	if cc != nil && !cc.broken() {
+		t.mu.Unlock()
+		return cc, nil
+	}
+	t.mu.Unlock()
+	// Dial outside the lock; only the winner is installed.
+	nc, err := net.Dial("tcp", t.addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial binary %s: %w", t.addr, err)
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	fresh := &binConn{
+		conn:    nc,
+		pending: make(map[uint64]chan binReply),
+		wwake:   make(chan struct{}, 1),
+		wstop:   make(chan struct{}),
+	}
+	go fresh.readLoop()
+	go fresh.writeLoop()
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		fresh.fail(errors.New("client: binary transport closed"))
+		return nil, errors.New("client: binary transport closed")
+	}
+	if cur := t.conns[slot]; cur != nil && !cur.broken() {
+		t.mu.Unlock()
+		fresh.fail(errors.New("client: duplicate dial discarded"))
+		return cur, nil
+	}
+	t.conns[slot] = fresh
+	t.mu.Unlock()
+	return fresh, nil
+}
+
+// binConn is one pipelined connection: requesters append frames to a
+// shared queue and nudge a dedicated writer goroutine, which swaps the
+// whole queue out and writes it in one syscall (group commit — every
+// queued request rides the same write), while a reader goroutine routes
+// response frames to waiters by request id.
+type binConn struct {
+	conn   net.Conn
+	nextID atomic.Uint64
+
+	wmu   sync.Mutex
+	wbuf  []byte        // frames queued for the writer
+	wwake chan struct{} // capacity 1: nudges the writer
+
+	mu      sync.Mutex
+	pending map[uint64]chan binReply
+	dead    error
+	wstop   chan struct{} // closed by fail: stops the writer
+}
+
+// binReply hands a response frame to its waiter. buf is the pooled buffer
+// Body aliases; the waiter returns it with binwire.PutBuf after decoding.
+type binReply struct {
+	frame binwire.Frame
+	buf   *[]byte
+}
+
+func (cc *binConn) broken() bool {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.dead != nil
+}
+
+// fail kills the connection: every current and future waiter gets err.
+func (cc *binConn) fail(err error) {
+	cc.mu.Lock()
+	if cc.dead != nil {
+		cc.mu.Unlock()
+		return
+	}
+	cc.dead = err
+	pending := cc.pending
+	cc.pending = nil
+	close(cc.wstop)
+	cc.mu.Unlock()
+	cc.conn.Close()
+	for _, ch := range pending {
+		close(ch) // a closed channel signals "connection died, see dead"
+	}
+}
+
+func (cc *binConn) readLoop() {
+	// Buffered: a burst of pipelined responses drains in one read syscall.
+	rd := binwire.NewReader(bufio.NewReaderSize(cc.conn, 64<<10))
+	for {
+		f, err := rd.Next()
+		if err != nil {
+			cc.fail(fmt.Errorf("client: binary connection lost: %w", err))
+			return
+		}
+		if f.Version != binwire.Version {
+			cc.fail(fmt.Errorf("client: server speaks binwire version %d, want %d", f.Version, binwire.Version))
+			return
+		}
+		// The frame body aliases the reader's buffer; copy it into a
+		// pooled buffer that travels to the waiter.
+		bp := binwire.GetBuf()
+		*bp = append((*bp)[:0], f.Body...)
+		f.Body = *bp
+		cc.mu.Lock()
+		ch, ok := cc.pending[f.ID]
+		if ok {
+			delete(cc.pending, f.ID)
+		}
+		cc.mu.Unlock()
+		if !ok {
+			// The waiter gave up (context cancellation); drop the late
+			// response.
+			binwire.PutBuf(bp)
+			continue
+		}
+		ch <- binReply{frame: f, buf: bp}
+	}
+}
+
+// writeLoop drains the frame queue: on each nudge it swaps the queue out
+// wholesale and writes it with one syscall, so every request queued while
+// a write was in flight (or while this goroutine waited for the
+// scheduler) shares that syscall instead of paying its own. On write
+// failure it kills the connection; waiters learn through their closed
+// channels.
+func (cc *binConn) writeLoop() {
+	var flush []byte
+	for {
+		select {
+		case <-cc.wwake:
+		case <-cc.wstop:
+			return
+		}
+		// The nudge readies this goroutine into the scheduler's runnext
+		// slot — running now would write the nudger's single frame alone.
+		// Yielding once lets every already-runnable requester append its
+		// frame first, so the swap below drains a full batch per syscall.
+		runtime.Gosched()
+		cc.wmu.Lock()
+		cc.wbuf, flush = flush[:0], cc.wbuf
+		cc.wmu.Unlock()
+		if len(flush) == 0 {
+			continue
+		}
+		if _, err := cc.conn.Write(flush); err != nil {
+			cc.fail(fmt.Errorf("client: binary write: %w", err))
+			return
+		}
+	}
+}
+
+// send queues one encoded frame and nudges the writer.
+func (cc *binConn) send(enc func(dst []byte, id uint64) []byte, id uint64) {
+	cc.wmu.Lock()
+	cc.wbuf = enc(cc.wbuf, id)
+	cc.wmu.Unlock()
+	select {
+	case cc.wwake <- struct{}{}:
+	default:
+	}
+}
+
+// roundTrip sends one request frame (encoded by enc, stamped with a fresh
+// id) and parks until the matching response arrives, the context ends, or
+// the connection dies.
+func (cc *binConn) roundTrip(ctx context.Context, enc func(dst []byte, id uint64) []byte) (binReply, error) {
+	id := cc.nextID.Add(1)
+	ch := make(chan binReply, 1)
+	cc.mu.Lock()
+	if cc.dead != nil {
+		err := cc.dead
+		cc.mu.Unlock()
+		return binReply{}, err
+	}
+	cc.pending[id] = ch
+	cc.mu.Unlock()
+
+	cc.send(enc, id)
+
+	select {
+	case r, ok := <-ch:
+		if !ok {
+			cc.mu.Lock()
+			err := cc.dead
+			cc.mu.Unlock()
+			return binReply{}, err
+		}
+		return r, nil
+	case <-ctx.Done():
+		cc.forget(id)
+		return binReply{}, ctx.Err()
+	}
+}
+
+// forget abandons a pending id (the response, if it ever comes, is
+// dropped by the read loop).
+func (cc *binConn) forget(id uint64) {
+	cc.mu.Lock()
+	if cc.pending != nil {
+		delete(cc.pending, id)
+	}
+	cc.mu.Unlock()
+}
+
+// binRetryAfter converts an error frame's retry_after_ms hint to a
+// duration, with the same hygiene retryAfterOf applies to the HTTP hint:
+// missing, non-positive, or absurdly large (over an hour) hints count as
+// no hint at all, so a garbled server cannot stall the retry loop — the
+// client substitutes its own capped exponential schedule.
+func binRetryAfter(ms int64) time.Duration {
+	if ms <= 0 || ms > 3_600_000 {
+		return 0
+	}
+	return time.Duration(ms) * time.Millisecond
+}
+
+// binError maps an error frame to the same error values the HTTP path
+// produces for the equivalent status.
+func binError(body []byte) error {
+	code, ms, msg, err := binwire.DecodeError(body)
+	if err != nil {
+		return fmt.Errorf("client: malformed error frame: %w", err)
+	}
+	if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+		return &OverloadError{StatusCode: int(code), Message: msg, RetryAfter: binRetryAfter(ms)}
+	}
+	return &APIError{StatusCode: int(code), Message: msg}
+}
+
+func unexpectedFrame(t binwire.MsgType) error {
+	return fmt.Errorf("client: unexpected response frame type %d", byte(t))
+}
+
+// Decide requests one decision over the binary transport, returning the
+// serving node's id alongside (the binary twin of Client.DecideServed).
+func (t *BinaryTransport) Decide(ctx context.Context, stream int, spec alert.Spec) (alert.Decision, alert.Estimate, string, error) {
+	cc, err := t.conn()
+	if err != nil {
+		return alert.Decision{}, alert.Estimate{}, "", err
+	}
+	r, err := cc.roundTrip(ctx, func(dst []byte, id uint64) []byte {
+		return binwire.AppendDecide(dst, id, stream, spec)
+	})
+	if err != nil {
+		return alert.Decision{}, alert.Estimate{}, "", err
+	}
+	defer binwire.PutBuf(r.buf)
+	switch r.frame.Type {
+	case binwire.MsgDecideResp:
+		d, e, node, err := binwire.DecodeDecideResp(r.frame.Body)
+		if err != nil {
+			return alert.Decision{}, alert.Estimate{}, "", fmt.Errorf("client: %w", err)
+		}
+		return d, e, node, nil
+	case binwire.MsgError:
+		return alert.Decision{}, alert.Estimate{}, "", binError(r.frame.Body)
+	default:
+		return alert.Decision{}, alert.Estimate{}, "", unexpectedFrame(r.frame.Type)
+	}
+}
+
+// Observe reports a measurement. Like the HTTP path, the server enqueues
+// the update before acking, so a subsequent Decide on the stream sees it.
+func (t *BinaryTransport) Observe(ctx context.Context, stream int, fb alert.Feedback) error {
+	cc, err := t.conn()
+	if err != nil {
+		return err
+	}
+	r, err := cc.roundTrip(ctx, func(dst []byte, id uint64) []byte {
+		return binwire.AppendObserve(dst, id, stream, fb)
+	})
+	if err != nil {
+		return err
+	}
+	defer binwire.PutBuf(r.buf)
+	switch r.frame.Type {
+	case binwire.MsgObserveResp:
+		return nil
+	case binwire.MsgError:
+		return binError(r.frame.Body)
+	default:
+		return unexpectedFrame(r.frame.Type)
+	}
+}
+
+// DecideBatch dispatches the whole batch in one frame; results come back
+// in request order.
+func (t *BinaryTransport) DecideBatch(ctx context.Context, reqs []alert.BatchRequest) ([]alert.BatchResult, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	cc, err := t.conn()
+	if err != nil {
+		return nil, err
+	}
+	r, err := cc.roundTrip(ctx, func(dst []byte, id uint64) []byte {
+		return binwire.AppendBatch(dst, id, reqs)
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer binwire.PutBuf(r.buf)
+	switch r.frame.Type {
+	case binwire.MsgBatchResp:
+		res, err := binwire.DecodeBatchResp(r.frame.Body, make([]alert.BatchResult, 0, len(reqs)))
+		if err != nil {
+			return nil, fmt.Errorf("client: %w", err)
+		}
+		if len(res) != len(reqs) {
+			return nil, fmt.Errorf("client: batch returned %d results for %d requests", len(res), len(reqs))
+		}
+		return res, nil
+	case binwire.MsgError:
+		return nil, binError(r.frame.Body)
+	default:
+		return nil, unexpectedFrame(r.frame.Type)
+	}
+}
+
+// EvictStream releases the stream's server-side session.
+func (t *BinaryTransport) EvictStream(ctx context.Context, stream int) error {
+	cc, err := t.conn()
+	if err != nil {
+		return err
+	}
+	r, err := cc.roundTrip(ctx, func(dst []byte, id uint64) []byte {
+		return binwire.AppendStreamReq(dst, binwire.MsgEvict, id, stream)
+	})
+	if err != nil {
+		return err
+	}
+	defer binwire.PutBuf(r.buf)
+	switch r.frame.Type {
+	case binwire.MsgEvictResp:
+		return nil
+	case binwire.MsgError:
+		return binError(r.frame.Body)
+	default:
+		return unexpectedFrame(r.frame.Type)
+	}
+}
+
+// snapshotOp runs export or checkpoint and decodes the returned session.
+func (t *BinaryTransport) snapshotOp(ctx context.Context, op binwire.MsgType, stream int) (alert.SessionSnapshot, error) {
+	var snap alert.SessionSnapshot
+	cc, err := t.conn()
+	if err != nil {
+		return snap, err
+	}
+	r, err := cc.roundTrip(ctx, func(dst []byte, id uint64) []byte {
+		return binwire.AppendStreamReq(dst, op, id, stream)
+	})
+	if err != nil {
+		return snap, err
+	}
+	defer binwire.PutBuf(r.buf)
+	switch r.frame.Type {
+	case binwire.MsgSnapshotResp:
+		_, blob, err := binwire.DecodeSnapshot(r.frame.Type, r.frame.Body)
+		if err != nil {
+			return snap, fmt.Errorf("client: %w", err)
+		}
+		if err := snap.UnmarshalBinary(blob); err != nil {
+			return snap, fmt.Errorf("client: %w", err)
+		}
+		return snap, nil
+	case binwire.MsgError:
+		return snap, binError(r.frame.Body)
+	default:
+		return snap, unexpectedFrame(r.frame.Type)
+	}
+}
+
+// ExportStream drains, snapshots, and removes the stream's session.
+func (t *BinaryTransport) ExportStream(ctx context.Context, stream int) (alert.SessionSnapshot, error) {
+	return t.snapshotOp(ctx, binwire.MsgExport, stream)
+}
+
+// CheckpointStream snapshots the stream's session without removing it.
+func (t *BinaryTransport) CheckpointStream(ctx context.Context, stream int) (alert.SessionSnapshot, error) {
+	return t.snapshotOp(ctx, binwire.MsgCheckpoint, stream)
+}
+
+// ImportStream restores an exported session under the given stream id.
+func (t *BinaryTransport) ImportStream(ctx context.Context, stream int, snap alert.SessionSnapshot) error {
+	blob, err := snap.MarshalBinary()
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	cc, err := t.conn()
+	if err != nil {
+		return err
+	}
+	r, err := cc.roundTrip(ctx, func(dst []byte, id uint64) []byte {
+		return binwire.AppendSnapshot(dst, binwire.MsgImport, id, stream, blob)
+	})
+	if err != nil {
+		return err
+	}
+	defer binwire.PutBuf(r.buf)
+	switch r.frame.Type {
+	case binwire.MsgImportResp:
+		return nil
+	case binwire.MsgError:
+		return binError(r.frame.Body)
+	default:
+		return unexpectedFrame(r.frame.Type)
+	}
+}

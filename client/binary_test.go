@@ -1,0 +1,266 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"math"
+	"net"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/alert-project/alert"
+	"github.com/alert-project/alert/internal/netserve"
+)
+
+// startBinaryFrontEnd stands up a front end serving both transports: the
+// HTTP listener (for control-plane reads and discovery) plus a binary
+// listener, and returns the front end's pieces so tests can build clients
+// with whatever Options they need.
+func startBinaryFrontEnd(t testing.TB, cfg netserve.Config) (url string, fe *netserve.Server, bs *netserve.BinaryServer) {
+	t.Helper()
+	srv, err := alert.NewServer(alert.CPU1(), alert.ImageCandidates(), alert.ServerOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	fe = netserve.New(srv, cfg)
+	ts := httptest.NewServer(fe)
+	t.Cleanup(ts.Close)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs = netserve.NewBinary(fe, ln, netserve.BinaryConfig{})
+	go bs.Serve()
+	t.Cleanup(func() { bs.Close() })
+	return ts.URL, fe, bs
+}
+
+// TestBinaryTransportMatchesJSON drives two identical back ends through
+// the same decide/observe sequence — one client on the binary transport,
+// one on HTTP/JSON — and requires bit-identical decisions at every step:
+// the transports must be indistinguishable by behavior.
+func TestBinaryTransportMatchesJSON(t *testing.T) {
+	binURL, _, bs := startBinaryFrontEnd(t, netserve.Config{})
+	bc, err := New(binURL, Options{BinaryAddr: bs.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(bc.Close)
+	jc, _ := startFrontEnd(t, netserve.Config{})
+
+	ctx := context.Background()
+	const stream = 4
+	for i := 0; i < 30; i++ {
+		bd, best, err := bc.Decide(ctx, stream, testSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		jd, jest, err := jc.Decide(ctx, stream, testSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bd != jd {
+			t.Fatalf("step %d: binary decision %+v != JSON %+v", i, bd, jd)
+		}
+		if math.Float64bits(best.LatMean) != math.Float64bits(jest.LatMean) {
+			t.Fatalf("step %d: estimates diverge: %v vs %v", i, best.LatMean, jest.LatMean)
+		}
+		fb := alert.Feedback{Decision: bd, Latency: best.LatMean * 0.93, CompletedStage: -1}
+		if err := bc.Observe(ctx, stream, fb); err != nil {
+			t.Fatal(err)
+		}
+		if err := jc.Observe(ctx, stream, fb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if snap := bs.BinStats(); snap.Decides != 30 || snap.Observes != 30 {
+		t.Errorf("binary listener saw %d decides %d observes, want 30/30", snap.Decides, snap.Observes)
+	}
+}
+
+// TestBinaryTransportBatchAndMigration exercises the remaining data-plane
+// surface over binary: DecideBatch, checkpoint, export (with ErrNoSession
+// on a missing stream), import, and evict.
+func TestBinaryTransportBatchAndMigration(t *testing.T) {
+	url, _, bs := startBinaryFrontEnd(t, netserve.Config{})
+	c, err := New(url, Options{BinaryAddr: bs.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	ctx := context.Background()
+
+	res, err := c.DecideBatch(ctx, []alert.BatchRequest{
+		{Stream: 1, Spec: testSpec()},
+		{Stream: 2, Spec: testSpec()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || res[0].Stream != 1 || res[1].Stream != 2 || res[0].Estimate.LatMean <= 0 {
+		t.Fatalf("batch results: %+v", res)
+	}
+
+	if _, err := c.CheckpointStream(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := c.ExportStream(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ExportStream(ctx, 1); !errors.Is(err, ErrNoSession) {
+		t.Fatalf("re-export of a moved stream = %v, want ErrNoSession", err)
+	}
+	if _, err := c.CheckpointStream(ctx, 1); !errors.Is(err, ErrNoSession) {
+		t.Fatalf("checkpoint of a moved stream = %v, want ErrNoSession", err)
+	}
+	if err := c.ImportStream(ctx, 1, snap); err != nil {
+		t.Fatal(err)
+	}
+	var ae *APIError
+	if err := c.ImportStream(ctx, 1, snap); !errors.As(err, &ae) {
+		t.Fatalf("double import = %v, want *APIError conflict", err)
+	}
+	if err := c.EvictStream(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	if snap := bs.BinStats(); snap.Batches != 1 || snap.Exports != 1 || snap.Imports != 1 || snap.Evictions != 1 {
+		t.Errorf("binary op counters: %+v", snap)
+	}
+}
+
+// TestPreferBinaryDiscovery checks the upgrade path cluster clients use: a
+// client given only the HTTP address probes /v1/stats, finds the
+// advertised binary listener, and moves the data plane onto it — including
+// when the server advertises a wildcard host, which the client replaces
+// with the host it already reaches the server by.
+func TestPreferBinaryDiscovery(t *testing.T) {
+	srv, err := alert.NewServer(alert.CPU1(), alert.ImageCandidates(), alert.ServerOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	fe := netserve.New(srv, netserve.Config{})
+	ts := httptest.NewServer(fe)
+	t.Cleanup(ts.Close)
+	// A wildcard bind advertises an unspecified host (e.g. "[::]:p"); the
+	// client must substitute the HTTP host rather than dial the wildcard.
+	ln, err := net.Listen("tcp", ":0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := netserve.NewBinary(fe, ln, netserve.BinaryConfig{})
+	go bs.Serve()
+	t.Cleanup(func() { bs.Close() })
+
+	c, err := New(ts.URL, Options{PreferBinary: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+
+	ctx := context.Background()
+	if _, _, err := c.Decide(ctx, 7, testSpec()); err != nil {
+		t.Fatal(err)
+	}
+	if snap := bs.BinStats(); snap.Decides != 1 {
+		t.Fatalf("binary listener saw %d decides, want 1 (discovery failed)", snap.Decides)
+	}
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Net.Decides != 0 {
+		t.Errorf("HTTP served %d decides, want 0 (data plane should ride binary)", st.Net.Decides)
+	}
+}
+
+// TestPreferBinaryFallsBackToJSON: against a server with no binary
+// listener the same Options keep working — the probe concludes "JSON only"
+// and the client never dials anything.
+func TestPreferBinaryFallsBackToJSON(t *testing.T) {
+	jc, fe := startFrontEnd(t, netserve.Config{})
+	jc.preferBinary = true
+	jc.binSettled = false
+
+	ctx := context.Background()
+	if _, _, err := jc.Decide(ctx, 3, testSpec()); err != nil {
+		t.Fatal(err)
+	}
+	st, err := jc.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Net.Decides != 1 {
+		t.Errorf("HTTP decides = %d, want 1 (fallback to JSON)", st.Net.Decides)
+	}
+	_ = fe
+}
+
+// TestBinaryOverloadRetries pins the retry loop over the binary transport:
+// a draining server sheds every decide with a 503 error frame, the client
+// retries MaxRetries times after the hint, and the terminal error is the
+// same *OverloadError the HTTP path yields.
+func TestBinaryOverloadRetries(t *testing.T) {
+	url, fe, bs := startBinaryFrontEnd(t, netserve.Config{RetryAfter: time.Millisecond})
+	if err := fe.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(url, Options{BinaryAddr: bs.Addr(), MaxRetries: 3, BackoffBase: time.Millisecond, BackoffSeed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+
+	_, _, err = c.Decide(context.Background(), 9, testSpec())
+	var oe *OverloadError
+	if !errors.As(err, &oe) {
+		t.Fatalf("decide against a draining server = %v, want *OverloadError", err)
+	}
+	if oe.RetryAfter != time.Millisecond {
+		t.Errorf("RetryAfter hint = %v, want 1ms", oe.RetryAfter)
+	}
+	if snap := bs.BinStats(); snap.RejectedDraining != 4 {
+		t.Errorf("server saw %d rejected attempts, want 4 (1 + 3 retries)", snap.RejectedDraining)
+	}
+}
+
+// TestBinaryTransportSurvivesConnLoss kills the transport's live
+// connections out from under it and checks the next call redials instead
+// of failing forever.
+func TestBinaryTransportSurvivesConnLoss(t *testing.T) {
+	url, _, bs := startBinaryFrontEnd(t, netserve.Config{})
+	c, err := New(url, Options{BinaryAddr: bs.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	ctx := context.Background()
+
+	if _, _, err := c.Decide(ctx, 2, testSpec()); err != nil {
+		t.Fatal(err)
+	}
+	// Reach into the transport and sever every pooled connection.
+	c.binMu.Lock()
+	bt := c.bin
+	c.binMu.Unlock()
+	bt.mu.Lock()
+	for _, cc := range bt.conns {
+		if cc != nil {
+			cc.conn.Close()
+		}
+	}
+	bt.mu.Unlock()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, _, err := c.Decide(ctx, 2, testSpec()); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("transport never recovered from severed connections")
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package client
+
+import (
+	"errors"
+	"net/http"
+	"testing"
+	"time"
+
+	"github.com/alert-project/alert/internal/binwire"
+)
+
+// TestBinRetryAfterEdgeCases is the binary twin of
+// TestRetryAfterOfEdgeCases: the retry_after_ms hint in an error frame
+// goes through the same hygiene as the HTTP hint — missing, non-positive,
+// and multi-hour values all degrade to "no hint" so the client falls back
+// to its own capped exponential schedule, never sleeping negative or
+// absurd durations on a garbled server's say-so.
+func TestBinRetryAfterEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		ms   int64
+		want time.Duration
+	}{
+		{name: "zero means no hint", ms: 0, want: 0},
+		{name: "negative means no hint", ms: -250, want: 0},
+		{name: "one millisecond", ms: 1, want: time.Millisecond},
+		{name: "typical hint", ms: 50, want: 50 * time.Millisecond},
+		{name: "at the one-hour cap", ms: 3_600_000, want: time.Hour},
+		{name: "just over the cap degrades to no hint", ms: 3_600_001, want: 0},
+		{name: "absurdly large degrades to no hint", ms: 1 << 50, want: 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := binRetryAfter(tc.ms); got != tc.want {
+				t.Errorf("binRetryAfter(%d) = %v, want %v", tc.ms, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestBinErrorMapping checks error frames decode to the same error values
+// the HTTP path produces for the equivalent status, so the retry loop and
+// the cluster router treat both transports identically.
+func TestBinErrorMapping(t *testing.T) {
+	frame := func(code uint16, ms int64, msg string) []byte {
+		raw := binwire.AppendError(nil, 1, code, ms, msg)
+		f, _, err := binwire.ParseFrame(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f.Body
+	}
+
+	err := binError(frame(binwire.CodeOverloaded, 40, "admission queue full"))
+	var oe *OverloadError
+	if !errors.As(err, &oe) || oe.StatusCode != http.StatusTooManyRequests || oe.RetryAfter != 40*time.Millisecond {
+		t.Fatalf("429 frame mapped to %#v", err)
+	}
+	err = binError(frame(binwire.CodeUnavailable, 0, "server draining"))
+	if !errors.As(err, &oe) || oe.StatusCode != http.StatusServiceUnavailable || oe.RetryAfter != 0 {
+		t.Fatalf("503 frame mapped to %#v", err)
+	}
+	err = binError(frame(binwire.CodeNotFound, 0, "stream has no session"))
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.StatusCode != http.StatusNotFound {
+		t.Fatalf("404 frame mapped to %#v", err)
+	}
+}

@@ -19,6 +19,14 @@
 // Options.MaxRetries > 0 the client retries them itself after the hinted
 // backoff. Retrying is safe: a 429/503 is rejected before the request
 // touches any stream state, so a retry never double-applies anything.
+//
+// Binary transport: when the server also listens on a binwire port
+// (alertserve -binary-addr), set Options.BinaryAddr — or
+// Options.PreferBinary to discover it from /v1/stats — and every
+// data-plane call (Decide, Observe, DecideBatch, migration ops) rides a
+// pooled, pipelined binary connection instead of HTTP/JSON. Decisions are
+// byte-identical over either transport, and overload error frames carry
+// the same retry_after_ms hint, fed through the same retry loop.
 package client
 
 import (
@@ -29,6 +37,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -67,6 +76,19 @@ type Options struct {
 	// stampeding the server in lockstep; tests pick a seed to make retry
 	// timing reproducible. 0 selects a fixed default seed.
 	BackoffSeed int64
+	// BinaryAddr, when set, routes the data-plane calls (Decide, Observe,
+	// DecideBatch, and the stream migration ops) over the binwire TCP
+	// transport at this host:port instead of HTTP/JSON. Overload and
+	// retry semantics are identical on both transports; the control-plane
+	// reads (Stats, Streams, Membership) always use HTTP.
+	BinaryAddr string
+	// PreferBinary discovers the server's advertised binary listener from
+	// GET /v1/stats on first use and upgrades the data plane to it,
+	// falling back to JSON silently when the server does not advertise
+	// one. It lets cluster clients (client/cluster), which only know
+	// members' HTTP addresses, find each member's binary listener on
+	// their own. Ignored when BinaryAddr is set explicitly.
+	PreferBinary bool
 }
 
 // Client talks to one front end. It is safe for concurrent use; all
@@ -83,6 +105,17 @@ type Client struct {
 	// documented safe for concurrent use).
 	mu  sync.Mutex
 	rng *mathx.Rand
+
+	// Binary transport state. binAddr is where the binary listener lives
+	// ("" = none known); binSettled marks discovery as concluded — set at
+	// construction for an explicit BinaryAddr (or no binary at all), and
+	// after the first successful stats read for PreferBinary. bin is the
+	// lazily built transport.
+	preferBinary bool
+	binMu        sync.Mutex
+	binAddr      string
+	binSettled   bool
+	bin          *BinaryTransport
 }
 
 // New validates the base URL (e.g. "http://127.0.0.1:8372") and returns a
@@ -96,11 +129,14 @@ func New(baseURL string, opts Options) (*Client, error) {
 		return nil, fmt.Errorf("client: base URL %q must be http(s)", baseURL)
 	}
 	c := &Client{
-		base:        strings.TrimRight(baseURL, "/"),
-		hc:          opts.HTTPClient,
-		maxRetries:  opts.MaxRetries,
-		backoffBase: opts.BackoffBase,
-		backoffCap:  opts.BackoffCap,
+		base:         strings.TrimRight(baseURL, "/"),
+		hc:           opts.HTTPClient,
+		maxRetries:   opts.MaxRetries,
+		backoffBase:  opts.BackoffBase,
+		backoffCap:   opts.BackoffCap,
+		preferBinary: opts.PreferBinary,
+		binAddr:      opts.BinaryAddr,
+		binSettled:   opts.BinaryAddr != "" || !opts.PreferBinary,
 	}
 	if c.backoffBase <= 0 {
 		c.backoffBase = 10 * time.Millisecond
@@ -133,6 +169,65 @@ func (c *Client) Close() {
 	if c.ownedHC {
 		c.hc.CloseIdleConnections()
 	}
+	c.binMu.Lock()
+	bin := c.bin
+	c.bin = nil
+	c.binMu.Unlock()
+	if bin != nil {
+		bin.Close()
+	}
+}
+
+// binary returns the transport for the data-plane calls, or nil for the
+// JSON path. Under PreferBinary the first call probes GET /v1/stats for
+// an advertised binary listener; the outcome of a successful probe is
+// cached for the client's lifetime (a server's transports are fixed at
+// startup), while a failed probe — server unreachable — leaves discovery
+// open so a client built before its server came up still upgrades.
+func (c *Client) binary(ctx context.Context) *BinaryTransport {
+	c.binMu.Lock()
+	defer c.binMu.Unlock()
+	if c.bin != nil {
+		return c.bin
+	}
+	if !c.binSettled {
+		st, err := c.Stats(ctx)
+		if err != nil {
+			return nil // transient; the JSON path will surface the error
+		}
+		c.binSettled = true
+		c.binAddr = c.resolveBinaryAddr(st.BinaryAddr)
+	}
+	if c.binAddr == "" {
+		return nil
+	}
+	c.bin = NewBinaryTransport(c.binAddr)
+	return c.bin
+}
+
+// resolveBinaryAddr fixes up an advertised binary address whose host part
+// is unspecified (a server listening on ":9001" advertises exactly that):
+// the client substitutes the host it already reaches over HTTP.
+func (c *Client) resolveBinaryAddr(addr string) string {
+	if addr == "" {
+		return ""
+	}
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return addr
+	}
+	unspecified := host == ""
+	if ip := net.ParseIP(host); ip != nil && ip.IsUnspecified() {
+		unspecified = true
+	}
+	if !unspecified {
+		return addr
+	}
+	u, err := url.Parse(c.base)
+	if err != nil || u.Hostname() == "" {
+		return addr
+	}
+	return net.JoinHostPort(u.Hostname(), port)
 }
 
 // OverloadError is a 429/503 admission rejection: the server's queue was
@@ -161,13 +256,8 @@ func (e *APIError) Error() string {
 
 // Decide requests the configuration for the stream's next input.
 func (c *Client) Decide(ctx context.Context, stream int, spec alert.Spec) (alert.Decision, alert.Estimate, error) {
-	var out netserve.DecideResponse
-	err := c.do(ctx, http.MethodPost, "/v1/decide",
-		netserve.DecideRequest{Stream: stream, Spec: netserve.FromSpec(spec)}, &out)
-	if err != nil {
-		return alert.Decision{}, alert.Estimate{}, err
-	}
-	return out.Decision.ToDecision(), out.Estimate.ToEstimate(), nil
+	d, est, _, err := c.DecideServed(ctx, stream, spec)
+	return d, est, err
 }
 
 // DecideServed is Decide plus the identity of the node that served the
@@ -175,6 +265,17 @@ func (c *Client) Decide(ctx context.Context, stream int, spec alert.Spec) (alert
 // node). The chaos harness's single-ownership checker uses it to attribute
 // every decision to a member without a second round trip.
 func (c *Client) DecideServed(ctx context.Context, stream int, spec alert.Spec) (alert.Decision, alert.Estimate, string, error) {
+	if bt := c.binary(ctx); bt != nil {
+		var d alert.Decision
+		var est alert.Estimate
+		var node string
+		err := c.withRetry(ctx, func(ctx context.Context) error {
+			var err error
+			d, est, node, err = bt.Decide(ctx, stream, spec)
+			return err
+		})
+		return d, est, node, err
+	}
 	var out netserve.DecideResponse
 	err := c.do(ctx, http.MethodPost, "/v1/decide",
 		netserve.DecideRequest{Stream: stream, Spec: netserve.FromSpec(spec)}, &out)
@@ -188,6 +289,11 @@ func (c *Client) DecideServed(ctx context.Context, stream int, spec alert.Spec) 
 // before replying, so a subsequent Decide on the same stream (over this or
 // any connection) sees the updated filter state.
 func (c *Client) Observe(ctx context.Context, stream int, fb alert.Feedback) error {
+	if bt := c.binary(ctx); bt != nil {
+		return c.withRetry(ctx, func(ctx context.Context) error {
+			return bt.Observe(ctx, stream, fb)
+		})
+	}
 	return c.do(ctx, http.MethodPost, "/v1/observe",
 		netserve.ObserveRequest{Stream: stream, Feedback: netserve.FromFeedback(fb)}, nil)
 }
@@ -197,6 +303,15 @@ func (c *Client) Observe(ctx context.Context, stream int, fb alert.Feedback) err
 func (c *Client) DecideBatch(ctx context.Context, reqs []alert.BatchRequest) ([]alert.BatchResult, error) {
 	if len(reqs) == 0 {
 		return nil, nil
+	}
+	if bt := c.binary(ctx); bt != nil {
+		var res []alert.BatchResult
+		err := c.withRetry(ctx, func(ctx context.Context) error {
+			var err error
+			res, err = bt.DecideBatch(ctx, reqs)
+			return err
+		})
+		return res, err
 	}
 	in := netserve.BatchRequest{Requests: make([]netserve.DecideRequest, len(reqs))}
 	for i, r := range reqs {
@@ -258,6 +373,11 @@ func (c *Client) Streams(ctx context.Context) ([]int, error) {
 // EvictStream releases the stream's server-side session. Evicting an
 // unknown stream succeeds (it is a no-op server-side).
 func (c *Client) EvictStream(ctx context.Context, stream int) error {
+	if bt := c.binary(ctx); bt != nil {
+		return c.withRetry(ctx, func(ctx context.Context) error {
+			return bt.EvictStream(ctx, stream)
+		})
+	}
 	return c.do(ctx, http.MethodDelete, "/v1/streams/"+strconv.Itoa(stream), nil, nil)
 }
 
@@ -272,6 +392,19 @@ var ErrNoSession = errors.New("client: stream has no session")
 // canonical binary bytes (base64 in JSON), so the restored session is
 // bit-identical to the exported one.
 func (c *Client) ExportStream(ctx context.Context, stream int) (alert.SessionSnapshot, error) {
+	if bt := c.binary(ctx); bt != nil {
+		var snap alert.SessionSnapshot
+		err := c.withRetry(ctx, func(ctx context.Context) error {
+			var err error
+			snap, err = bt.ExportStream(ctx, stream)
+			return err
+		})
+		var ae *APIError
+		if errors.As(err, &ae) && ae.StatusCode == http.StatusNotFound {
+			return snap, fmt.Errorf("%w: stream %d", ErrNoSession, stream)
+		}
+		return snap, err
+	}
 	var out netserve.SnapshotResponse
 	err := c.do(ctx, http.MethodGet, "/v1/streams/"+strconv.Itoa(stream)+"/snapshot", nil, &out)
 	var snap alert.SessionSnapshot
@@ -298,6 +431,19 @@ func (c *Client) ExportStream(ctx context.Context, stream int) (alert.SessionSna
 // ExportStream it is ungated server-side and keeps answering under
 // overload and drain.
 func (c *Client) CheckpointStream(ctx context.Context, stream int) (alert.SessionSnapshot, error) {
+	if bt := c.binary(ctx); bt != nil {
+		var snap alert.SessionSnapshot
+		err := c.withRetry(ctx, func(ctx context.Context) error {
+			var err error
+			snap, err = bt.CheckpointStream(ctx, stream)
+			return err
+		})
+		var ae *APIError
+		if errors.As(err, &ae) && ae.StatusCode == http.StatusNotFound {
+			return snap, fmt.Errorf("%w: stream %d", ErrNoSession, stream)
+		}
+		return snap, err
+	}
 	var out netserve.SnapshotResponse
 	err := c.do(ctx, http.MethodGet, "/v1/streams/"+strconv.Itoa(stream)+"/checkpoint", nil, &out)
 	var snap alert.SessionSnapshot
@@ -323,6 +469,11 @@ func (c *Client) CheckpointStream(ctx context.Context, stream int) (alert.Sessio
 // surfaced as *APIError) if it is already serving a session for the
 // stream, and 503 while draining.
 func (c *Client) ImportStream(ctx context.Context, stream int, snap alert.SessionSnapshot) error {
+	if bt := c.binary(ctx); bt != nil {
+		return c.withRetry(ctx, func(ctx context.Context) error {
+			return bt.ImportStream(ctx, stream, snap)
+		})
+	}
 	blob, err := snap.MarshalBinary()
 	if err != nil {
 		return fmt.Errorf("client: %w", err)
@@ -355,7 +506,7 @@ func (b *Batch) Flush(ctx context.Context, c *Client) ([]alert.BatchResult, erro
 	return c.DecideBatch(ctx, reqs)
 }
 
-// do runs one request with encode/decode and the overload retry loop.
+// do runs one HTTP request with encode/decode and the overload retry loop.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
 	var body []byte
 	if in != nil {
@@ -364,14 +515,23 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 			return fmt.Errorf("client: encoding %s: %w", path, err)
 		}
 	}
-	// Hintless rejections walk a capped exponential schedule; a usable
-	// Retry-After hint overrides the schedule for that attempt but not the
-	// schedule's growth. Every wait is equal-jittered so a fleet of
-	// identically configured clients spreads its retries instead of
-	// stampeding the gate in lockstep.
+	return c.withRetry(ctx, func(ctx context.Context) error {
+		return c.once(ctx, method, path, body, out)
+	})
+}
+
+// withRetry runs fn under the overload retry loop — the single place both
+// transports get their backoff behavior from. Hintless rejections walk a
+// capped exponential schedule; a usable Retry-After hint overrides the
+// schedule for that attempt but not the schedule's growth. Every wait is
+// equal-jittered so a fleet of identically configured clients spreads its
+// retries instead of stampeding the gate in lockstep. Only *OverloadError
+// retries: a 429/503 is rejected before the request touches any stream
+// state, so a retry never double-applies anything.
+func (c *Client) withRetry(ctx context.Context, fn func(context.Context) error) error {
 	backoff := c.backoffBase
 	for attempt := 0; ; attempt++ {
-		err := c.once(ctx, method, path, body, out)
+		err := fn(ctx)
 		var oe *OverloadError
 		if err == nil || attempt >= c.maxRetries || !errors.As(err, &oe) {
 			return err

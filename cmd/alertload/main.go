@@ -17,6 +17,7 @@
 //	alertload -scenario thermal -record trace.json           # record the trace
 //	alertload -replay trace.json                             # replay a recording
 //	alertload -replay trace.json -addr 127.0.0.1:8372        # drive a live alertserve
+//	alertload -replay trace.json -addr 127.0.0.1:8372 -wire=binary  # same, over binwire
 //	alertload -addrs h1:8372,h2:8372,h3:8372 -migrate-every 50  # drive a cluster
 //	alertload -chaos -nodes 3 -kill-every 12                 # chaos harness run
 //	alertload -chaos -unmanaged -nodes 4 -kill-every 12      # self-healing drill
@@ -30,6 +31,14 @@
 // target streams are evicted first so the replay starts from fresh
 // sessions). -decisions-out writes the per-stream sequences to a file,
 // which is how CI diffs the two paths.
+//
+// -wire selects the remote transport: json (default) drives the HTTP API,
+// binary upgrades the data plane onto the server's binwire listener
+// (alertserve -binary-addr; preflight fails if the server does not
+// advertise one). Decision sequences are byte-identical across wires —
+// the same -decisions-out diff CI runs for -addr covers -wire=binary.
+// With -chaos, -wire=binary gives every fleet node a binary listener and
+// runs the whole failure drill over the binary transport.
 //
 // With -addrs the load is spread across a cluster of alertserves: streams
 // route to members by consistent hashing (client/cluster), and
@@ -99,6 +108,7 @@ type loadConfig struct {
 	mode         string // "auto" | "open" | "closed"
 	addr         string // non-empty: drive a live alertserve over the network
 	addrs        string // non-empty: drive a cluster of alertserves with hash routing
+	wire         string // "json" | "binary": transport for remote/chaos data planes
 	migrateEvery int    // with addrs: migrate each stream every N inputs
 	decisionsOut string // non-empty: write per-stream decision sequences here
 
@@ -165,7 +175,7 @@ func run(args []string, stdout io.Writer) error {
 		return runChaos(cfg, stdout)
 	}
 	if cfg.addr != "" {
-		fmt.Fprintf(stdout, "driving remote server at %s\n", cfg.addr)
+		fmt.Fprintf(stdout, "driving remote server at %s wire=%s\n", cfg.addr, cfg.wire)
 	}
 	rep, err := runLoad(cfg)
 	if err != nil {
@@ -218,6 +228,8 @@ func parseFlags(args []string) (loadConfig, error) {
 		"drive a live alertserve at this host:port (or URL) instead of an in-process server; its streams [0,streams) are evicted first")
 	fs.StringVar(&cfg.addrs, "addrs", "",
 		"comma-separated alertserve members; streams are routed across the cluster by consistent hashing (streams [0,streams) evicted on every member first)")
+	fs.StringVar(&cfg.wire, "wire", "json",
+		"json | binary: transport for the remote data plane (-addr/-addrs/-chaos); binary requires alertserve -binary-addr")
 	fs.IntVar(&cfg.migrateEvery, "migrate-every", 0,
 		"with -addrs: live-migrate each stream to the next member every N inputs (0 = never)")
 	fs.StringVar(&cfg.decisionsOut, "decisions-out", "",
@@ -256,6 +268,14 @@ func parseFlags(args []string) (loadConfig, error) {
 		return cfg, fmt.Errorf("-addr and -addrs are mutually exclusive")
 	}
 	remote := cfg.addr != "" || cfg.addrs != ""
+	switch cfg.wire {
+	case "json", "binary":
+	default:
+		return cfg, fmt.Errorf("unknown -wire %q (json | binary)", cfg.wire)
+	}
+	if cfg.wire == "binary" && !remote && !cfg.chaos {
+		return cfg, fmt.Errorf("-wire=binary requires -addr, -addrs, or -chaos (the in-process path has no wire)")
+	}
 	if remote && cfg.referenceScorer {
 		return cfg, fmt.Errorf("-reference-scorer configures the in-process server and cannot apply to a remote -addr/-addrs")
 	}
@@ -389,7 +409,7 @@ func newClusterBackend(cfg loadConfig, plat *alert.Platform, models []*dnn.Model
 	}
 	// As with -addr: overload retries are safe (shed before state), and a
 	// replay needs every request served.
-	cl, err := cluster.New(members, cluster.Options{Client: client.Options{MaxRetries: 100}})
+	cl, err := cluster.New(members, cluster.Options{Client: client.Options{MaxRetries: 100, PreferBinary: cfg.wire == "binary"}})
 	if err != nil {
 		return nil, err
 	}
@@ -410,6 +430,10 @@ func newClusterBackend(cfg loadConfig, plat *alert.Platform, models []*dnn.Model
 		if err != nil {
 			cl.Close()
 			return nil, fmt.Errorf("probing %s: %w", addr, err)
+		}
+		if cfg.wire == "binary" && stats.BinaryAddr == "" {
+			cl.Close()
+			return nil, fmt.Errorf("cluster member %s has no binary listener (start alertserve with -binary-addr)", addr)
 		}
 		if !strings.EqualFold(stats.Platform, plat.Name) {
 			cl.Close()
@@ -585,7 +609,7 @@ func runLoad(cfg loadConfig) (*loadReport, error) {
 		// Overload 429s are retried by the client itself (they are shed
 		// before any state is touched, so retries cannot double-apply);
 		// replays need every request served, not load shed.
-		cl, err := client.New(base, client.Options{MaxRetries: 100})
+		cl, err := client.New(base, client.Options{MaxRetries: 100, PreferBinary: cfg.wire == "binary"})
 		if err != nil {
 			return nil, err
 		}
@@ -597,6 +621,9 @@ func runLoad(cfg loadConfig) (*loadReport, error) {
 		stats, err := cl.Stats(rb.ctx)
 		if err != nil {
 			return nil, fmt.Errorf("probing %s: %w", cfg.addr, err)
+		}
+		if cfg.wire == "binary" && stats.BinaryAddr == "" {
+			return nil, fmt.Errorf("remote server at %s has no binary listener (start alertserve with -binary-addr)", cfg.addr)
 		}
 		if !strings.EqualFold(stats.Platform, plat.Name) {
 			return nil, fmt.Errorf("remote server at %s serves platform %s, this run simulates %s (start alertserve with -platform %s)",
@@ -766,10 +793,14 @@ func runChaos(cfg loadConfig, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "fleet trace recorded to %s (%d rounds)\n", cfg.fleetRecord, ft.Len())
 	}
 
+	if cfg.wire == "binary" {
+		fmt.Fprintln(stdout, "chaos fleet data plane riding the binary transport")
+	}
 	// Seed 0: a replayed trace reproduces with its own recorded seed.
 	h, err := chaos.New(chaos.Options{
-		Fleet: ft,
-		Base:  spec,
+		Fleet:  ft,
+		Base:   spec,
+		Binary: cfg.wire == "binary",
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(stdout, "chaos: "+format+"\n", args...)
 		},

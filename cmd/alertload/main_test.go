@@ -1,6 +1,7 @@
 package main
 
 import (
+	"net"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -250,6 +251,107 @@ func TestAddrModeUnderOverload(t *testing.T) {
 		if inProc.DecisionSeqs[s] != remote.DecisionSeqs[s] {
 			t.Errorf("stream %d: decisions diverge under admission pressure", s)
 		}
+	}
+}
+
+// startBinaryAlertserve is startAlertserve plus a binwire listener on the
+// same front end, returning the binary server so tests can assert traffic
+// really rode it.
+func startBinaryAlertserve(t *testing.T, cfg netserve.Config) (string, *netserve.BinaryServer) {
+	t.Helper()
+	srv, err := alert.NewServer(alert.CPU1(), alert.ImageCandidates(), alert.ServerOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	fe := netserve.New(srv, cfg)
+	ts := httptest.NewServer(fe)
+	t.Cleanup(ts.Close)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := netserve.NewBinary(fe, ln, netserve.BinaryConfig{})
+	go bs.Serve()
+	t.Cleanup(func() { bs.Close() })
+	return ts.URL, bs
+}
+
+// TestWireBinaryMatchesInProcess mirrors TestAddrModeMatchesInProcess over
+// the binary transport: -wire=binary must produce byte-identical decision
+// sequences to the in-process path, with the data plane actually riding
+// the binwire listener rather than quietly falling back to JSON.
+func TestWireBinaryMatchesInProcess(t *testing.T) {
+	inProc, err := runLoad(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	url, bs := startBinaryAlertserve(t, netserve.Config{})
+	remoteCfg := testConfig()
+	remoteCfg.addr = url
+	remoteCfg.wire = "binary"
+	remote, err := runLoad(remoteCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range inProc.DecisionSeqs {
+		if inProc.DecisionSeqs[s] != remote.DecisionSeqs[s] {
+			t.Errorf("stream %d: binary-wire decisions diverge from in-process", s)
+		}
+		if remote.DecisionSeqs[s] == "" {
+			t.Errorf("stream %d produced no decisions over the binary wire", s)
+		}
+	}
+	if snap := bs.BinStats(); snap.Decides == 0 || snap.Observes == 0 {
+		t.Errorf("binary listener counters %+v: the run fell back to JSON", snap)
+	}
+}
+
+// TestWireBinaryUnderOverload mirrors TestAddrModeUnderOverload: the same
+// tiny admission gate, but the 429-shaped error frames and Retry-After
+// hints ride the binary protocol. Every request must still eventually be
+// served with byte-identical decisions.
+func TestWireBinaryUnderOverload(t *testing.T) {
+	inProc, err := runLoad(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	url, bs := startBinaryAlertserve(t, netserve.Config{MaxInflight: 1, MaxQueue: 1, RetryAfter: time.Millisecond})
+	remoteCfg := testConfig()
+	remoteCfg.addr = url
+	remoteCfg.wire = "binary"
+	remote, err := runLoad(remoteCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range inProc.DecisionSeqs {
+		if inProc.DecisionSeqs[s] != remote.DecisionSeqs[s] {
+			t.Errorf("stream %d: decisions diverge under admission pressure on the binary wire", s)
+		}
+	}
+	if snap := bs.BinStats(); snap.Decides == 0 {
+		t.Errorf("binary listener counters %+v: the run fell back to JSON", snap)
+	}
+}
+
+// TestWireFlagErrors pins -wire validation: unknown wires and wires with
+// nothing to carry fail at parse time, and a binary run against a server
+// with no binary listener fails at preflight instead of silently driving
+// JSON.
+func TestWireFlagErrors(t *testing.T) {
+	if _, err := parseFlags([]string{"-wire", "carrier-pigeon", "-addr", "h:1"}); err == nil {
+		t.Error("unknown -wire must error")
+	}
+	if _, err := parseFlags([]string{"-wire", "binary"}); err == nil {
+		t.Error("-wire=binary without -addr/-addrs/-chaos must error")
+	}
+	url := startAlertserve(t, netserve.Config{})
+	cfg := testConfig()
+	cfg.addr = url
+	cfg.wire = "binary"
+	if _, err := runLoad(cfg); err == nil || !strings.Contains(err.Error(), "binary listener") {
+		t.Fatalf("binary wire against a JSON-only server = %v, want a preflight error naming the missing listener", err)
 	}
 }
 
@@ -526,6 +628,29 @@ func TestChaosSmoke(t *testing.T) {
 	}
 	if !strings.Contains(replay.String(), "replaying fleet") {
 		t.Errorf("replay banner missing:\n%s", replay.String())
+	}
+}
+
+// TestChaosBinaryWire runs the unmanaged self-healing drill with the data
+// plane on the binary transport: kills sever binwire connections, the
+// cluster absorbs them on its own, and every invariant still holds.
+func TestChaosBinaryWire(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node chaos run")
+	}
+	var out strings.Builder
+	err := run([]string{
+		"-chaos", "-unmanaged", "-wire", "binary",
+		"-streams", "4", "-nodes", "3", "-inputs", "36", "-kill-every", "18", "-seed", "9",
+	}, &out)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{"binary transport", "all invariants held", "unmanaged kill"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output lacks %q:\n%s", want, got)
+		}
 	}
 }
 

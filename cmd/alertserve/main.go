@@ -7,6 +7,7 @@
 //
 //	alertserve -addr 127.0.0.1:8372 -platform CPU1 -task image
 //	alertserve -addr :8372 -max-inflight 256 -max-queue 1024 -idle-evict 10m
+//	alertserve -addr 127.0.0.1:8372 -binary-addr 127.0.0.1:8373
 //	alertserve -addr :8372 -node-id n1 -peers host2:8372,host3:8372
 //	alertserve -addr 127.0.0.1:8372 -node-id n1 -membership -peers host2:8372,host3:8372
 //
@@ -23,6 +24,14 @@
 // restores the streams it owned from the freshest replicated checkpoint —
 // no external orchestrator. Clients subscribed to the membership view
 // (client/cluster.StartSync) follow the cluster through the failover.
+//
+// -binary-addr adds a second listener speaking the internal/binwire
+// framed protocol: persistent pipelined connections, pooled buffers, and
+// server-side group commit across connections. Its address is advertised
+// in GET /v1/stats, so clients built with PreferBinary upgrade to it
+// automatically; cmd/alertload -wire=binary drives it directly. Overload
+// and drain produce error frames carrying the same retry_after_ms hint
+// the HTTP path sends as a Retry-After header.
 //
 // Clients talk to it with the typed client package (client/) or plain
 // HTTP; cmd/alertload -addr drives it with scenario-shaped load. On
@@ -73,6 +82,8 @@ func run(ctx context.Context, args []string, stdout io.Writer, onReady func(addr
 	maxInflight := fs.Int("max-inflight", 0, "admission gate: concurrent requests (0 = default 64)")
 	maxQueue := fs.Int("max-queue", 0, "admission gate: waiting requests before 429 (0 = 2x max-inflight)")
 	retryAfter := fs.Duration("retry-after", 0, "backoff hint on 429/503 (0 = 50ms)")
+	binaryAddr := fs.String("binary-addr", "", "binwire listen address (host:port; empty = HTTP/JSON only)")
+	coalesceWindow := fs.Duration("coalesce-window", 0, "binary dispatcher wait before flushing a decide batch (0 = group commit, no added latency)")
 	nodeID := fs.String("node-id", "", "cluster identity advertised in /v1/stats (empty = standalone)")
 	peers := fs.String("peers", "", "comma-separated peer addresses advertised in /v1/stats for client-side member discovery")
 	idleEvict := fs.Duration("idle-evict", 0, "evict sessions idle longer than this, swept at the same period (0 = never)")
@@ -187,8 +198,26 @@ func run(ctx context.Context, args []string, stdout io.Writer, onReady func(addr
 	}
 	front := netserve.New(srv, cfg)
 
+	// The binary listener shares the front end's admission gate, stream
+	// table, and drain state — it is a second transport, not a second
+	// server. Its address rides GET /v1/stats so PreferBinary clients
+	// upgrade to it on their own.
+	var bserver *netserve.BinaryServer
+	if *binaryAddr != "" {
+		bln, err := net.Listen("tcp", *binaryAddr)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		bserver = netserve.NewBinary(front, bln, netserve.BinaryConfig{CoalesceWindow: *coalesceWindow})
+		go bserver.Serve()
+	}
+
 	fmt.Fprintf(stdout, "alertserve: listening on %s platform=%s task=%s shards=%d\n",
 		ln.Addr(), plat.Name, *task, srv.Shards())
+	if bserver != nil {
+		fmt.Fprintf(stdout, "alertserve: binary listener on %s coalesce-window=%s\n", bserver.Addr(), *coalesceWindow)
+	}
 	if *nodeID != "" {
 		fmt.Fprintf(stdout, "alertserve: cluster node %q peers=%d\n", *nodeID, len(peerList))
 	}
@@ -244,6 +273,12 @@ func run(ctx context.Context, args []string, stdout io.Writer, onReady func(addr
 	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	drainErr := front.Drain(dctx)
+	if bserver != nil {
+		// Drain first, close after: between the two, binary callers get 503
+		// error frames with the Retry-After hint instead of a dead socket.
+		bserver.Close()
+		fmt.Fprintf(stdout, "alertserve: binary listener closed; served %s\n", bserver.BinStats())
+	}
 	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		return err
 	}

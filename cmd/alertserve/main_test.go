@@ -92,6 +92,75 @@ func TestServeAndDrain(t *testing.T) {
 	}
 }
 
+// TestBinaryListenerFlag boots the server with both listeners, upgrades a
+// PreferBinary client onto the advertised binary address, and checks the
+// data plane really rode the binary transport before a clean drain.
+func TestBinaryListenerFlag(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	var out strings.Builder
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0", "-binary-addr", "127.0.0.1:0", "-shards", "2",
+		}, &out, func(addr string) { ready <- addr })
+	}()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("server exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	c, err := client.New("http://"+addr, client.Options{PreferBinary: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	spec := alert.Spec{Objective: alert.MinimizeEnergy, Deadline: 0.2, AccuracyGoal: 0.9}
+	d, est, err := c.Decide(ctx, 1, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Observe(ctx, 1, alert.Feedback{Decision: d, Latency: est.LatMean, CompletedStage: -1}); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.BinaryAddr == "" {
+		t.Error("stats do not advertise the binary listener")
+	}
+	if stats.Bin == nil || stats.Bin.Decides != 1 || stats.Bin.Observes != 1 {
+		t.Errorf("binary counters = %+v, want 1 decide / 1 observe", stats.Bin)
+	}
+	if stats.Net.Decides != 0 {
+		t.Errorf("HTTP served %d decides, want 0 (data plane should ride binary)", stats.Net.Decides)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+	got := out.String()
+	for _, want := range []string{"binary listener on", "binary listener closed", "drained"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output lacks %q:\n%s", want, got)
+		}
+	}
+}
+
 func TestFlagAndConfigErrors(t *testing.T) {
 	ctx := context.Background()
 	var out strings.Builder
@@ -103,6 +172,9 @@ func TestFlagAndConfigErrors(t *testing.T) {
 	}
 	if err := run(ctx, []string{"-addr", "256.256.256.256:99999"}, &out, nil); err == nil {
 		t.Error("unlistenable address must error")
+	}
+	if err := run(ctx, []string{"-addr", "127.0.0.1:0", "-binary-addr", "256.256.256.256:99999"}, &out, nil); err == nil {
+		t.Error("unlistenable binary address must error")
 	}
 }
 

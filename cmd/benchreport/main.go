@@ -27,7 +27,14 @@
 //     memory contract at 10k streams), and
 //   - BenchmarkNetServe/batch64 must sustain at least
 //     -min-net-batch-speedup times the decisions/s of the same run's
-//     single-decide loopback round trips (the network batching contract).
+//     single-decide loopback round trips (the network batching contract),
+//   - BenchmarkNetServe/binary must sustain at least -min-binwire-speedup
+//     times the decisions/s of the same run's single-request JSON decides
+//     (the binary transport contract), and
+//   - BenchmarkBinaryServerDecide must report 0 allocs/op (the server's
+//     steady-state binary decide path is contractually allocation-free;
+//     the benchmark's client side allocates nothing, so allocs/op is the
+//     server's count).
 package main
 
 import (
@@ -78,13 +85,14 @@ type config struct {
 	minSpeedup         float64
 	minMemReduction    float64
 	minNetBatchSpeedup float64
+	minBinwireSpeedup  float64
 }
 
 func run(args []string, stdout io.Writer) error {
 	var cfg config
 	fs := flag.NewFlagSet("benchreport", flag.ContinueOnError)
 	fs.StringVar(&cfg.bench, "bench",
-		"^(BenchmarkDecide|BenchmarkDecideZoo|BenchmarkDecideAtCap|BenchmarkPoolDecide|BenchmarkPoolDecideObserve|BenchmarkPoolDecideBatch|BenchmarkPoolManyStreams|BenchmarkServeBatch|BenchmarkNetServe|BenchmarkSnapshotRoundTrip)$",
+		"^(BenchmarkDecide|BenchmarkDecideZoo|BenchmarkDecideAtCap|BenchmarkPoolDecide|BenchmarkPoolDecideObserve|BenchmarkPoolDecideBatch|BenchmarkPoolManyStreams|BenchmarkServeBatch|BenchmarkNetServe|BenchmarkBinaryServerDecide|BenchmarkSnapshotRoundTrip)$",
 		"benchmark regex passed to go test -bench")
 	fs.StringVar(&cfg.benchtime, "benchtime", "300x", "benchtime passed to go test")
 	fs.IntVar(&cfg.count, "count", 3,
@@ -102,6 +110,8 @@ func run(args []string, stdout io.Writer) error {
 		"minimum BenchmarkPoolManyStreams bytes-per-stream reduction of the shared engine over the same run's naive per-stream controllers")
 	fs.Float64Var(&cfg.minNetBatchSpeedup, "min-net-batch-speedup", 2.0,
 		"minimum BenchmarkNetServe decisions/s amplification of batch64 over the same run's single-decide round trips")
+	fs.Float64Var(&cfg.minBinwireSpeedup, "min-binwire-speedup", 10.0,
+		"minimum BenchmarkNetServe decisions/s amplification of the binary transport over the same run's single-request JSON decides")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -156,7 +166,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	if cfg.check {
-		if err := checkGates(entries, cfg.minSpeedup, cfg.minMemReduction, cfg.minNetBatchSpeedup); err != nil {
+		if err := checkGates(entries, cfg.minSpeedup, cfg.minMemReduction, cfg.minNetBatchSpeedup, cfg.minBinwireSpeedup); err != nil {
 			return err
 		}
 		fmt.Fprintln(stdout, "perf gates passed")
@@ -297,12 +307,20 @@ func derived(entries []Entry) []Entry {
 			Metrics: map[string]float64{"x": netBatch.Metrics["decisions/s"] / netSingle.Metrics["decisions/s"]},
 		})
 	}
+	netBinary := find(entries, "BenchmarkNetServe/binary")
+	if netSingle != nil && netBinary != nil &&
+		netSingle.Metrics["decisions/s"] > 0 && netBinary.Metrics["decisions/s"] > 0 {
+		out = append(out, Entry{
+			Name:    "derived/netserve-binwire-speedup",
+			Metrics: map[string]float64{"x": netBinary.Metrics["decisions/s"] / netSingle.Metrics["decisions/s"]},
+		})
+	}
 	return out
 }
 
 // checkGates enforces the decide-path perf, stream-table memory, and
 // network-batching contracts on a parsed snapshot.
-func checkGates(entries []Entry, minSpeedup, minMemReduction, minNetBatchSpeedup float64) error {
+func checkGates(entries []Entry, minSpeedup, minMemReduction, minNetBatchSpeedup, minBinwireSpeedup float64) error {
 	cached := find(entries, "BenchmarkDecide/cached")
 	if cached == nil {
 		return fmt.Errorf("gate: BenchmarkDecide/cached missing from results")
@@ -338,6 +356,23 @@ func checkGates(entries []Entry, minSpeedup, minMemReduction, minNetBatchSpeedup
 	}
 	if x := net.Metrics["x"]; x < minNetBatchSpeedup {
 		return fmt.Errorf("gate: derived/netserve-batch-speedup = %.2fx, want >= %.2fx", x, minNetBatchSpeedup)
+	}
+	binwire := find(entries, "derived/netserve-binwire-speedup")
+	if binwire == nil {
+		return fmt.Errorf("gate: derived/netserve-binwire-speedup missing (need BenchmarkNetServe decide/binary in one run)")
+	}
+	if x := binwire.Metrics["x"]; x < minBinwireSpeedup {
+		return fmt.Errorf("gate: derived/netserve-binwire-speedup = %.2fx, want >= %.2fx", x, minBinwireSpeedup)
+	}
+	binSrv := find(entries, "BenchmarkBinaryServerDecide")
+	if binSrv == nil {
+		return fmt.Errorf("gate: BenchmarkBinaryServerDecide missing from results")
+	}
+	if binSrv.AllocsPerOp == nil {
+		return fmt.Errorf("gate: BenchmarkBinaryServerDecide has no allocs/op (run with -benchmem)")
+	}
+	if *binSrv.AllocsPerOp != 0 {
+		return fmt.Errorf("gate: BenchmarkBinaryServerDecide allocates %g/op, want 0", *binSrv.AllocsPerOp)
 	}
 	return nil
 }

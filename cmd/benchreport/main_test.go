@@ -27,6 +27,8 @@ ok  	github.com/alert-project/alert/internal/serve	0.018s
 pkg: github.com/alert-project/alert/internal/netserve
 BenchmarkNetServe/decide-8       	     300	     61732 ns/op	     16200 decisions/s	   10531 B/op	     118 allocs/op
 BenchmarkNetServe/batch64-8      	     300	    549911 ns/op	    116383 decisions/s	  134012 B/op	     230 allocs/op
+BenchmarkNetServe/binary-8       	     300	      4514 ns/op	    221532 decisions/s	     529 B/op	       2 allocs/op
+BenchmarkBinaryServerDecide-8    	     300	     14804 ns/op	     67549 decisions/s	       0 B/op	       0 allocs/op
 ok  	github.com/alert-project/alert/internal/netserve	0.193s
 `
 
@@ -35,8 +37,8 @@ func TestParseBenchOutput(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(entries) != 8 {
-		t.Fatalf("parsed %d entries, want 8", len(entries))
+	if len(entries) != 10 {
+		t.Fatalf("parsed %d entries, want 10", len(entries))
 	}
 	shared := find(entries, "BenchmarkPoolManyStreams/shared-engine")
 	if shared == nil || shared.Metrics["bytes/stream"] != 846.9 {
@@ -71,8 +73,8 @@ BenchmarkDecide/naive-8         	     500	     60001 ns/op	     16000 decisions/
 		t.Fatal(err)
 	}
 	merged := mergeMin(entries)
-	if len(merged) != 8 {
-		t.Fatalf("merged to %d entries, want 8", len(merged))
+	if len(merged) != 10 {
+		t.Fatalf("merged to %d entries, want 10", len(merged))
 	}
 	if un := find(merged, "BenchmarkDecide/uncached"); un == nil || un.NsPerOp != 19909 {
 		t.Errorf("uncached merge kept %+v, want the 19909 ns/op run", un)
@@ -88,8 +90,8 @@ func TestDerivedSpeedups(t *testing.T) {
 		t.Fatal(err)
 	}
 	d := derived(entries)
-	if len(d) != 4 {
-		t.Fatalf("derived %d entries, want 4", len(d))
+	if len(d) != 5 {
+		t.Fatalf("derived %d entries, want 5", len(d))
 	}
 	un := d[0].Metrics["x"]
 	if un < 2.5 || un > 2.7 {
@@ -110,18 +112,24 @@ func TestDerivedSpeedups(t *testing.T) {
 	if net := d[3].Metrics["x"]; net < 7.1 || net > 7.3 {
 		t.Errorf("netserve batch speedup = %g, want ~7.18 (116383/16200)", net)
 	}
+	if d[4].Name != "derived/netserve-binwire-speedup" {
+		t.Errorf("fifth derived entry is %q", d[4].Name)
+	}
+	if bw := d[4].Metrics["x"]; bw < 13.6 || bw > 13.8 {
+		t.Errorf("netserve binwire speedup = %g, want ~13.67 (221532/16200)", bw)
+	}
 }
 
 func TestCheckGates(t *testing.T) {
 	entries, _ := parseBenchOutput(canned)
 	entries = append(entries, derived(entries)...)
-	if err := checkGates(entries, 2.0, 10.0, 2.0); err != nil {
+	if err := checkGates(entries, 2.0, 10.0, 2.0, 10.0); err != nil {
 		t.Errorf("gates should pass on the canned snapshot: %v", err)
 	}
-	if err := checkGates(entries, 10.0, 10.0, 2.0); err == nil {
+	if err := checkGates(entries, 10.0, 10.0, 2.0, 10.0); err == nil {
 		t.Error("uncached speedup 2.58x must fail a 10x gate")
 	}
-	if err := checkGates(entries, 2.0, 100.0, 2.0); err == nil {
+	if err := checkGates(entries, 2.0, 100.0, 2.0, 10.0); err == nil {
 		t.Error("38x memory reduction must fail a 100x gate")
 	}
 
@@ -130,7 +138,7 @@ func TestCheckGates(t *testing.T) {
 		"17.52 ns/op	  57077626 decisions/s	       0 B/op	       0 allocs/op",
 		"17.52 ns/op	  57077626 decisions/s	      48 B/op	       2 allocs/op", 1))
 	regressed = append(regressed, derived(regressed)...)
-	if err := checkGates(regressed, 2.0, 10.0, 2.0); err == nil ||
+	if err := checkGates(regressed, 2.0, 10.0, 2.0, 10.0); err == nil ||
 		!strings.Contains(err.Error(), "allocates") {
 		t.Errorf("alloc regression not caught: %v", err)
 	}
@@ -139,26 +147,41 @@ func TestCheckGates(t *testing.T) {
 	// contract and must say so.
 	noMem, _ := parseBenchOutput(strings.ReplaceAll(canned, "BenchmarkPoolManyStreams", "BenchmarkGone"))
 	noMem = append(noMem, derived(noMem)...)
-	if err := checkGates(noMem, 2.0, 10.0, 2.0); err == nil ||
+	if err := checkGates(noMem, 2.0, 10.0, 2.0, 10.0); err == nil ||
 		!strings.Contains(err.Error(), "manystreams") {
 		t.Errorf("missing many-streams pair not caught: %v", err)
 	}
 
 	// The ~7.2x network batch amplification must fail a 100x gate, and a
 	// snapshot without the netserve pair cannot assert the contract.
-	if err := checkGates(entries, 2.0, 10.0, 100.0); err == nil ||
+	if err := checkGates(entries, 2.0, 10.0, 100.0, 10.0); err == nil ||
 		!strings.Contains(err.Error(), "netserve-batch-speedup") {
 		t.Errorf("net batch speedup gate not enforced: %v", err)
 	}
 	noNet, _ := parseBenchOutput(strings.ReplaceAll(canned, "BenchmarkNetServe", "BenchmarkGone"))
 	noNet = append(noNet, derived(noNet)...)
-	if err := checkGates(noNet, 2.0, 10.0, 2.0); err == nil ||
+	if err := checkGates(noNet, 2.0, 10.0, 2.0, 10.0); err == nil ||
 		!strings.Contains(err.Error(), "netserve") {
 		t.Errorf("missing netserve pair not caught: %v", err)
 	}
 
+	// The binary transport's 13.67x must fail a 100x gate, and an alloc
+	// regression on the server's binary decide path must be caught.
+	if err := checkGates(entries, 2.0, 10.0, 2.0, 100.0); err == nil ||
+		!strings.Contains(err.Error(), "binwire") {
+		t.Errorf("binwire speedup gate not enforced: %v", err)
+	}
+	binRegressed, _ := parseBenchOutput(strings.Replace(canned,
+		"14804 ns/op	     67549 decisions/s	       0 B/op	       0 allocs/op",
+		"14804 ns/op	     67549 decisions/s	      96 B/op	       3 allocs/op", 1))
+	binRegressed = append(binRegressed, derived(binRegressed)...)
+	if err := checkGates(binRegressed, 2.0, 10.0, 2.0, 10.0); err == nil ||
+		!strings.Contains(err.Error(), "BinaryServerDecide") {
+		t.Errorf("binary server alloc regression not caught: %v", err)
+	}
+
 	// A snapshot without the decide benchmarks cannot be gated.
-	if err := checkGates(nil, 2.0, 10.0, 2.0); err == nil {
+	if err := checkGates(nil, 2.0, 10.0, 2.0, 10.0); err == nil {
 		t.Error("empty snapshot must fail the gate")
 	}
 }
@@ -187,8 +210,8 @@ func TestRunFromInput(t *testing.T) {
 	if err := json.Unmarshal(data, &entries); err != nil {
 		t.Fatalf("snapshot is not valid JSON: %v", err)
 	}
-	if len(entries) != 12 { // 8 parsed + 4 derived
-		t.Errorf("snapshot has %d entries, want 12", len(entries))
+	if len(entries) != 15 { // 10 parsed + 5 derived
+		t.Errorf("snapshot has %d entries, want 15", len(entries))
 	}
 
 	// And a failing gate must surface as an error.

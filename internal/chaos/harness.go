@@ -52,6 +52,12 @@ type Options struct {
 	// Seed drives the per-stream workload/environment randomness; 0 means
 	// the fleet trace's compile seed.
 	Seed int64
+	// Binary gives every node a binwire listener next to its HTTP one and
+	// upgrades the cluster clients onto it (PreferBinary): the same
+	// failure drill, but with the data plane riding the binary transport.
+	// Kills sever binary connections exactly like HTTP ones, and restarts
+	// rebind the same remembered binary address.
+	Binary bool
 	// Logf, when set, receives progress lines (round, events) as the run
 	// unfolds; nil is silent.
 	Logf func(format string, args ...any)
@@ -69,6 +75,11 @@ type node struct {
 	// (first start binds :0 and records what it got).
 	hostport string
 	addr     string // http://hostport
+	// binary adds a binwire listener; binHostport is remembered across
+	// restarts like hostport, so PreferBinary clients redial the same
+	// advertised address after a restart.
+	binary      bool
+	binHostport string
 	// selfHealing wires a membership agent and selfheal manager into the
 	// node (unmanaged fleets); managed fleets leave both nil and the
 	// harness orchestrates failures itself, as before.
@@ -76,6 +87,7 @@ type node struct {
 
 	srv    *alert.Server
 	front  *netserve.Server
+	bsrv   *netserve.BinaryServer
 	hsrv   *http.Server
 	agent  *membership.Agent
 	heal   *selfheal.Manager
@@ -146,6 +158,24 @@ func (n *node) serve(ln net.Listener, peers []string) error {
 		go agent.Run(ctx)
 	}
 	n.front = netserve.New(srv, cfg)
+	if n.binary {
+		listenOn := n.binHostport
+		if listenOn == "" {
+			listenOn = "127.0.0.1:0"
+		}
+		bln, err := net.Listen("tcp", listenOn)
+		if err != nil {
+			ln.Close()
+			srv.Close()
+			if n.cancel != nil {
+				n.cancel()
+			}
+			return fmt.Errorf("chaos: node %s: binary listen %s: %w", n.id, listenOn, err)
+		}
+		n.binHostport = bln.Addr().String()
+		n.bsrv = netserve.NewBinary(n.front, bln, netserve.BinaryConfig{})
+		go n.bsrv.Serve()
+	}
 	n.hsrv = &http.Server{Handler: n.front}
 	go n.hsrv.Serve(ln)
 	n.alive = true
@@ -173,6 +203,10 @@ func (n *node) stop() {
 	n.alive = false
 	if n.cancel != nil {
 		n.cancel()
+	}
+	if n.bsrv != nil {
+		n.bsrv.Close()
+		n.bsrv = nil
 	}
 	n.hsrv.Close()
 	n.srv.Close()
@@ -278,7 +312,7 @@ func New(opts Options) (*Harness, error) {
 		if len(opts.Shards) > 0 {
 			shards = opts.Shards[i%len(opts.Shards)]
 		}
-		n := &node{id: fmt.Sprintf("n%d", i), index: i, shards: shards, selfHealing: opts.Fleet.Unmanaged}
+		n := &node{id: fmt.Sprintf("n%d", i), index: i, shards: shards, selfHealing: opts.Fleet.Unmanaged, binary: opts.Binary}
 		ln, err := n.listen()
 		if err != nil {
 			for _, l := range listeners {
@@ -318,6 +352,7 @@ func New(opts Options) (*Harness, error) {
 		// driver ride the hold out instead of counting a shed as a loss.
 		clOpts.Client = client.Options{MaxRetries: 8, BackoffSeed: seed}
 	}
+	clOpts.Client.PreferBinary = opts.Binary
 	h.cl, err = cluster.New(addrs, clOpts)
 	if err != nil {
 		h.Close()

@@ -1,0 +1,80 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// WritePrometheus renders the serving counters in Prometheus text
+// exposition format (version 0.0.4) — the GET /metrics surface of
+// internal/netserve. serve counts what the stream table served, net what
+// the HTTP surface saw, and bin (nil when no binary listener is attached)
+// what the binary wire listener saw. Rendered by hand: the format is a
+// few comment lines plus name/value pairs, and the alternative is a
+// client-library dependency for what amounts to fmt.Fprintf.
+func WritePrometheus(w io.Writer, serve ServeSnapshot, net NetSnapshot, bin *BinSnapshot) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	secs := func(d time.Duration) float64 { return d.Seconds() }
+
+	// Stream-table (engine) counters.
+	counter("alert_serve_decisions_total", "Decisions served by the stream table.", serve.Decisions)
+	counter("alert_serve_observes_total", "Feedback observations folded into sessions.", serve.Observes)
+	counter("alert_serve_batches_total", "DecideBatch dispatches.", serve.Batches)
+	counter("alert_serve_stream_exports_total", "Sessions migrated out of the stream table.", serve.StreamExports)
+	counter("alert_serve_stream_imports_total", "Sessions migrated into the stream table.", serve.StreamImports)
+	gauge("alert_serve_streams", "Live per-stream sessions.", float64(serve.Streams))
+	gauge("alert_serve_session_bytes", "Aggregate in-memory session footprint.", float64(serve.SessionBytes))
+	gauge("alert_serve_decide_latency_avg_seconds", "Mean end-to-end decide latency.", secs(serve.AvgDecideLatency))
+	gauge("alert_serve_decide_latency_max_seconds", "Max end-to-end decide latency.", secs(serve.MaxDecideLatency))
+	gauge("alert_serve_uptime_seconds", "Time since the serve counters started.", secs(serve.Uptime))
+
+	// HTTP front-end counters.
+	counter("alert_http_decides_total", "POST /v1/decide requests served.", net.Decides)
+	counter("alert_http_batches_total", "POST /v1/decide-batch requests served.", net.Batches)
+	counter("alert_http_batch_decisions_total", "Decisions inside served decide-batch requests.", net.BatchDecisions)
+	counter("alert_http_observes_total", "Accepted observe requests.", net.Observes)
+	counter("alert_http_reads_total", "Stats/streams reads.", net.Reads)
+	counter("alert_http_evictions_total", "Stream evictions via DELETE.", net.Evictions)
+	counter("alert_http_exports_total", "Session exports served.", net.Exports)
+	counter("alert_http_imports_total", "Session imports served.", net.Imports)
+	counter("alert_http_rejected_overload_total", "429s from a full admission queue.", net.RejectedOverload)
+	counter("alert_http_rejected_deadline_total", "Requests expired while queued at admission.", net.RejectedDeadline)
+	counter("alert_http_rejected_draining_total", "Requests refused during shutdown drain.", net.RejectedDraining)
+	counter("alert_http_rejected_restoring_total", "Requests shed while their stream restored after failover.", net.RejectedRestoring)
+	counter("alert_http_bad_requests_total", "Malformed requests.", net.BadRequests)
+	gauge("alert_http_request_latency_avg_seconds", "Mean decide/batch handler latency.", secs(net.AvgRequestLatency))
+	gauge("alert_http_request_latency_max_seconds", "Max decide/batch handler latency.", secs(net.MaxRequestLatency))
+
+	if bin == nil {
+		return
+	}
+	// Binary wire listener counters.
+	counter("alert_binwire_conns_opened_total", "Accepted binary connections.", bin.ConnsOpened)
+	counter("alert_binwire_conns_closed_total", "Closed binary connections.", bin.ConnsClosed)
+	gauge("alert_binwire_conns", "Live binary connections.", float64(bin.ConnsOpened-bin.ConnsClosed))
+	counter("alert_binwire_frames_in_total", "Frames read from binary connections.", bin.FramesIn)
+	counter("alert_binwire_frames_out_total", "Frames written to binary connections.", bin.FramesOut)
+	counter("alert_binwire_decides_total", "Decide frames served.", bin.Decides)
+	counter("alert_binwire_observes_total", "Observe frames accepted.", bin.Observes)
+	counter("alert_binwire_batches_total", "Client-sent batch frames served.", bin.Batches)
+	counter("alert_binwire_batch_decisions_total", "Decisions inside client-sent batch frames.", bin.BatchDecisions)
+	counter("alert_binwire_coalesce_flushes_total", "Cross-connection multi-request flushes.", bin.CoalesceFlushes)
+	counter("alert_binwire_coalesced_total", "Decide frames served inside coalesced flushes.", bin.Coalesced)
+	counter("alert_binwire_exports_total", "Session exports served over binary.", bin.Exports)
+	counter("alert_binwire_checkpoints_total", "Session checkpoints served over binary.", bin.Checkpoints)
+	counter("alert_binwire_imports_total", "Session imports served over binary.", bin.Imports)
+	counter("alert_binwire_evictions_total", "Stream evictions served over binary.", bin.Evictions)
+	counter("alert_binwire_rejected_overload_total", "429 error frames from a full admission queue.", bin.RejectedOverload)
+	counter("alert_binwire_rejected_deadline_total", "Requests expired while queued at admission.", bin.RejectedDeadline)
+	counter("alert_binwire_rejected_draining_total", "Requests refused during shutdown drain.", bin.RejectedDraining)
+	counter("alert_binwire_rejected_restoring_total", "Requests shed while their stream restored after failover.", bin.RejectedRestoring)
+	counter("alert_binwire_bad_frames_total", "Frames that parsed but could not be served.", bin.BadFrames)
+	gauge("alert_binwire_decide_latency_avg_seconds", "Mean frame-to-frame decide latency.", secs(bin.AvgDecideLatency))
+	gauge("alert_binwire_decide_latency_max_seconds", "Max frame-to-frame decide latency.", secs(bin.MaxDecideLatency))
+}

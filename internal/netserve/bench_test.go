@@ -2,31 +2,39 @@ package netserve_test
 
 import (
 	"context"
+	"net"
 	"net/http/httptest"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"github.com/alert-project/alert"
 	"github.com/alert-project/alert/client"
+	"github.com/alert-project/alert/internal/binwire"
 	"github.com/alert-project/alert/internal/netserve"
 )
 
 // BenchmarkNetServe measures the network front end over a loopback
 // listener through the real typed client — the full serving stack a remote
-// caller pays: JSON encode, HTTP round trip (keep-alive reuse), admission
-// gate, stream table, JSON decode.
+// caller pays: encode, round trip, admission gate, stream table, decode.
 //
-//	decide   one request per decision — the per-request floor
-//	batch64  64 decisions per request — what batching amortizes
+//	decide   one JSON request per decision — the per-request floor
+//	batch64  64 decisions per JSON request — what batching amortizes
+//	binary   one binwire frame per decision over the pipelined binary
+//	         transport — what the frame encoding plus server-side
+//	         coalescing buys back without the caller batching anything
 //
-// Both report decisions/s; cmd/benchreport derives the batch-vs-single
-// amplification and gates on it (BENCH_5.json).
+// All report decisions/s; cmd/benchreport derives the batch-vs-single and
+// binary-vs-JSON amplifications and gates on them (BENCH_5.json /
+// BENCH_7.json).
 func BenchmarkNetServe(b *testing.B) {
 	srv, err := alert.NewServer(alert.CPU1(), alert.ImageCandidates(), alert.ServerOptions{})
 	if err != nil {
 		b.Fatal(err)
 	}
 	defer srv.Close()
-	ts := httptest.NewServer(netserve.New(srv, netserve.Config{MaxInflight: 256, MaxQueue: 4096}))
+	fe := netserve.New(srv, netserve.Config{MaxInflight: 256, MaxQueue: 4096})
+	ts := httptest.NewServer(fe)
 	defer ts.Close()
 	c, err := client.New(ts.URL, client.Options{})
 	if err != nil {
@@ -65,4 +73,109 @@ func BenchmarkNetServe(b *testing.B) {
 		}
 		b.ReportMetric(float64(b.N*size)/b.Elapsed().Seconds(), "decisions/s")
 	})
+
+	b.Run("binary", func(b *testing.B) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		bs := netserve.NewBinary(fe, ln, netserve.BinaryConfig{})
+		go bs.Serve()
+		defer bs.Close()
+		bt := client.NewBinaryTransport(bs.Addr())
+		defer bt.Close()
+
+		// Pipelined: many goroutines keep singleton requests in flight and
+		// the server's group commit coalesces them across connections. The
+		// deep parallelism is the transport's design point — every waiting
+		// request rides someone else's syscall.
+		//
+		// Warm up at full parallelism first: dialing the pool, spinning up
+		// reader/writer goroutines, and creating 64 sessions would otherwise
+		// dominate short -benchtime runs and understate the steady state the
+		// perf gate measures.
+		var warm sync.WaitGroup
+		for g := 0; g < 64; g++ {
+			warm.Add(1)
+			go func(g int) {
+				defer warm.Done()
+				for i := 0; i < 20; i++ {
+					if _, _, _, err := bt.Decide(ctx, g%64, spec); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(g)
+		}
+		warm.Wait()
+		var stream atomic.Int64
+		b.SetParallelism(64)
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			id := int(stream.Add(1)) % 64
+			for pb.Next() {
+				if _, _, _, err := bt.Decide(ctx, id, spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "decisions/s")
+	})
+}
+
+// BenchmarkBinaryServerDecide isolates the server's cost per binary decide
+// by driving the listener with pre-encoded frames over one connection and
+// reading replies with a reused frame reader — the client side of the loop
+// allocates nothing, so allocs/op IS the server's steady-state allocation
+// count per request. cmd/benchreport gates it at zero (BENCH_7.json): the
+// decode → admit → coalesce → decide → encode path must stay allocation
+// free or the transport's throughput story degrades under GC pressure.
+func BenchmarkBinaryServerDecide(b *testing.B) {
+	srv, err := alert.NewServer(alert.CPU1(), alert.ImageCandidates(), alert.ServerOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	fe := netserve.New(srv, netserve.Config{MaxInflight: 256, MaxQueue: 4096})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	bs := netserve.NewBinary(fe, ln, netserve.BinaryConfig{})
+	go bs.Serve()
+	defer bs.Close()
+
+	conn, err := net.Dial("tcp", bs.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close()
+	spec := alert.Spec{Objective: alert.MinimizeEnergy, Deadline: 0.2, AccuracyGoal: 0.9}
+	frame := binwire.AppendDecide(nil, 1, 5, spec)
+	rd := binwire.NewReader(conn)
+
+	roundTrip := func() {
+		if _, err := conn.Write(frame); err != nil {
+			b.Fatal(err)
+		}
+		f, err := rd.Next()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if f.Type != binwire.MsgDecideResp {
+			b.Fatalf("frame type %d", f.Type)
+		}
+	}
+	// Warm the path: session created, buffers sized, pools primed.
+	for i := 0; i < 100; i++ {
+		roundTrip()
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		roundTrip()
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "decisions/s")
 }

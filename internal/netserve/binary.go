@@ -1,0 +1,634 @@
+// Binary wire listener: the binwire protocol served over persistent TCP,
+// sharing the HTTP front end's admission gate, drain state, and recovery
+// holds so the two transports are one server with two encodings.
+//
+// # Why it is fast
+//
+// Three things remove the HTTP path's per-request costs:
+//
+//  1. binwire frames replace JSON: fixed-width encode/decode into reused
+//     buffers, no reflection, no header parsing, bit-exact floats.
+//  2. Connections are persistent and pipelined: a client stamps each
+//     request with an id and may keep many in flight; no per-request
+//     connection or goroutine setup.
+//  3. Decide requests from ALL connections funnel into one dispatcher
+//     that swaps out everything pending at once (group commit): while a
+//     flush is in the engine, new arrivals pile up and leave as a single
+//     DecideBatch — the per-shard task amortization that made wire
+//     batch64 ~5.5x now applies transparently to singleton requests. An
+//     idle server flushes a lone request immediately (no added latency);
+//     a fixed CoalesceWindow can widen batches further at a latency cost.
+//
+// The steady-state server path for a decide allocates nothing: frame
+// decode aliases the reader's buffer, the pending queue and flush slices
+// are reused, the engine's singleton path recycles its reply futures, and
+// the response is encoded into the connection's reused write buffer.
+//
+// # Ordering and admission
+//
+// Every frame is admitted individually through the shared gate BEFORE
+// joining the coalescer, so MaxInflight/MaxQueue bound both transports
+// together and admission stays all-or-nothing: a coalesced request was
+// already accepted, and accepted requests are always served — drain waits
+// for them. Rejections are error frames carrying the same Retry-After
+// hint (retry_after_ms) as the HTTP 429/503 bodies.
+//
+// Frames on one connection are processed in arrival order: observes and
+// stream ops run synchronously on the read goroutine, decides enter the
+// dispatcher in arrival order and flushes preserve it, so a client that
+// awaits each response per stream observes exactly the in-process
+// semantics (byte-identical decision sequences, pinned by
+// cmd/alertload's wire tests).
+package netserve
+
+import (
+	"bufio"
+	"context"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/alert-project/alert"
+	"github.com/alert-project/alert/internal/binwire"
+	"github.com/alert-project/alert/internal/metrics"
+)
+
+// BinaryConfig tunes the binary listener. The zero value is production
+// ready.
+type BinaryConfig struct {
+	// CoalesceWindow, when positive, makes the dispatcher wait this long
+	// after a wake before swapping out the pending decide queue, trading
+	// latency for larger cross-connection batches. 0 selects group
+	// commit: flush immediately, and let batches form naturally from
+	// what arrives while the previous flush is in the engine — no added
+	// latency when idle, near-ideal amortization when busy.
+	CoalesceWindow time.Duration
+}
+
+// BinaryServer serves the binwire protocol over TCP on behalf of an HTTP
+// front end. Build it with NewBinary, feed it a listener with Serve, and
+// Close it after the front end has drained.
+type BinaryServer struct {
+	front  *Server
+	bin    *metrics.BinCounters
+	window time.Duration
+
+	// Coalescer state: pending decides swap wholesale under pmu; wake
+	// (capacity 1) nudges the dispatcher.
+	pmu     sync.Mutex
+	pending []pendingDecide
+	wake    chan struct{}
+	stop    chan struct{}
+	done    chan struct{}
+
+	mu     sync.Mutex
+	ln     net.Listener
+	addr   string
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// pendingDecide is one admitted decide waiting in the coalescer.
+type pendingDecide struct {
+	c      *binConn
+	id     uint64
+	stream int
+	spec   alert.Spec
+	start  time.Time
+}
+
+// NewBinary attaches a binary listener to the front end over an
+// already-bound listener; call Serve to start accepting. Taking the bound
+// listener here (rather than in Serve) makes the advertised address part
+// of the front end's state before HTTP can answer a single stats read, so
+// a PreferBinary client can never probe a binary-serving node and
+// conclude it speaks only JSON.
+func NewBinary(front *Server, ln net.Listener, cfg BinaryConfig) *BinaryServer {
+	bs := &BinaryServer{
+		front:  front,
+		bin:    metrics.NewBinCounters(),
+		window: cfg.CoalesceWindow,
+		wake:   make(chan struct{}, 1),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+		ln:     ln,
+		addr:   ln.Addr().String(),
+		conns:  make(map[net.Conn]struct{}),
+	}
+	front.mu.Lock()
+	front.binary = bs
+	front.mu.Unlock()
+	go bs.dispatch()
+	return bs
+}
+
+// Addr returns the bound listen address.
+func (bs *BinaryServer) Addr() string { return bs.addr }
+
+// BinStats snapshots the listener's counters.
+func (bs *BinaryServer) BinStats() metrics.BinSnapshot { return bs.bin.Snapshot() }
+
+// Serve accepts connections until the listener fails or Close is called,
+// returning nil on a clean Close.
+func (bs *BinaryServer) Serve() error {
+	for {
+		conn, err := bs.ln.Accept()
+		if err != nil {
+			bs.mu.Lock()
+			closed := bs.closed
+			bs.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		go bs.serveConn(conn)
+	}
+}
+
+// Close stops accepting, closes every connection, and stops the
+// dispatcher after a final flush (releasing any admission tokens still
+// held by pending decides). Call it after the front end's Drain so
+// already-admitted requests got their replies first. Idempotent.
+func (bs *BinaryServer) Close() error {
+	bs.mu.Lock()
+	if bs.closed {
+		bs.mu.Unlock()
+		<-bs.done
+		return nil
+	}
+	bs.closed = true
+	ln := bs.ln
+	conns := make([]net.Conn, 0, len(bs.conns))
+	for c := range bs.conns {
+		conns = append(conns, c)
+	}
+	bs.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	close(bs.stop)
+	<-bs.done
+	return nil
+}
+
+// track registers a live connection; it reports false when the server is
+// already closed (the caller must drop the connection).
+func (bs *BinaryServer) track(c net.Conn) bool {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	if bs.closed {
+		return false
+	}
+	bs.conns[c] = struct{}{}
+	return true
+}
+
+func (bs *BinaryServer) untrack(c net.Conn) {
+	bs.mu.Lock()
+	delete(bs.conns, c)
+	bs.mu.Unlock()
+}
+
+// binConn is the server side of one connection: a read loop feeding the
+// dispatcher, and a mutex-serialized writer with a reused encode buffer
+// (responses to one connection may come from the dispatcher and the read
+// goroutine concurrently).
+type binConn struct {
+	srv  *BinaryServer
+	conn net.Conn
+
+	wmu  sync.Mutex
+	wbuf []byte
+
+	// fwbuf accumulates this connection's responses during one dispatcher
+	// flush so a coalesced batch costs one write syscall per connection,
+	// not one per response. Only the dispatcher touches fwbuf/fdirty, so
+	// they need no lock; the final write still takes wmu to serialize with
+	// the read goroutine's acks.
+	fwbuf  []byte
+	fdirty bool
+}
+
+func (bs *BinaryServer) serveConn(conn net.Conn) {
+	if !bs.track(conn) {
+		conn.Close()
+		return
+	}
+	bs.bin.RecordConnOpen()
+	defer func() {
+		bs.untrack(conn)
+		conn.Close()
+		bs.bin.RecordConnClose()
+	}()
+	if tc, ok := conn.(*net.TCPConn); ok {
+		// Response frames are small; waiting for a full segment would
+		// serialize the pipeline on the delayed-ACK timer.
+		tc.SetNoDelay(true)
+	}
+	c := &binConn{srv: bs, conn: conn, wbuf: make([]byte, 0, 512)}
+	// The buffered reader turns a pipelined burst of small frames into one
+	// read syscall; binwire.Reader alone would pay two per frame.
+	rd := binwire.NewReader(bufio.NewReaderSize(conn, 64<<10))
+	var batchBuf []alert.BatchRequest
+	for {
+		f, err := rd.Next()
+		if err != nil {
+			// EOF between frames is a clean hangup; everything else —
+			// truncation, oversized or malformed framing — also just
+			// drops the connection: framing errors leave no way to know
+			// where the next frame starts.
+			return
+		}
+		bs.bin.RecordFrameIn()
+		if f.Version != binwire.Version {
+			bs.bin.RecordBadFrame()
+			c.sendError(f.ID, binwire.CodeBadRequest, 0, "unsupported binwire version (server speaks 1)")
+			return
+		}
+		switch f.Type {
+		case binwire.MsgDecide:
+			bs.handleDecide(c, f)
+		case binwire.MsgObserve:
+			bs.handleObserve(c, f)
+		case binwire.MsgBatch:
+			batchBuf = bs.handleBatch(c, f, batchBuf[:0])
+		case binwire.MsgExport:
+			bs.handleStreamOp(c, f)
+		case binwire.MsgCheckpoint:
+			bs.handleStreamOp(c, f)
+		case binwire.MsgEvict:
+			bs.handleStreamOp(c, f)
+		case binwire.MsgImport:
+			bs.handleImport(c, f)
+		default:
+			bs.bin.RecordBadFrame()
+			c.sendError(f.ID, binwire.CodeBadRequest, 0, "unexpected frame type")
+		}
+	}
+}
+
+// retryAfterMs is the hint attached to overload/drain error frames — the
+// binary twin of writeError's retry_after_ms body field.
+func (bs *BinaryServer) retryAfterMs() int64 {
+	return int64(bs.front.retryAfter / time.Millisecond)
+}
+
+// admit runs the shared admission gate for a binary request, paying for a
+// deadline context only when the request actually queues. On admitOK the
+// caller owes a front.release().
+func (bs *BinaryServer) admit(deadlineS float64, drainExempt bool) admitStatus {
+	st, settled := bs.front.tryAdmit(drainExempt)
+	if settled {
+		return st
+	}
+	ctx := context.Background()
+	if d, ok := admissionTimeout(deadlineS); ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	return bs.front.admitQueued(ctx, drainExempt)
+}
+
+// rejectAdmit sends the error frame for a failed admission, mirroring
+// admitOrRejectExempt's status codes and Retry-After semantics.
+func (bs *BinaryServer) rejectAdmit(c *binConn, id uint64, st admitStatus) {
+	switch st {
+	case admitOverload:
+		bs.bin.RecordRejectOverload()
+		c.sendError(id, binwire.CodeOverloaded, bs.retryAfterMs(), "admission queue full")
+	case admitDeadline:
+		bs.bin.RecordRejectDeadline()
+		c.sendError(id, binwire.CodeOverloaded, bs.retryAfterMs(), "deadline expired before admission")
+	case admitDraining:
+		bs.bin.RecordRejectDraining()
+		c.sendError(id, binwire.CodeUnavailable, bs.retryAfterMs(), "server draining")
+	}
+}
+
+// rejectIfRestoring sheds a request whose stream is mid-restore, the
+// binary twin of the HTTP handler of the same name.
+func (bs *BinaryServer) rejectIfRestoring(c *binConn, id uint64, stream int) bool {
+	if bs.front.recovery == nil || !bs.front.recovery.Restoring(stream) {
+		return false
+	}
+	bs.bin.RecordRejectRestoring()
+	c.sendError(id, binwire.CodeUnavailable, bs.retryAfterMs(), "stream is restoring after failover")
+	return true
+}
+
+// handleDecide admits a decide and hands it to the coalescer; the
+// response is written by the dispatcher (or an error frame here on
+// rejection).
+func (bs *BinaryServer) handleDecide(c *binConn, f binwire.Frame) {
+	start := time.Now()
+	stream, spec, err := binwire.DecodeDecide(f.Body)
+	if err != nil {
+		bs.bin.RecordBadFrame()
+		c.sendError(f.ID, binwire.CodeBadRequest, 0, err.Error())
+		return
+	}
+	if bs.rejectIfRestoring(c, f.ID, stream) {
+		return
+	}
+	if st := bs.admit(spec.Deadline, false); st != admitOK {
+		bs.rejectAdmit(c, f.ID, st)
+		return
+	}
+	bs.pmu.Lock()
+	bs.pending = append(bs.pending, pendingDecide{c: c, id: f.ID, stream: stream, spec: spec, start: start})
+	bs.pmu.Unlock()
+	select {
+	case bs.wake <- struct{}{}:
+	default:
+	}
+}
+
+// dispatch is the coalescing flush loop: on each wake it swaps out
+// everything pending and serves it as one unit. It exits after Close,
+// flushing one last time so no admitted request is left holding a token.
+func (bs *BinaryServer) dispatch() {
+	defer close(bs.done)
+	var local []pendingDecide
+	var reqs []alert.BatchRequest
+	var dirty []*binConn
+	for {
+		select {
+		case <-bs.wake:
+		case <-bs.stop:
+			local = bs.swapPending(local)
+			bs.flush(local, &reqs, &dirty)
+			return
+		}
+		if bs.window > 0 {
+			time.Sleep(bs.window)
+		}
+		local = bs.swapPending(local)
+		bs.flush(local, &reqs, &dirty)
+	}
+}
+
+// swapPending exchanges the shared pending queue for the dispatcher's
+// recycled one.
+func (bs *BinaryServer) swapPending(into []pendingDecide) []pendingDecide {
+	bs.pmu.Lock()
+	out := bs.pending
+	bs.pending = into[:0]
+	bs.pmu.Unlock()
+	return out
+}
+
+// flush serves one swapped-out set of decides. A singleton takes the
+// engine's pooled single-decide path (zero allocations); anything larger
+// becomes one DecideBatch, amortizing per-shard task dispatch across
+// every connection that contributed — and the responses are written
+// grouped by connection, one syscall per contributing connection rather
+// than one per decision.
+func (bs *BinaryServer) flush(batch []pendingDecide, reqs *[]alert.BatchRequest, dirty *[]*binConn) {
+	switch len(batch) {
+	case 0:
+	case 1:
+		p := batch[0]
+		d, est := bs.front.alert.Decide(p.stream, p.spec)
+		p.c.sendDecideResp(p.id, d, est)
+		bs.bin.RecordDecide(time.Since(p.start))
+		bs.front.release()
+	default:
+		rs := (*reqs)[:0]
+		for _, p := range batch {
+			rs = append(rs, alert.BatchRequest{Stream: p.stream, Spec: p.spec})
+		}
+		*reqs = rs
+		results := bs.front.alert.DecideBatch(rs)
+		for i, p := range batch {
+			if !p.c.fdirty {
+				p.c.fdirty = true
+				*dirty = append(*dirty, p.c)
+			}
+			p.c.fwbuf = binwire.AppendDecideResp(p.c.fwbuf, p.id, results[i].Decision, results[i].Estimate, bs.front.nodeID)
+			bs.bin.RecordFrameOut()
+			bs.bin.RecordDecide(time.Since(p.start))
+			bs.front.release()
+		}
+		for _, c := range *dirty {
+			c.wmu.Lock()
+			c.conn.Write(c.fwbuf) // on error the read loop tears down
+			c.wmu.Unlock()
+			c.fwbuf = c.fwbuf[:0]
+			c.fdirty = false
+		}
+		*dirty = (*dirty)[:0]
+		bs.bin.RecordCoalesce(len(batch))
+	}
+}
+
+// handleObserve runs an observe synchronously on the read goroutine: the
+// session update is enqueued before the ack frame is written, so a client
+// that awaits it sees the same FIFO ordering as the in-process path.
+func (bs *BinaryServer) handleObserve(c *binConn, f binwire.Frame) {
+	stream, fb, err := binwire.DecodeObserve(f.Body)
+	if err != nil {
+		bs.bin.RecordBadFrame()
+		c.sendError(f.ID, binwire.CodeBadRequest, 0, err.Error())
+		return
+	}
+	if bs.rejectIfRestoring(c, f.ID, stream) {
+		return
+	}
+	if st := bs.admit(0, false); st != admitOK {
+		bs.rejectAdmit(c, f.ID, st)
+		return
+	}
+	defer bs.front.release()
+	bs.front.alert.Observe(stream, fb)
+	bs.bin.RecordObserve()
+	c.sendObserveResp(f.ID)
+}
+
+// handleBatch serves a client-sent batch frame whole, like the HTTP
+// decide-batch handler: one admission, one DecideBatch, all-or-nothing.
+// It returns the decoded-request buffer for reuse.
+func (bs *BinaryServer) handleBatch(c *binConn, f binwire.Frame, buf []alert.BatchRequest) []alert.BatchRequest {
+	reqs, err := binwire.DecodeBatch(f.Body, buf)
+	if err != nil {
+		bs.bin.RecordBadFrame()
+		c.sendError(f.ID, binwire.CodeBadRequest, 0, err.Error())
+		return reqs
+	}
+	minDeadline := 0.0
+	for _, r := range reqs {
+		if bs.rejectIfRestoring(c, f.ID, r.Stream) {
+			return reqs
+		}
+		if r.Spec.Deadline > 0 && (minDeadline == 0 || r.Spec.Deadline < minDeadline) {
+			minDeadline = r.Spec.Deadline
+		}
+	}
+	if st := bs.admit(minDeadline, false); st != admitOK {
+		bs.rejectAdmit(c, f.ID, st)
+		return reqs
+	}
+	defer bs.front.release()
+	results := bs.front.alert.DecideBatch(reqs)
+	bs.bin.RecordBatch(len(results))
+	c.sendBatchResp(f.ID, results)
+	return reqs
+}
+
+// handleStreamOp serves export, checkpoint, and evict synchronously.
+// Export is admission-gated but drain-exempt (sessions must be able to
+// leave a draining node); checkpoint is ungated like its HTTP twin; evict
+// is gated normally.
+func (bs *BinaryServer) handleStreamOp(c *binConn, f binwire.Frame) {
+	stream, err := binwire.DecodeStreamReq(f.Type, f.Body)
+	if err != nil {
+		bs.bin.RecordBadFrame()
+		c.sendError(f.ID, binwire.CodeBadRequest, 0, err.Error())
+		return
+	}
+	switch f.Type {
+	case binwire.MsgExport:
+		if st := bs.admit(0, true); st != admitOK {
+			bs.rejectAdmit(c, f.ID, st)
+			return
+		}
+		defer bs.front.release()
+		snap, ok := bs.front.alert.ExportStream(stream)
+		if !ok {
+			c.sendError(f.ID, binwire.CodeNotFound, 0, "stream has no session")
+			return
+		}
+		blob, err := snap.MarshalBinary()
+		if err != nil {
+			c.sendError(f.ID, binwire.CodeInternal, 0, err.Error())
+			return
+		}
+		bs.bin.RecordExport()
+		c.sendSnapshot(binwire.MsgSnapshotResp, f.ID, stream, blob)
+	case binwire.MsgCheckpoint:
+		snap, ok := bs.front.alert.SnapshotStream(stream)
+		if !ok {
+			c.sendError(f.ID, binwire.CodeNotFound, 0, "stream has no session")
+			return
+		}
+		blob, err := snap.MarshalBinary()
+		if err != nil {
+			c.sendError(f.ID, binwire.CodeInternal, 0, err.Error())
+			return
+		}
+		bs.bin.RecordCheckpoint()
+		c.sendSnapshot(binwire.MsgSnapshotResp, f.ID, stream, blob)
+	case binwire.MsgEvict:
+		if st := bs.admit(0, false); st != admitOK {
+			bs.rejectAdmit(c, f.ID, st)
+			return
+		}
+		defer bs.front.release()
+		bs.front.alert.EvictStream(stream)
+		bs.bin.RecordEviction()
+		c.sendStreamResp(binwire.MsgEvictResp, f.ID, stream)
+	}
+}
+
+// handleImport restores an exported session, mirroring the HTTP import
+// handler: gated, never drain-exempt, and announced to the recovery layer
+// so concurrent movers of one stream resolve to a single winner.
+func (bs *BinaryServer) handleImport(c *binConn, f binwire.Frame) {
+	stream, blob, err := binwire.DecodeSnapshot(f.Type, f.Body)
+	if err != nil {
+		bs.bin.RecordBadFrame()
+		c.sendError(f.ID, binwire.CodeBadRequest, 0, err.Error())
+		return
+	}
+	var snap alert.SessionSnapshot
+	if err := snap.UnmarshalBinary(blob); err != nil {
+		bs.bin.RecordBadFrame()
+		c.sendError(f.ID, binwire.CodeBadRequest, 0, err.Error())
+		return
+	}
+	if st := bs.admit(0, false); st != admitOK {
+		bs.rejectAdmit(c, f.ID, st)
+		return
+	}
+	defer bs.front.release()
+	if err := bs.front.alert.ImportStream(stream, snap); err != nil {
+		c.sendError(f.ID, binwire.CodeConflict, 0, err.Error())
+		return
+	}
+	if bs.front.recovery != nil {
+		if bs.front.recovery.AnnounceImport(stream, snap.Decisions) {
+			c.sendError(f.ID, binwire.CodeConflict, 0, "a peer serves a fresher session; import evicted")
+			return
+		}
+	}
+	bs.bin.RecordImport()
+	c.sendStreamResp(binwire.MsgImportResp, f.ID, stream)
+}
+
+// The send* methods encode into the connection's reused buffer under its
+// write mutex. Write errors are dropped: the read loop observes the dead
+// connection and tears everything down.
+
+func (c *binConn) sendDecideResp(id uint64, d alert.Decision, e alert.Estimate) {
+	c.wmu.Lock()
+	c.wbuf = binwire.AppendDecideResp(c.wbuf[:0], id, d, e, c.srv.front.nodeID)
+	_, err := c.conn.Write(c.wbuf)
+	c.wmu.Unlock()
+	if err == nil {
+		c.srv.bin.RecordFrameOut()
+	}
+}
+
+func (c *binConn) sendObserveResp(id uint64) {
+	c.wmu.Lock()
+	c.wbuf = binwire.AppendObserveResp(c.wbuf[:0], id)
+	_, err := c.conn.Write(c.wbuf)
+	c.wmu.Unlock()
+	if err == nil {
+		c.srv.bin.RecordFrameOut()
+	}
+}
+
+func (c *binConn) sendBatchResp(id uint64, res []alert.BatchResult) {
+	c.wmu.Lock()
+	c.wbuf = binwire.AppendBatchResp(c.wbuf[:0], id, res)
+	_, err := c.conn.Write(c.wbuf)
+	c.wmu.Unlock()
+	if err == nil {
+		c.srv.bin.RecordFrameOut()
+	}
+}
+
+func (c *binConn) sendSnapshot(t binwire.MsgType, id uint64, stream int, blob []byte) {
+	c.wmu.Lock()
+	c.wbuf = binwire.AppendSnapshot(c.wbuf[:0], t, id, stream, blob)
+	_, err := c.conn.Write(c.wbuf)
+	c.wmu.Unlock()
+	if err == nil {
+		c.srv.bin.RecordFrameOut()
+	}
+}
+
+func (c *binConn) sendStreamResp(t binwire.MsgType, id uint64, stream int) {
+	c.wmu.Lock()
+	c.wbuf = binwire.AppendStreamReq(c.wbuf[:0], t, id, stream)
+	_, err := c.conn.Write(c.wbuf)
+	c.wmu.Unlock()
+	if err == nil {
+		c.srv.bin.RecordFrameOut()
+	}
+}
+
+func (c *binConn) sendError(id uint64, code uint16, retryAfterMs int64, msg string) {
+	c.wmu.Lock()
+	c.wbuf = binwire.AppendError(c.wbuf[:0], id, code, retryAfterMs, msg)
+	_, err := c.conn.Write(c.wbuf)
+	c.wmu.Unlock()
+	if err == nil {
+		c.srv.bin.RecordFrameOut()
+	}
+}

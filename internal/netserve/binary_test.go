@@ -1,0 +1,477 @@
+package netserve
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/alert-project/alert"
+	"github.com/alert-project/alert/internal/binwire"
+)
+
+// startBinary binds a loopback listener, attaches a BinaryServer to the
+// front end, and starts accepting; Close runs at test cleanup.
+func startBinary(t *testing.T, front *Server, cfg BinaryConfig) *BinaryServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := NewBinary(front, ln, cfg)
+	go bs.Serve()
+	t.Cleanup(func() { bs.Close() })
+	return bs
+}
+
+// rawConn drives the binary listener with hand-built frames — the tests
+// below deliberately sit underneath client.BinaryTransport so they pin the
+// wire itself, not the client's interpretation of it.
+type rawConn struct {
+	t    *testing.T
+	conn net.Conn
+	rd   *binwire.Reader
+	id   uint64
+}
+
+func dialBinary(t *testing.T, addr string) *rawConn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &rawConn{t: t, conn: conn, rd: binwire.NewReader(conn)}
+}
+
+func (rc *rawConn) send(frame []byte) {
+	rc.t.Helper()
+	if _, err := rc.conn.Write(frame); err != nil {
+		rc.t.Fatalf("write frame: %v", err)
+	}
+}
+
+func (rc *rawConn) next() binwire.Frame {
+	rc.t.Helper()
+	f, err := rc.rd.Next()
+	if err != nil {
+		rc.t.Fatalf("read frame: %v", err)
+	}
+	return f
+}
+
+// expect reads one frame and requires the given type and id.
+func (rc *rawConn) expect(want binwire.MsgType, id uint64) binwire.Frame {
+	rc.t.Helper()
+	f := rc.next()
+	if f.Type != want || f.ID != id {
+		if f.Type == binwire.MsgError {
+			code, ms, msg, _ := binwire.DecodeError(f.Body)
+			rc.t.Fatalf("got error frame code=%d retry_after_ms=%d %q, want type %d id %d", code, ms, msg, want, id)
+		}
+		rc.t.Fatalf("got frame type=%d id=%d, want type %d id %d", f.Type, f.ID, want, id)
+	}
+	return f
+}
+
+func (rc *rawConn) decide(stream int, spec alert.Spec) (alert.Decision, alert.Estimate) {
+	rc.t.Helper()
+	rc.id++
+	rc.send(binwire.AppendDecide(nil, rc.id, stream, spec))
+	f := rc.expect(binwire.MsgDecideResp, rc.id)
+	d, e, _, err := binwire.DecodeDecideResp(f.Body)
+	if err != nil {
+		rc.t.Fatal(err)
+	}
+	return d, e
+}
+
+func (rc *rawConn) observe(stream int, fb alert.Feedback) {
+	rc.t.Helper()
+	rc.id++
+	rc.send(binwire.AppendObserve(nil, rc.id, stream, fb))
+	rc.expect(binwire.MsgObserveResp, rc.id)
+}
+
+// expectError reads one frame and requires an error with the given code,
+// returning its retry_after_ms hint.
+func (rc *rawConn) expectError(id uint64, code uint16) int64 {
+	rc.t.Helper()
+	f := rc.expect(binwire.MsgError, id)
+	gotCode, ms, msg, err := binwire.DecodeError(f.Body)
+	if err != nil {
+		rc.t.Fatal(err)
+	}
+	if gotCode != code {
+		rc.t.Fatalf("error frame code %d (%q), want %d", gotCode, msg, code)
+	}
+	return ms
+}
+
+func sameDecision(a, b alert.Decision) bool {
+	return a.Model == b.Model && a.Cap == b.Cap &&
+		math.Float64bits(a.CapW) == math.Float64bits(b.CapW) &&
+		math.Float64bits(a.PlannedStop) == math.Float64bits(b.PlannedStop) &&
+		math.Float64bits(a.Overhead) == math.Float64bits(b.Overhead)
+}
+
+// TestBinaryDecideMatchesInProcess pins the tentpole invariant at the
+// frame level: a stream driven over the binary listener — decide, observe
+// the measured latency, decide again — produces the exact decision
+// sequence, bit for bit, of the same stream driven against alert.Server
+// in-process.
+func TestBinaryDecideMatchesInProcess(t *testing.T) {
+	front := New(testAlertServer(t, 2), Config{})
+	bs := startBinary(t, front, BinaryConfig{})
+	rc := dialBinary(t, bs.Addr())
+	ref := testAlertServer(t, 2)
+
+	spec := alert.Spec{Objective: alert.MinimizeEnergy, Deadline: 0.2, AccuracyGoal: 0.9}
+	const stream = 3
+	for i := 0; i < 40; i++ {
+		d, est := rc.decide(stream, spec)
+		rd, rest := ref.Decide(stream, spec)
+		if !sameDecision(d, rd) {
+			t.Fatalf("step %d: binary decision %+v != in-process %+v", i, d, rd)
+		}
+		if math.Float64bits(est.LatMean) != math.Float64bits(rest.LatMean) ||
+			math.Float64bits(est.Energy) != math.Float64bits(rest.Energy) {
+			t.Fatalf("step %d: estimates diverge: %+v vs %+v", i, est, rest)
+		}
+		fb := alert.Feedback{Decision: d, Latency: est.LatMean * 1.07, CompletedStage: -1}
+		rc.observe(stream, fb)
+		ref.Observe(stream, fb)
+	}
+
+	snap := bs.BinStats()
+	if snap.Decides != 40 || snap.Observes != 40 {
+		t.Errorf("counters = decides %d observes %d, want 40/40", snap.Decides, snap.Observes)
+	}
+	if snap.FramesIn != 80 || snap.FramesOut != 80 {
+		t.Errorf("frames = in %d out %d, want 80/80", snap.FramesIn, snap.FramesOut)
+	}
+}
+
+// TestBinaryBatch checks the client-sent batch frame: results come back in
+// request order and match what the engine computes in-process.
+func TestBinaryBatch(t *testing.T) {
+	front := New(testAlertServer(t, 2), Config{})
+	bs := startBinary(t, front, BinaryConfig{})
+	rc := dialBinary(t, bs.Addr())
+	ref := testAlertServer(t, 2)
+
+	spec := alert.Spec{Objective: alert.MinimizeEnergy, Deadline: 0.2, AccuracyGoal: 0.9}
+	reqs := []alert.BatchRequest{
+		{Stream: 1, Spec: spec},
+		{Stream: 2, Spec: spec},
+		{Stream: 1, Spec: spec},
+	}
+	rc.id++
+	rc.send(binwire.AppendBatch(nil, rc.id, reqs))
+	f := rc.expect(binwire.MsgBatchResp, rc.id)
+	res, err := binwire.DecodeBatchResp(f.Body, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.DecideBatch(reqs)
+	if len(res) != len(want) {
+		t.Fatalf("%d results, want %d", len(res), len(want))
+	}
+	for i := range res {
+		if res[i].Stream != want[i].Stream || !sameDecision(res[i].Decision, want[i].Decision) {
+			t.Fatalf("result %d: %+v != in-process %+v", i, res[i], want[i])
+		}
+	}
+	if snap := bs.BinStats(); snap.Batches != 1 || snap.BatchDecisions != 3 {
+		t.Errorf("batch counters = %d/%d, want 1/3", snap.Batches, snap.BatchDecisions)
+	}
+}
+
+// TestBinaryOverloadRetryAfter squeezes the gate to MaxInflight=1 /
+// MaxQueue=1 and checks the binary path's rejection carries the same
+// Retry-After semantics as the HTTP 429: an error frame with the
+// configured hint in retry_after_ms, and the queued request still served
+// once the token frees.
+func TestBinaryOverloadRetryAfter(t *testing.T) {
+	front := New(testAlertServer(t, 1), Config{
+		MaxInflight: 1, MaxQueue: 1, RetryAfter: 25 * time.Millisecond,
+	})
+	bs := startBinary(t, front, BinaryConfig{})
+	spec := alert.Spec{Objective: alert.MinimizeEnergy, Deadline: 0.2, AccuracyGoal: 0.9}
+
+	front.HoldTokenForTest()
+	queued := dialBinary(t, bs.Addr())
+	queued.send(binwire.AppendDecide(nil, 1, 5, spec))
+	// Wait until that decide actually occupies the single queue slot
+	// before probing, or the probe could win the slot instead.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		front.mu.Lock()
+		depth := front.queued
+		front.mu.Unlock()
+		if depth == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first decide never reached the admission queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	rejected := dialBinary(t, bs.Addr())
+	rejected.send(binwire.AppendDecide(nil, 2, 6, spec))
+	if ms := rejected.expectError(2, binwire.CodeOverloaded); ms != 25 {
+		t.Fatalf("retry_after_ms = %d, want 25", ms)
+	}
+
+	front.ReleaseTokenForTest()
+	queued.expect(binwire.MsgDecideResp, 1)
+	if snap := bs.BinStats(); snap.RejectedOverload == 0 {
+		t.Errorf("rejected_overload = %d, want > 0", snap.RejectedOverload)
+	}
+}
+
+// TestBinaryDrainSemantics mirrors the HTTP drain contract frame by frame:
+// after Drain, decides and evicts bounce with 503 + Retry-After,
+// checkpoint stays ungated, and export stays drain-exempt so sessions can
+// leave the node.
+func TestBinaryDrainSemantics(t *testing.T) {
+	front := New(testAlertServer(t, 1), Config{RetryAfter: 40 * time.Millisecond})
+	bs := startBinary(t, front, BinaryConfig{})
+	rc := dialBinary(t, bs.Addr())
+
+	spec := alert.Spec{Objective: alert.MinimizeEnergy, Deadline: 0.2, AccuracyGoal: 0.9}
+	rc.decide(11, spec)
+
+	if err := front.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	rc.id++
+	rc.send(binwire.AppendDecide(nil, rc.id, 11, spec))
+	if ms := rc.expectError(rc.id, binwire.CodeUnavailable); ms != 40 {
+		t.Fatalf("draining retry_after_ms = %d, want 40", ms)
+	}
+	rc.id++
+	rc.send(binwire.AppendStreamReq(nil, binwire.MsgEvict, rc.id, 11))
+	rc.expectError(rc.id, binwire.CodeUnavailable)
+
+	rc.id++
+	rc.send(binwire.AppendStreamReq(nil, binwire.MsgCheckpoint, rc.id, 11))
+	f := rc.expect(binwire.MsgSnapshotResp, rc.id)
+	_, ckBlob, err := binwire.DecodeSnapshot(f.Type, f.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := append([]byte(nil), ckBlob...)
+
+	rc.id++
+	rc.send(binwire.AppendStreamReq(nil, binwire.MsgExport, rc.id, 11))
+	f = rc.expect(binwire.MsgSnapshotResp, rc.id)
+	_, exBlob, err := binwire.DecodeSnapshot(f.Type, f.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ck, exBlob) {
+		t.Error("checkpoint and export of the same session produced different blobs")
+	}
+	if snap := bs.BinStats(); snap.RejectedDraining != 2 || snap.Exports != 1 || snap.Checkpoints != 1 {
+		t.Errorf("drain counters = %+v", snap)
+	}
+}
+
+// TestBinaryMigration exports a warmed session over the wire, imports it
+// into a second node, and checks the restored session is bit-identical (a
+// checkpoint on the target re-marshals to the exported bytes). Missing
+// streams 404; importing over a live stream conflicts with 409.
+func TestBinaryMigration(t *testing.T) {
+	frontA := New(testAlertServer(t, 1), Config{})
+	frontB := New(testAlertServer(t, 1), Config{})
+	bsA := startBinary(t, frontA, BinaryConfig{})
+	bsB := startBinary(t, frontB, BinaryConfig{})
+	a := dialBinary(t, bsA.Addr())
+	b := dialBinary(t, bsB.Addr())
+
+	spec := alert.Spec{Objective: alert.MinimizeEnergy, Deadline: 0.2, AccuracyGoal: 0.9}
+	const stream = 21
+	for i := 0; i < 5; i++ {
+		d, est := a.decide(stream, spec)
+		a.observe(stream, alert.Feedback{Decision: d, Latency: est.LatMean, CompletedStage: -1})
+	}
+
+	// Export from A; the stream is gone afterwards.
+	a.id++
+	a.send(binwire.AppendStreamReq(nil, binwire.MsgExport, a.id, stream))
+	f := a.expect(binwire.MsgSnapshotResp, a.id)
+	_, blob, err := binwire.DecodeSnapshot(f.Type, f.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exported := append([]byte(nil), blob...)
+	a.id++
+	a.send(binwire.AppendStreamReq(nil, binwire.MsgExport, a.id, stream))
+	a.expectError(a.id, binwire.CodeNotFound)
+
+	// Import into B and read it back: byte-identical session state.
+	b.id++
+	b.send(binwire.AppendSnapshot(nil, binwire.MsgImport, b.id, stream, exported))
+	b.expect(binwire.MsgImportResp, b.id)
+	b.id++
+	b.send(binwire.AppendStreamReq(nil, binwire.MsgCheckpoint, b.id, stream))
+	f = b.expect(binwire.MsgSnapshotResp, b.id)
+	_, blob, err = binwire.DecodeSnapshot(f.Type, f.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, exported) {
+		t.Error("imported session re-marshals to different bytes than the export")
+	}
+
+	// A second import over the live stream conflicts.
+	b.id++
+	b.send(binwire.AppendSnapshot(nil, binwire.MsgImport, b.id, stream, exported))
+	b.expectError(b.id, binwire.CodeConflict)
+}
+
+// TestBinaryVersionRejected sends a frame stamped with a future version:
+// the server answers one error frame naming the version it speaks and
+// hangs up (it cannot trust the rest of the byte stream).
+func TestBinaryVersionRejected(t *testing.T) {
+	front := New(testAlertServer(t, 1), Config{})
+	bs := startBinary(t, front, BinaryConfig{})
+	rc := dialBinary(t, bs.Addr())
+
+	frame := binwire.AppendStreamReq(nil, binwire.MsgEvict, 9, 1)
+	frame[4] = 2 // version byte
+	rc.send(frame)
+	f := rc.expect(binwire.MsgError, 9)
+	code, _, msg, err := binwire.DecodeError(f.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != binwire.CodeBadRequest || !strings.Contains(msg, "version") {
+		t.Fatalf("version rejection = code %d %q", code, msg)
+	}
+	if _, err := rc.rd.Next(); err == nil {
+		t.Fatal("connection stayed open after version mismatch")
+	}
+}
+
+// TestBinaryUnknownTypeKeepsConnection sends a frame with an unassigned
+// type: the server answers an error frame but keeps the connection — the
+// framing is intact, so later frames are still trustworthy.
+func TestBinaryUnknownTypeKeepsConnection(t *testing.T) {
+	front := New(testAlertServer(t, 1), Config{})
+	bs := startBinary(t, front, BinaryConfig{})
+	rc := dialBinary(t, bs.Addr())
+
+	rc.send(binwire.AppendStreamReq(nil, binwire.MsgType(99), 1, 1))
+	rc.expectError(1, binwire.CodeBadRequest)
+	spec := alert.Spec{Objective: alert.MinimizeEnergy, Deadline: 0.2, AccuracyGoal: 0.9}
+	rc.decide(2, spec) // still served
+	if snap := bs.BinStats(); snap.BadFrames != 1 {
+		t.Errorf("bad_frames = %d, want 1", snap.BadFrames)
+	}
+}
+
+// TestBinaryCoalesce pipelines a burst of decides on one connection under
+// a coalescing window and checks the dispatcher served them as shared
+// DecideBatch flushes rather than one engine crossing each.
+func TestBinaryCoalesce(t *testing.T) {
+	front := New(testAlertServer(t, 2), Config{})
+	bs := startBinary(t, front, BinaryConfig{CoalesceWindow: 30 * time.Millisecond})
+	rc := dialBinary(t, bs.Addr())
+
+	spec := alert.Spec{Objective: alert.MinimizeEnergy, Deadline: 0.2, AccuracyGoal: 0.9}
+	const burst = 8
+	var frames []byte
+	for i := 1; i <= burst; i++ {
+		frames = binwire.AppendDecide(frames, uint64(i), i, spec)
+	}
+	rc.send(frames)
+
+	got := make(map[uint64]bool)
+	for i := 0; i < burst; i++ {
+		f := rc.next()
+		if f.Type != binwire.MsgDecideResp {
+			t.Fatalf("frame %d: type %d", i, f.Type)
+		}
+		got[f.ID] = true
+	}
+	if len(got) != burst {
+		t.Fatalf("saw %d distinct responses, want %d", len(got), burst)
+	}
+	snap := bs.BinStats()
+	if snap.Decides != burst {
+		t.Errorf("decides = %d, want %d", snap.Decides, burst)
+	}
+	if snap.Coalesced < 2 || snap.CoalesceFlushes < 1 {
+		t.Errorf("coalesced = %d across %d flushes, want a shared flush", snap.Coalesced, snap.CoalesceFlushes)
+	}
+}
+
+// TestStatsAdvertisesBinary checks GET /v1/stats grows the binary
+// listener's address and counters once one is attached — the discovery
+// hook PreferBinary clients rely on.
+func TestStatsAdvertisesBinary(t *testing.T) {
+	front := New(testAlertServer(t, 1), Config{})
+
+	var before StatsResponse
+	if code := doJSON(t, front, http.MethodGet, "/v1/stats", nil, &before); code != http.StatusOK {
+		t.Fatalf("stats status %d", code)
+	}
+	if before.BinaryAddr != "" || before.Bin != nil {
+		t.Fatalf("stats advertise a binary listener before one exists: %+v", before)
+	}
+
+	bs := startBinary(t, front, BinaryConfig{})
+	rc := dialBinary(t, bs.Addr())
+	rc.decide(1, alert.Spec{Objective: alert.MinimizeEnergy, Deadline: 0.2, AccuracyGoal: 0.9})
+
+	var after StatsResponse
+	if code := doJSON(t, front, http.MethodGet, "/v1/stats", nil, &after); code != http.StatusOK {
+		t.Fatalf("stats status %d", code)
+	}
+	if after.BinaryAddr != bs.Addr() {
+		t.Errorf("binary_addr = %q, want %q", after.BinaryAddr, bs.Addr())
+	}
+	if after.Bin == nil || after.Bin.Decides != 1 {
+		t.Errorf("bin counters = %+v, want 1 decide", after.Bin)
+	}
+}
+
+// TestMetricsEndpoint checks the Prometheus exposition: the endpoint is
+// ungated, text-format, and carries serve, HTTP, and binary families.
+func TestMetricsEndpoint(t *testing.T) {
+	front := New(testAlertServer(t, 1), Config{})
+	bs := startBinary(t, front, BinaryConfig{})
+	rc := dialBinary(t, bs.Addr())
+	rc.decide(1, alert.Spec{Objective: alert.MinimizeEnergy, Deadline: 0.2, AccuracyGoal: 0.9})
+
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rec := httptest.NewRecorder()
+	front.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE alert_serve_decisions_total counter",
+		"alert_serve_decisions_total 1",
+		"alert_http_decides_total",
+		"alert_binwire_decides_total 1",
+		"alert_binwire_conns 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}

@@ -9,6 +9,7 @@
 //	POST   /v1/observe       feedback for one stream (fire-and-forget)
 //	POST   /v1/decide-batch  one decision per request, request order
 //	GET    /v1/stats         serve + front-end counter snapshots, node identity
+//	GET    /metrics          the same counters in Prometheus text format
 //	GET    /v1/streams       live stream ids
 //	DELETE /v1/streams/{id}  evict one stream's session
 //	GET    /v1/streams/{id}/snapshot  export (snapshot + remove) a session
@@ -160,6 +161,10 @@ type Server struct {
 	inflight  int
 	drained   chan struct{}
 	drainOnce sync.Once
+
+	// binary is the attached binary wire listener, nil until NewBinary;
+	// guarded by mu because stats reads race the attach.
+	binary *BinaryServer
 }
 
 // New builds the front end over an alert.Server.
@@ -220,27 +225,45 @@ const (
 // hand-off (imports stay refused — a draining node must shed state, not
 // accept it).
 func (s *Server) admit(ctx context.Context, drainExempt bool) admitStatus {
+	st, settled := s.tryAdmit(drainExempt)
+	if settled {
+		return st
+	}
+	return s.admitQueued(ctx, drainExempt)
+}
+
+// tryAdmit is admission's no-wait half: drain refusal, free-slot
+// admission, or queue-full rejection, all settled under the lock. When it
+// returns settled=false the request has been counted into the queue and
+// the caller MUST finish with admitQueued — the split exists so the
+// binary listener can keep its hot path free of context plumbing and only
+// build a deadline context when a request actually has to wait.
+func (s *Server) tryAdmit(drainExempt bool) (admitStatus, bool) {
 	s.mu.Lock()
 	if s.draining && !drainExempt {
 		s.mu.Unlock()
-		return admitDraining
+		return admitDraining, true
 	}
 	// Fast path: a free slot admits without queueing.
 	select {
 	case s.tokens <- struct{}{}:
 		s.inflight++
 		s.mu.Unlock()
-		return admitOK
+		return admitOK, true
 	default:
 	}
 	// Slow path: wait at the gate if the queue has room.
 	if s.queued >= s.maxQueue {
 		s.mu.Unlock()
-		return admitOverload
+		return admitOverload, true
 	}
 	s.queued++
 	s.mu.Unlock()
+	return admitOK, false
+}
 
+// admitQueued waits at the gate after tryAdmit queued the request.
+func (s *Server) admitQueued(ctx context.Context, drainExempt bool) admitStatus {
 	select {
 	case s.tokens <- struct{}{}:
 		s.mu.Lock()
@@ -300,6 +323,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.post(w, r, s.handleDecideBatch)
 	case path == "/v1/stats":
 		s.get(w, r, s.handleStats)
+	case path == "/metrics":
+		s.get(w, r, s.handleMetrics)
 	case path == "/v1/streams":
 		s.get(w, r, s.handleStreams)
 	case strings.HasPrefix(path, "/v1/streams/"):
@@ -457,7 +482,7 @@ func (s *Server) handleDecideBatch(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.net.RecordRead()
-	s.writeJSON(w, http.StatusOK, StatsResponse{
+	resp := StatsResponse{
 		Serve:    s.alert.Stats(),
 		Net:      s.net.Snapshot(),
 		Platform: s.alert.Platform().Name,
@@ -466,7 +491,35 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Streams:  s.alert.Streams(),
 		NodeID:   s.nodeID,
 		Peers:    s.peers,
-	})
+	}
+	if bs := s.binaryServer(); bs != nil {
+		resp.BinaryAddr = bs.Addr()
+		snap := bs.bin.Snapshot()
+		resp.Bin = &snap
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// binaryServer returns the attached binary listener, if any.
+func (s *Server) binaryServer() *BinaryServer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.binary
+}
+
+// handleMetrics serves GET /metrics: the serve/net/binary counters in
+// Prometheus text exposition format. Ungated like the stats read —
+// scrapers must keep answering while the server is saturated or draining.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.net.RecordRead()
+	var bin *metrics.BinSnapshot
+	if bs := s.binaryServer(); bs != nil {
+		snap := bs.bin.Snapshot()
+		bin = &snap
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	metrics.WritePrometheus(w, s.alert.Stats(), s.net.Snapshot(), bin)
 }
 
 func (s *Server) handleStreams(w http.ResponseWriter, r *http.Request) {

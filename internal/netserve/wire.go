@@ -242,6 +242,12 @@ type StatsResponse struct {
 	// node.
 	NodeID string   `json:"node_id,omitempty"`
 	Peers  []string `json:"peers,omitempty"`
+	// BinaryAddr is the binary wire listener's address, advertised when
+	// cmd/alertserve runs with -binary-addr; clients built with
+	// PreferBinary discover the faster transport here and fall back to
+	// JSON when it is absent. Bin is that listener's counter snapshot.
+	BinaryAddr string               `json:"binary_addr,omitempty"`
+	Bin        *metrics.BinSnapshot `json:"bin,omitempty"`
 }
 
 // StreamsResponse is the GET /v1/streams reply.
