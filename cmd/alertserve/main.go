@@ -82,6 +82,8 @@ func run(ctx context.Context, args []string, stdout io.Writer, onReady func(addr
 	maxInflight := fs.Int("max-inflight", 0, "admission gate: concurrent requests (0 = default 64)")
 	maxQueue := fs.Int("max-queue", 0, "admission gate: waiting requests before 429 (0 = 2x max-inflight)")
 	retryAfter := fs.Duration("retry-after", 0, "backoff hint on 429/503 (0 = 50ms)")
+	adaptive := fs.Bool("adaptive", false, "let the measured-delay controller move the admission limits; -max-inflight/-max-queue become initial bounds")
+	sloShed := fs.Bool("slo-shed", false, "shed requests whose deadline is predicted unmeetable at admission (429 + drain-estimate Retry-After)")
 	binaryAddr := fs.String("binary-addr", "", "binwire listen address (host:port; empty = HTTP/JSON only)")
 	coalesceWindow := fs.Duration("coalesce-window", 0, "binary dispatcher wait before flushing a decide batch (0 = group commit, no added latency)")
 	nodeID := fs.String("node-id", "", "cluster identity advertised in /v1/stats (empty = standalone)")
@@ -134,6 +136,8 @@ func run(ctx context.Context, args []string, stdout io.Writer, onReady func(addr
 		MaxInflight: *maxInflight,
 		MaxQueue:    *maxQueue,
 		RetryAfter:  *retryAfter,
+		Adaptive:    *adaptive,
+		SLOShed:     *sloShed,
 		NodeID:      *nodeID,
 		Peers:       peerList,
 	}

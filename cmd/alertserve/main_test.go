@@ -231,3 +231,60 @@ func TestClusterIdentityFlags(t *testing.T) {
 		t.Errorf("startup banner lacks cluster identity:\n%s", out.String())
 	}
 }
+
+// TestAdaptiveFlags: -adaptive and -slo-shed reach the admission gate and
+// surface in the /v1/stats overload snapshot, with the static flags-off
+// escape hatch staying the default.
+func TestAdaptiveFlags(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	var out strings.Builder
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0", "-shards", "1",
+			"-adaptive", "-slo-shed", "-max-inflight", "4", "-max-queue", "8",
+		}, &out, func(addr string) { ready <- addr })
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("server exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	c, err := client.New("http://"+addr, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Overload == nil {
+		t.Fatal("stats.overload missing")
+	}
+	if !stats.Overload.Adaptive || !stats.Overload.SLOShed {
+		t.Errorf("overload flags = adaptive %v slo_shed %v, want both true",
+			stats.Overload.Adaptive, stats.Overload.SLOShed)
+	}
+	if stats.Overload.InflightLimit != 4 || stats.Overload.QueueLimit != 8 {
+		t.Errorf("initial limits = %d/%d, want 4/8",
+			stats.Overload.InflightLimit, stats.Overload.QueueLimit)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}

@@ -34,7 +34,11 @@
 //   - BenchmarkBinaryServerDecide must report 0 allocs/op (the server's
 //     steady-state binary decide path is contractually allocation-free;
 //     the benchmark's client side allocates nothing, so allocs/op is the
-//     server's count).
+//     server's count), and
+//   - BenchmarkGateCompare/adaptive must beat the same run's /static SLO
+//     attainment by at least -min-adaptive-slo-gain percentage points
+//     under the shared 2x-overload schedule (the adaptive admission
+//     contract).
 package main
 
 import (
@@ -78,6 +82,8 @@ type config struct {
 	count              int
 	heavyBench         string
 	heavyBenchtime     string
+	overloadBench      string
+	overloadBenchtime  string
 	pkgs               string
 	out                string
 	input              string
@@ -86,6 +92,7 @@ type config struct {
 	minMemReduction    float64
 	minNetBatchSpeedup float64
 	minBinwireSpeedup  float64
+	minAdaptiveSLOGain float64
 }
 
 func run(args []string, stdout io.Writer) error {
@@ -100,6 +107,9 @@ func run(args []string, stdout io.Writer) error {
 	fs.StringVar(&cfg.heavyBench, "heavy-bench", "^BenchmarkServerUnderScenario$",
 		"benchmark regex for the second, slower pass (empty disables it)")
 	fs.StringVar(&cfg.heavyBenchtime, "heavy-benchtime", "20x", "benchtime for the heavy pass")
+	fs.StringVar(&cfg.overloadBench, "overload-bench", "^BenchmarkGateCompare$",
+		"benchmark regex for the wall-clock overload pass, run once (empty disables it)")
+	fs.StringVar(&cfg.overloadBenchtime, "overload-benchtime", "1x", "benchtime for the overload pass")
 	fs.StringVar(&cfg.pkgs, "pkgs", "./...", "packages passed to go test")
 	fs.StringVar(&cfg.out, "out", "", "write the JSON snapshot to this path (default stdout)")
 	fs.StringVar(&cfg.input, "input", "", "parse this captured `go test -bench` output instead of running go test")
@@ -112,6 +122,8 @@ func run(args []string, stdout io.Writer) error {
 		"minimum BenchmarkNetServe decisions/s amplification of batch64 over the same run's single-decide round trips")
 	fs.Float64Var(&cfg.minBinwireSpeedup, "min-binwire-speedup", 10.0,
 		"minimum BenchmarkNetServe decisions/s amplification of the binary transport over the same run's single-request JSON decides")
+	fs.Float64Var(&cfg.minAdaptiveSLOGain, "min-adaptive-slo-gain", 0.0,
+		"minimum BenchmarkGateCompare SLO-attainment gain (percentage points) of the adaptive gate over the same run's static gate")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -138,6 +150,16 @@ func run(args []string, stdout io.Writer) error {
 				return err
 			}
 			text += "\n" + heavy
+		}
+		// The overload pass runs once: each iteration drives a fixed
+		// wall-clock schedule, so repeating it buys no noise damping —
+		// the slo% metric is a property of the schedule, not the host.
+		if cfg.overloadBench != "" {
+			overload, err := goTestBench(cfg.overloadBench, cfg.overloadBenchtime, 1, cfg.pkgs)
+			if err != nil {
+				return err
+			}
+			text += "\n" + overload
 		}
 	}
 
@@ -166,7 +188,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	if cfg.check {
-		if err := checkGates(entries, cfg.minSpeedup, cfg.minMemReduction, cfg.minNetBatchSpeedup, cfg.minBinwireSpeedup); err != nil {
+		if err := checkGates(entries, cfg.minSpeedup, cfg.minMemReduction, cfg.minNetBatchSpeedup, cfg.minBinwireSpeedup, cfg.minAdaptiveSLOGain); err != nil {
 			return err
 		}
 		fmt.Fprintln(stdout, "perf gates passed")
@@ -315,12 +337,27 @@ func derived(entries []Entry) []Entry {
 			Metrics: map[string]float64{"x": netBinary.Metrics["decisions/s"] / netSingle.Metrics["decisions/s"]},
 		})
 	}
+	// Adaptive-vs-static SLO attainment is a difference, not a ratio: the
+	// static gate's slo% can legitimately be near zero under deep overload,
+	// so percentage points are the stable unit.
+	gateStatic := find(entries, "BenchmarkGateCompare/static")
+	gateAdaptive := find(entries, "BenchmarkGateCompare/adaptive")
+	if gateStatic != nil && gateAdaptive != nil {
+		_, okS := gateStatic.Metrics["slo%"]
+		_, okA := gateAdaptive.Metrics["slo%"]
+		if okS && okA {
+			out = append(out, Entry{
+				Name:    "derived/adaptive-slo-gain",
+				Metrics: map[string]float64{"pp": gateAdaptive.Metrics["slo%"] - gateStatic.Metrics["slo%"]},
+			})
+		}
+	}
 	return out
 }
 
 // checkGates enforces the decide-path perf, stream-table memory, and
 // network-batching contracts on a parsed snapshot.
-func checkGates(entries []Entry, minSpeedup, minMemReduction, minNetBatchSpeedup, minBinwireSpeedup float64) error {
+func checkGates(entries []Entry, minSpeedup, minMemReduction, minNetBatchSpeedup, minBinwireSpeedup, minAdaptiveSLOGain float64) error {
 	cached := find(entries, "BenchmarkDecide/cached")
 	if cached == nil {
 		return fmt.Errorf("gate: BenchmarkDecide/cached missing from results")
@@ -373,6 +410,13 @@ func checkGates(entries []Entry, minSpeedup, minMemReduction, minNetBatchSpeedup
 	}
 	if *binSrv.AllocsPerOp != 0 {
 		return fmt.Errorf("gate: BenchmarkBinaryServerDecide allocates %g/op, want 0", *binSrv.AllocsPerOp)
+	}
+	gain := find(entries, "derived/adaptive-slo-gain")
+	if gain == nil {
+		return fmt.Errorf("gate: derived/adaptive-slo-gain missing (need BenchmarkGateCompare static/adaptive in one run)")
+	}
+	if pp := gain.Metrics["pp"]; pp < minAdaptiveSLOGain {
+		return fmt.Errorf("gate: derived/adaptive-slo-gain = %+.1f pp, want >= %+.1f pp", pp, minAdaptiveSLOGain)
 	}
 	return nil
 }

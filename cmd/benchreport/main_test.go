@@ -30,6 +30,10 @@ BenchmarkNetServe/batch64-8      	     300	    549911 ns/op	    116383 decisions
 BenchmarkNetServe/binary-8       	     300	      4514 ns/op	    221532 decisions/s	     529 B/op	       2 allocs/op
 BenchmarkBinaryServerDecide-8    	     300	     14804 ns/op	     67549 decisions/s	       0 B/op	       0 allocs/op
 ok  	github.com/alert-project/alert/internal/netserve	0.193s
+pkg: github.com/alert-project/alert/cmd/alertload
+BenchmarkGateCompare/static-8    	       1	 961042183 ns/op	        10.16 slo%	  912384 B/op	    9421 allocs/op
+BenchmarkGateCompare/adaptive-8  	       1	 958731044 ns/op	        31.25 slo%	  899102 B/op	    9310 allocs/op
+ok  	github.com/alert-project/alert/cmd/alertload	2.287s
 `
 
 func TestParseBenchOutput(t *testing.T) {
@@ -37,8 +41,8 @@ func TestParseBenchOutput(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(entries) != 10 {
-		t.Fatalf("parsed %d entries, want 10", len(entries))
+	if len(entries) != 12 {
+		t.Fatalf("parsed %d entries, want 12", len(entries))
 	}
 	shared := find(entries, "BenchmarkPoolManyStreams/shared-engine")
 	if shared == nil || shared.Metrics["bytes/stream"] != 846.9 {
@@ -61,6 +65,10 @@ func TestParseBenchOutput(t *testing.T) {
 	if batch == nil || batch.AllocsPerOp == nil || *batch.AllocsPerOp != 28 {
 		t.Errorf("batch entry wrong: %+v", batch)
 	}
+	gate := find(entries, "BenchmarkGateCompare/adaptive")
+	if gate == nil || gate.Metrics["slo%"] != 31.25 {
+		t.Errorf("gate-compare adaptive slo%% entry wrong: %+v", gate)
+	}
 }
 
 func TestMergeMinKeepsFastestRun(t *testing.T) {
@@ -73,8 +81,8 @@ BenchmarkDecide/naive-8         	     500	     60001 ns/op	     16000 decisions/
 		t.Fatal(err)
 	}
 	merged := mergeMin(entries)
-	if len(merged) != 10 {
-		t.Fatalf("merged to %d entries, want 10", len(merged))
+	if len(merged) != 12 {
+		t.Fatalf("merged to %d entries, want 12", len(merged))
 	}
 	if un := find(merged, "BenchmarkDecide/uncached"); un == nil || un.NsPerOp != 19909 {
 		t.Errorf("uncached merge kept %+v, want the 19909 ns/op run", un)
@@ -90,8 +98,8 @@ func TestDerivedSpeedups(t *testing.T) {
 		t.Fatal(err)
 	}
 	d := derived(entries)
-	if len(d) != 5 {
-		t.Fatalf("derived %d entries, want 5", len(d))
+	if len(d) != 6 {
+		t.Fatalf("derived %d entries, want 6", len(d))
 	}
 	un := d[0].Metrics["x"]
 	if un < 2.5 || un > 2.7 {
@@ -118,18 +126,24 @@ func TestDerivedSpeedups(t *testing.T) {
 	if bw := d[4].Metrics["x"]; bw < 13.6 || bw > 13.8 {
 		t.Errorf("netserve binwire speedup = %g, want ~13.67 (221532/16200)", bw)
 	}
+	if d[5].Name != "derived/adaptive-slo-gain" {
+		t.Errorf("sixth derived entry is %q", d[5].Name)
+	}
+	if pp := d[5].Metrics["pp"]; pp < 21.0 || pp > 21.2 {
+		t.Errorf("adaptive slo gain = %g pp, want ~21.09 (31.25 - 10.16)", pp)
+	}
 }
 
 func TestCheckGates(t *testing.T) {
 	entries, _ := parseBenchOutput(canned)
 	entries = append(entries, derived(entries)...)
-	if err := checkGates(entries, 2.0, 10.0, 2.0, 10.0); err != nil {
+	if err := checkGates(entries, 2.0, 10.0, 2.0, 10.0, 0.0); err != nil {
 		t.Errorf("gates should pass on the canned snapshot: %v", err)
 	}
-	if err := checkGates(entries, 10.0, 10.0, 2.0, 10.0); err == nil {
+	if err := checkGates(entries, 10.0, 10.0, 2.0, 10.0, 0.0); err == nil {
 		t.Error("uncached speedup 2.58x must fail a 10x gate")
 	}
-	if err := checkGates(entries, 2.0, 100.0, 2.0, 10.0); err == nil {
+	if err := checkGates(entries, 2.0, 100.0, 2.0, 10.0, 0.0); err == nil {
 		t.Error("38x memory reduction must fail a 100x gate")
 	}
 
@@ -138,7 +152,7 @@ func TestCheckGates(t *testing.T) {
 		"17.52 ns/op	  57077626 decisions/s	       0 B/op	       0 allocs/op",
 		"17.52 ns/op	  57077626 decisions/s	      48 B/op	       2 allocs/op", 1))
 	regressed = append(regressed, derived(regressed)...)
-	if err := checkGates(regressed, 2.0, 10.0, 2.0, 10.0); err == nil ||
+	if err := checkGates(regressed, 2.0, 10.0, 2.0, 10.0, 0.0); err == nil ||
 		!strings.Contains(err.Error(), "allocates") {
 		t.Errorf("alloc regression not caught: %v", err)
 	}
@@ -147,27 +161,27 @@ func TestCheckGates(t *testing.T) {
 	// contract and must say so.
 	noMem, _ := parseBenchOutput(strings.ReplaceAll(canned, "BenchmarkPoolManyStreams", "BenchmarkGone"))
 	noMem = append(noMem, derived(noMem)...)
-	if err := checkGates(noMem, 2.0, 10.0, 2.0, 10.0); err == nil ||
+	if err := checkGates(noMem, 2.0, 10.0, 2.0, 10.0, 0.0); err == nil ||
 		!strings.Contains(err.Error(), "manystreams") {
 		t.Errorf("missing many-streams pair not caught: %v", err)
 	}
 
 	// The ~7.2x network batch amplification must fail a 100x gate, and a
 	// snapshot without the netserve pair cannot assert the contract.
-	if err := checkGates(entries, 2.0, 10.0, 100.0, 10.0); err == nil ||
+	if err := checkGates(entries, 2.0, 10.0, 100.0, 10.0, 0.0); err == nil ||
 		!strings.Contains(err.Error(), "netserve-batch-speedup") {
 		t.Errorf("net batch speedup gate not enforced: %v", err)
 	}
 	noNet, _ := parseBenchOutput(strings.ReplaceAll(canned, "BenchmarkNetServe", "BenchmarkGone"))
 	noNet = append(noNet, derived(noNet)...)
-	if err := checkGates(noNet, 2.0, 10.0, 2.0, 10.0); err == nil ||
+	if err := checkGates(noNet, 2.0, 10.0, 2.0, 10.0, 0.0); err == nil ||
 		!strings.Contains(err.Error(), "netserve") {
 		t.Errorf("missing netserve pair not caught: %v", err)
 	}
 
 	// The binary transport's 13.67x must fail a 100x gate, and an alloc
 	// regression on the server's binary decide path must be caught.
-	if err := checkGates(entries, 2.0, 10.0, 2.0, 100.0); err == nil ||
+	if err := checkGates(entries, 2.0, 10.0, 2.0, 100.0, 0.0); err == nil ||
 		!strings.Contains(err.Error(), "binwire") {
 		t.Errorf("binwire speedup gate not enforced: %v", err)
 	}
@@ -175,13 +189,27 @@ func TestCheckGates(t *testing.T) {
 		"14804 ns/op	     67549 decisions/s	       0 B/op	       0 allocs/op",
 		"14804 ns/op	     67549 decisions/s	      96 B/op	       3 allocs/op", 1))
 	binRegressed = append(binRegressed, derived(binRegressed)...)
-	if err := checkGates(binRegressed, 2.0, 10.0, 2.0, 10.0); err == nil ||
+	if err := checkGates(binRegressed, 2.0, 10.0, 2.0, 10.0, 0.0); err == nil ||
 		!strings.Contains(err.Error(), "BinaryServerDecide") {
 		t.Errorf("binary server alloc regression not caught: %v", err)
 	}
 
+	// The canned +21.09 pp adaptive SLO gain must fail a +30 pp gate, and
+	// a snapshot without the gate-compare pair cannot assert the adaptive
+	// admission contract.
+	if err := checkGates(entries, 2.0, 10.0, 2.0, 10.0, 30.0); err == nil ||
+		!strings.Contains(err.Error(), "adaptive-slo-gain") {
+		t.Errorf("adaptive slo gain gate not enforced: %v", err)
+	}
+	noGate, _ := parseBenchOutput(strings.ReplaceAll(canned, "BenchmarkGateCompare", "BenchmarkGone"))
+	noGate = append(noGate, derived(noGate)...)
+	if err := checkGates(noGate, 2.0, 10.0, 2.0, 10.0, 0.0); err == nil ||
+		!strings.Contains(err.Error(), "adaptive-slo-gain") {
+		t.Errorf("missing gate-compare pair not caught: %v", err)
+	}
+
 	// A snapshot without the decide benchmarks cannot be gated.
-	if err := checkGates(nil, 2.0, 10.0, 2.0, 10.0); err == nil {
+	if err := checkGates(nil, 2.0, 10.0, 2.0, 10.0, 0.0); err == nil {
 		t.Error("empty snapshot must fail the gate")
 	}
 }
@@ -210,13 +238,16 @@ func TestRunFromInput(t *testing.T) {
 	if err := json.Unmarshal(data, &entries); err != nil {
 		t.Fatalf("snapshot is not valid JSON: %v", err)
 	}
-	if len(entries) != 15 { // 10 parsed + 5 derived
-		t.Errorf("snapshot has %d entries, want 15", len(entries))
+	if len(entries) != 18 { // 12 parsed + 6 derived
+		t.Errorf("snapshot has %d entries, want 18", len(entries))
 	}
 
 	// And a failing gate must surface as an error.
 	if err := run([]string{"-input", in, "-out", out, "-check", "-min-speedup", "1e9"}, &buf); err == nil {
 		t.Error("impossible min-speedup should fail")
+	}
+	if err := run([]string{"-input", in, "-out", out, "-check", "-min-adaptive-slo-gain", "99"}, &buf); err == nil {
+		t.Error("impossible min-adaptive-slo-gain should fail")
 	}
 }
 

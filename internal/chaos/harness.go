@@ -58,6 +58,12 @@ type Options struct {
 	// Kills sever binary connections exactly like HTTP ones, and restarts
 	// rebind the same remembered binary address.
 	Binary bool
+	// Adaptive runs every node's admission gate with the measured-delay
+	// controller and SLO shedder on (internal/overload): the same failure
+	// drill, but with the limits moving under load. The harness invariants
+	// must hold either way — admission policy decides whether a request
+	// runs, never what it computes.
+	Adaptive bool
 	// Logf, when set, receives progress lines (round, events) as the run
 	// unfolds; nil is silent.
 	Logf func(format string, args ...any)
@@ -80,6 +86,9 @@ type node struct {
 	// advertised address after a restart.
 	binary      bool
 	binHostport string
+	// adaptive turns on the measured-delay controller + SLO shedder for
+	// the node's admission gate (survives restarts like the addresses).
+	adaptive bool
 	// selfHealing wires a membership agent and selfheal manager into the
 	// node (unmanaged fleets); managed fleets leave both nil and the
 	// harness orchestrates failures itself, as before.
@@ -122,7 +131,7 @@ func (n *node) serve(ln net.Listener, peers []string) error {
 		return fmt.Errorf("chaos: node %s: %w", n.id, err)
 	}
 	n.srv = srv
-	cfg := netserve.Config{NodeID: n.id}
+	cfg := netserve.Config{NodeID: n.id, Adaptive: n.adaptive, SLOShed: n.adaptive}
 	if n.selfHealing {
 		agent, err := membership.New(membership.Config{
 			ID:             n.id,
@@ -312,7 +321,7 @@ func New(opts Options) (*Harness, error) {
 		if len(opts.Shards) > 0 {
 			shards = opts.Shards[i%len(opts.Shards)]
 		}
-		n := &node{id: fmt.Sprintf("n%d", i), index: i, shards: shards, selfHealing: opts.Fleet.Unmanaged, binary: opts.Binary}
+		n := &node{id: fmt.Sprintf("n%d", i), index: i, shards: shards, selfHealing: opts.Fleet.Unmanaged, binary: opts.Binary, adaptive: opts.Adaptive}
 		ln, err := n.listen()
 		if err != nil {
 			for _, l := range listeners {

@@ -40,6 +40,7 @@ type BinCounters struct {
 	rejectedDeadline  atomic.Int64
 	rejectedDraining  atomic.Int64
 	rejectedRestoring atomic.Int64
+	rejectedHopeless  atomic.Int64
 	badFrames         atomic.Int64
 
 	// reqNanos accumulates decide latency from frame decode to response
@@ -114,6 +115,10 @@ func (c *BinCounters) RecordRejectDraining() { c.rejectedDraining.Add(1) }
 // restoring after a failover.
 func (c *BinCounters) RecordRejectRestoring() { c.rejectedRestoring.Add(1) }
 
+// RecordRejectHopeless counts a request the SLO shedder refused because
+// its deadline was predicted unmeetable at the saturated gate.
+func (c *BinCounters) RecordRejectHopeless() { c.rejectedHopeless.Add(1) }
+
 // RecordBadFrame counts a frame that parsed but could not be served
 // (unknown type, malformed body, unsupported version).
 func (c *BinCounters) RecordBadFrame() { c.badFrames.Add(1) }
@@ -161,6 +166,7 @@ type BinSnapshot struct {
 	RejectedDeadline  int64 `json:"rejected_deadline"`
 	RejectedDraining  int64 `json:"rejected_draining"`
 	RejectedRestoring int64 `json:"rejected_restoring,omitempty"`
+	RejectedHopeless  int64 `json:"rejected_hopeless,omitempty"`
 	BadFrames         int64 `json:"bad_frames"`
 	// AvgDecideLatency and MaxDecideLatency run from frame decode to
 	// response write, admission wait and coalescing delay included.
@@ -192,6 +198,7 @@ func (c *BinCounters) Snapshot() BinSnapshot {
 		RejectedDeadline:  c.rejectedDeadline.Load(),
 		RejectedDraining:  c.rejectedDraining.Load(),
 		RejectedRestoring: c.rejectedRestoring.Load(),
+		RejectedHopeless:  c.rejectedHopeless.Load(),
 		BadFrames:         c.badFrames.Load(),
 		MaxDecideLatency:  time.Duration(c.maxNanos.Load()),
 		Uptime:            time.Since(c.start),

@@ -123,8 +123,10 @@ func TestWritePrometheus(t *testing.T) {
 	net := NetSnapshot{Decides: 5, RejectedOverload: 2}
 	bin := BinSnapshot{ConnsOpened: 4, ConnsClosed: 1, Decides: 9, Coalesced: 6}
 
+	ov := OverloadSnapshot{Adaptive: true, InflightLimit: 8, QueueLimit: 16, ShedHopeless: 3}
+
 	var sb strings.Builder
-	WritePrometheus(&sb, serve, net, &bin)
+	WritePrometheus(&sb, serve, net, &bin, &ov)
 	out := sb.String()
 	for _, want := range []string{
 		"# TYPE alert_serve_decisions_total counter\nalert_serve_decisions_total 7\n",
@@ -134,6 +136,10 @@ func TestWritePrometheus(t *testing.T) {
 		"# TYPE alert_binwire_conns gauge\nalert_binwire_conns 3\n",
 		"alert_binwire_decides_total 9\n",
 		"alert_binwire_coalesced_total 6\n",
+		"# TYPE alert_overload_adaptive gauge\nalert_overload_adaptive 1\n",
+		"alert_overload_inflight_limit 8\n",
+		"alert_overload_queue_limit 16\n",
+		"alert_overload_shed_hopeless_total 3\n",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("exposition missing %q", want)
@@ -146,8 +152,11 @@ func TestWritePrometheus(t *testing.T) {
 	}
 
 	sb.Reset()
-	WritePrometheus(&sb, serve, net, nil)
+	WritePrometheus(&sb, serve, net, nil, nil)
 	if strings.Contains(sb.String(), "alert_binwire_") {
 		t.Error("binary families rendered without a binary listener")
+	}
+	if strings.Contains(sb.String(), "alert_overload_") {
+		t.Error("overload families rendered without a gate snapshot")
 	}
 }

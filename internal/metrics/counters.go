@@ -37,6 +37,13 @@ type ServeCounters struct {
 	// mark via CAS.
 	decideNanos atomic.Int64
 	maxNanos    atomic.Int64
+
+	// queueNanos accumulates in-pool queue delay — submit to worker pickup,
+	// the pool's contribution to the admission controller's delay signal;
+	// queueMax tracks its high-water mark via CAS.
+	queueNanos atomic.Int64
+	queueCount atomic.Int64
+	queueMax   atomic.Int64
 }
 
 // NewServeCounters returns zeroed counters with the uptime clock started.
@@ -51,6 +58,22 @@ func (c *ServeCounters) RecordDecide(d time.Duration) {
 	for {
 		cur := c.maxNanos.Load()
 		if int64(d) <= cur || c.maxNanos.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
+// RecordQueueWait folds in one task's in-pool queue delay: the time
+// between submission to a shard and a worker picking it up.
+func (c *ServeCounters) RecordQueueWait(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	c.queueNanos.Add(int64(d))
+	c.queueCount.Add(1)
+	for {
+		cur := c.queueMax.Load()
+		if int64(d) <= cur || c.queueMax.CompareAndSwap(cur, int64(d)) {
 			return
 		}
 	}
@@ -106,6 +129,10 @@ type ServeSnapshot struct {
 	// reply) per-decision times.
 	AvgDecideLatency time.Duration `json:"avg_decide_latency_ns"`
 	MaxDecideLatency time.Duration `json:"max_decide_latency_ns"`
+	// AvgQueueDelay and MaxQueueDelay are in-pool queue delays (submit to
+	// worker pickup) — the pool's share of the decide latency above.
+	AvgQueueDelay time.Duration `json:"avg_queue_delay_ns,omitempty"`
+	MaxQueueDelay time.Duration `json:"max_queue_delay_ns,omitempty"`
 	// Uptime is the time since the counters were created.
 	Uptime time.Duration `json:"uptime_ns"`
 	// DecidesPerSec is Decisions / Uptime.
@@ -128,6 +155,10 @@ func (c *ServeCounters) Snapshot() ServeSnapshot {
 	s.MaxDecideLatency = time.Duration(c.maxNanos.Load())
 	if s.Decisions > 0 {
 		s.AvgDecideLatency = time.Duration(c.decideNanos.Load() / s.Decisions)
+	}
+	s.MaxQueueDelay = time.Duration(c.queueMax.Load())
+	if n := c.queueCount.Load(); n > 0 {
+		s.AvgQueueDelay = time.Duration(c.queueNanos.Load() / n)
 	}
 	if sec := s.Uptime.Seconds(); sec > 0 {
 		s.DecidesPerSec = float64(s.Decisions) / sec

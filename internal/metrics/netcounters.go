@@ -28,6 +28,7 @@ type NetCounters struct {
 	rejectedDeadline  atomic.Int64
 	rejectedDraining  atomic.Int64
 	rejectedRestoring atomic.Int64
+	rejectedHopeless  atomic.Int64
 	badRequests       atomic.Int64
 
 	// reqNanos accumulates the handler time of decide and decide-batch
@@ -102,6 +103,11 @@ func (c *NetCounters) RecordRejectDraining() { c.rejectedDraining.Add(1) }
 // window the self-healing path is allowed.
 func (c *NetCounters) RecordRejectRestoring() { c.rejectedRestoring.Add(1) }
 
+// RecordRejectHopeless counts a 429 from the SLO shedder: the gate was
+// saturated and the request's deadline was predicted unmeetable, so it was
+// shed before joining the queue.
+func (c *NetCounters) RecordRejectHopeless() { c.rejectedHopeless.Add(1) }
+
 // RecordBadRequest counts a 4xx other than admission rejections
 // (unparseable body, unknown objective, bad path).
 func (c *NetCounters) RecordBadRequest() { c.badRequests.Add(1) }
@@ -129,11 +135,14 @@ type NetSnapshot struct {
 	// RejectedDeadline requests whose Spec deadline expired while queued;
 	// RejectedDraining requests refused during shutdown drain;
 	// RejectedRestoring requests shed while their stream was restoring
-	// after a failover; BadRequests malformed requests.
+	// after a failover; RejectedHopeless requests the SLO shedder refused
+	// because their deadline was predicted unmeetable; BadRequests
+	// malformed requests.
 	RejectedOverload  int64 `json:"rejected_overload"`
 	RejectedDeadline  int64 `json:"rejected_deadline"`
 	RejectedDraining  int64 `json:"rejected_draining"`
 	RejectedRestoring int64 `json:"rejected_restoring,omitempty"`
+	RejectedHopeless  int64 `json:"rejected_hopeless,omitempty"`
 	BadRequests       int64 `json:"bad_requests"`
 	// AvgRequestLatency and MaxRequestLatency are end-to-end handler times
 	// of decide and decide-batch requests, admission wait included.
@@ -159,6 +168,7 @@ func (c *NetCounters) Snapshot() NetSnapshot {
 		RejectedDeadline:  c.rejectedDeadline.Load(),
 		RejectedDraining:  c.rejectedDraining.Load(),
 		RejectedRestoring: c.rejectedRestoring.Load(),
+		RejectedHopeless:  c.rejectedHopeless.Load(),
 		BadRequests:       c.badRequests.Load(),
 		MaxRequestLatency: time.Duration(c.maxNanos.Load()),
 		Uptime:            time.Since(c.start),

@@ -9,11 +9,13 @@ import (
 // WritePrometheus renders the serving counters in Prometheus text
 // exposition format (version 0.0.4) — the GET /metrics surface of
 // internal/netserve. serve counts what the stream table served, net what
-// the HTTP surface saw, and bin (nil when no binary listener is attached)
-// what the binary wire listener saw. Rendered by hand: the format is a
-// few comment lines plus name/value pairs, and the alternative is a
-// client-library dependency for what amounts to fmt.Fprintf.
-func WritePrometheus(w io.Writer, serve ServeSnapshot, net NetSnapshot, bin *BinSnapshot) {
+// the HTTP surface saw, bin (nil when no binary listener is attached)
+// what the binary wire listener saw, and ov (nil when the server has no
+// admission gate) the adaptive gate's live state. Rendered by hand: the
+// format is a few comment lines plus name/value pairs, and the
+// alternative is a client-library dependency for what amounts to
+// fmt.Fprintf.
+func WritePrometheus(w io.Writer, serve ServeSnapshot, net NetSnapshot, bin *BinSnapshot, ov *OverloadSnapshot) {
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -32,6 +34,8 @@ func WritePrometheus(w io.Writer, serve ServeSnapshot, net NetSnapshot, bin *Bin
 	gauge("alert_serve_session_bytes", "Aggregate in-memory session footprint.", float64(serve.SessionBytes))
 	gauge("alert_serve_decide_latency_avg_seconds", "Mean end-to-end decide latency.", secs(serve.AvgDecideLatency))
 	gauge("alert_serve_decide_latency_max_seconds", "Max end-to-end decide latency.", secs(serve.MaxDecideLatency))
+	gauge("alert_serve_queue_delay_avg_seconds", "Mean in-pool queue delay (submit to worker pickup).", secs(serve.AvgQueueDelay))
+	gauge("alert_serve_queue_delay_max_seconds", "Max in-pool queue delay.", secs(serve.MaxQueueDelay))
 	gauge("alert_serve_uptime_seconds", "Time since the serve counters started.", secs(serve.Uptime))
 
 	// HTTP front-end counters.
@@ -47,9 +51,39 @@ func WritePrometheus(w io.Writer, serve ServeSnapshot, net NetSnapshot, bin *Bin
 	counter("alert_http_rejected_deadline_total", "Requests expired while queued at admission.", net.RejectedDeadline)
 	counter("alert_http_rejected_draining_total", "Requests refused during shutdown drain.", net.RejectedDraining)
 	counter("alert_http_rejected_restoring_total", "Requests shed while their stream restored after failover.", net.RejectedRestoring)
+	counter("alert_http_rejected_hopeless_total", "Requests shed by the SLO shedder: deadline predicted unmeetable.", net.RejectedHopeless)
 	counter("alert_http_bad_requests_total", "Malformed requests.", net.BadRequests)
 	gauge("alert_http_request_latency_avg_seconds", "Mean decide/batch handler latency.", secs(net.AvgRequestLatency))
 	gauge("alert_http_request_latency_max_seconds", "Max decide/batch handler latency.", secs(net.MaxRequestLatency))
+
+	if ov != nil {
+		// Adaptive admission gate state.
+		b2i := func(b bool) float64 {
+			if b {
+				return 1
+			}
+			return 0
+		}
+		gauge("alert_overload_adaptive", "1 when the measured-delay controller may move the limits.", b2i(ov.Adaptive))
+		gauge("alert_overload_slo_shed", "1 when hopeless-deadline shedding is enabled.", b2i(ov.SLOShed))
+		gauge("alert_overload_inflight_limit", "Effective inflight limit right now.", float64(ov.InflightLimit))
+		gauge("alert_overload_queue_limit", "Effective admission queue limit right now.", float64(ov.QueueLimit))
+		gauge("alert_overload_inflight", "Requests holding a gate slot.", float64(ov.Inflight))
+		gauge("alert_overload_queued", "Requests waiting at the gate.", float64(ov.Queued))
+		gauge("alert_overload_queue_delay_ewma_seconds", "EWMA of observed admission queue delay.", secs(ov.QueueDelayEWMA))
+		gauge("alert_overload_queue_delay_p50_seconds", "Median observed admission queue delay.", secs(ov.QueueDelayP50))
+		gauge("alert_overload_queue_delay_p95_seconds", "95th-percentile observed admission queue delay.", secs(ov.QueueDelayP95))
+		gauge("alert_overload_queue_delay_p99_seconds", "99th-percentile observed admission queue delay.", secs(ov.QueueDelayP99))
+		gauge("alert_overload_service_ewma_seconds", "EWMA of engine decide service time.", secs(ov.ServiceEWMA))
+		gauge("alert_overload_headroom_ewma_seconds", "EWMA of per-request deadline headroom.", secs(ov.HeadroomEWMA))
+		gauge("alert_overload_retry_after_seconds", "Current drain estimate hinted on rejections.", secs(ov.RetryAfterHint))
+		counter("alert_overload_limit_increases_total", "Control-loop limit increases.", ov.LimitIncreases)
+		counter("alert_overload_limit_decreases_total", "Control-loop limit decreases.", ov.LimitDecreases)
+		counter("alert_overload_shed_hopeless_total", "Requests shed because their deadline was predicted unmeetable.", ov.ShedHopeless)
+		counter("alert_overload_shed_overload_total", "Requests shed because the admission queue was full.", ov.ShedOverload)
+		counter("alert_overload_shed_deadline_total", "Requests whose deadline expired while queued.", ov.ShedDeadline)
+		counter("alert_overload_shed_draining_total", "Requests refused during shutdown drain.", ov.ShedDraining)
+	}
 
 	if bin == nil {
 		return
@@ -74,6 +108,7 @@ func WritePrometheus(w io.Writer, serve ServeSnapshot, net NetSnapshot, bin *Bin
 	counter("alert_binwire_rejected_deadline_total", "Requests expired while queued at admission.", bin.RejectedDeadline)
 	counter("alert_binwire_rejected_draining_total", "Requests refused during shutdown drain.", bin.RejectedDraining)
 	counter("alert_binwire_rejected_restoring_total", "Requests shed while their stream restored after failover.", bin.RejectedRestoring)
+	counter("alert_binwire_rejected_hopeless_total", "Requests shed by the SLO shedder: deadline predicted unmeetable.", bin.RejectedHopeless)
 	counter("alert_binwire_bad_frames_total", "Frames that parsed but could not be served.", bin.BadFrames)
 	gauge("alert_binwire_decide_latency_avg_seconds", "Mean frame-to-frame decide latency.", secs(bin.AvgDecideLatency))
 	gauge("alert_binwire_decide_latency_max_seconds", "Max frame-to-frame decide latency.", secs(bin.MaxDecideLatency))

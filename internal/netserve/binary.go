@@ -51,6 +51,7 @@ import (
 	"github.com/alert-project/alert"
 	"github.com/alert-project/alert/internal/binwire"
 	"github.com/alert-project/alert/internal/metrics"
+	"github.com/alert-project/alert/internal/overload"
 )
 
 // BinaryConfig tunes the binary listener. The zero value is production
@@ -95,6 +96,9 @@ type pendingDecide struct {
 	stream int
 	spec   alert.Spec
 	start  time.Time
+	// admitted is when the request cleared the gate; service time —
+	// admitted to reply — is what feeds the controller's latency estimate.
+	admitted time.Time
 }
 
 // NewBinary attaches a binary listener to the front end over an
@@ -271,18 +275,28 @@ func (bs *BinaryServer) serveConn(conn net.Conn) {
 	}
 }
 
-// retryAfterMs is the hint attached to overload/drain error frames — the
-// binary twin of writeError's retry_after_ms body field.
+// retryAfterMs is the static hint attached to drain/restore error frames —
+// the binary twin of writeError's retry_after_ms body field.
 func (bs *BinaryServer) retryAfterMs() int64 {
 	return int64(bs.front.retryAfter / time.Millisecond)
+}
+
+// hintMs converts a resolved Retry-After duration to the error frame's
+// millisecond hint — the binary twin of writeErrorHint (same 1ms floor).
+func hintMs(hint time.Duration) int64 {
+	ms := int64(hint / time.Millisecond)
+	if ms < 1 {
+		ms = 1
+	}
+	return ms
 }
 
 // admit runs the shared admission gate for a binary request, paying for a
 // deadline context only when the request actually queues. On admitOK the
 // caller owes a front.release().
 func (bs *BinaryServer) admit(deadlineS float64, drainExempt bool) admitStatus {
-	st, settled := bs.front.tryAdmit(drainExempt)
-	if settled {
+	st, w := bs.front.tryAdmit(deadlineS, drainExempt)
+	if w == nil {
 		return st
 	}
 	ctx := context.Background()
@@ -291,23 +305,43 @@ func (bs *BinaryServer) admit(deadlineS float64, drainExempt bool) admitStatus {
 		ctx, cancel = context.WithTimeout(ctx, d)
 		defer cancel()
 	}
-	return bs.front.admitQueued(ctx, drainExempt)
+	return bs.front.admitQueued(ctx, w, drainExempt)
 }
 
 // rejectAdmit sends the error frame for a failed admission, mirroring
-// admitOrRejectExempt's status codes and Retry-After semantics.
-func (bs *BinaryServer) rejectAdmit(c *binConn, id uint64, st admitStatus) {
+// admitOrRejectFull's status codes and Retry-After semantics — the same
+// dynamic drain-estimate hint, clamped to deadline headroom, when the
+// adaptive gate is on.
+func (bs *BinaryServer) rejectAdmit(c *binConn, id uint64, st admitStatus, deadlineS float64) {
+	ctrl := bs.front.gate.Controller()
 	switch st {
 	case admitOverload:
 		bs.bin.RecordRejectOverload()
-		c.sendError(id, binwire.CodeOverloaded, bs.retryAfterMs(), "admission queue full")
+		ctrl.RecordShed(overload.ShedOverload)
+		c.sendError(id, binwire.CodeOverloaded, hintMs(bs.front.retryHint(deadlineS)), "admission queue full")
 	case admitDeadline:
 		bs.bin.RecordRejectDeadline()
-		c.sendError(id, binwire.CodeOverloaded, bs.retryAfterMs(), "deadline expired before admission")
+		ctrl.RecordShed(overload.ShedDeadline)
+		c.sendError(id, binwire.CodeOverloaded, hintMs(bs.front.retryHint(0)), "deadline expired before admission")
 	case admitDraining:
 		bs.bin.RecordRejectDraining()
+		ctrl.RecordShed(overload.ShedDraining)
 		c.sendError(id, binwire.CodeUnavailable, bs.retryAfterMs(), "server draining")
 	}
+}
+
+// shedIfHopeless is the SLO shedder on the binary path — the twin of the
+// HTTP handler of the same name, sending the same 429-class error frame
+// with the controller's drain estimate as the hint.
+func (bs *BinaryServer) shedIfHopeless(c *binConn, id uint64, stream int, deadlineS float64) bool {
+	if !bs.front.gate.ShouldShed(deadlineS) {
+		return false
+	}
+	bs.bin.RecordRejectHopeless()
+	bs.front.gate.Controller().RecordShed(overload.ShedHopeless)
+	bs.front.slo.RecordShed(stream)
+	c.sendError(id, binwire.CodeOverloaded, hintMs(bs.front.gate.RetryAfter()), "deadline cannot be met at current load")
+	return true
 }
 
 // rejectIfRestoring sheds a request whose stream is mid-restore, the
@@ -335,12 +369,16 @@ func (bs *BinaryServer) handleDecide(c *binConn, f binwire.Frame) {
 	if bs.rejectIfRestoring(c, f.ID, stream) {
 		return
 	}
+	if bs.shedIfHopeless(c, f.ID, stream, spec.Deadline) {
+		return
+	}
 	if st := bs.admit(spec.Deadline, false); st != admitOK {
-		bs.rejectAdmit(c, f.ID, st)
+		bs.rejectAdmit(c, f.ID, st, spec.Deadline)
+		bs.front.slo.RecordShed(stream)
 		return
 	}
 	bs.pmu.Lock()
-	bs.pending = append(bs.pending, pendingDecide{c: c, id: f.ID, stream: stream, spec: spec, start: start})
+	bs.pending = append(bs.pending, pendingDecide{c: c, id: f.ID, stream: stream, spec: spec, start: start, admitted: time.Now()})
 	bs.pmu.Unlock()
 	select {
 	case bs.wake <- struct{}{}:
@@ -393,9 +431,13 @@ func (bs *BinaryServer) flush(batch []pendingDecide, reqs *[]alert.BatchRequest,
 	case 0:
 	case 1:
 		p := batch[0]
+		bs.front.sleepServiceDelay()
 		d, est := bs.front.alert.Decide(p.stream, p.spec)
 		p.c.sendDecideResp(p.id, d, est)
-		bs.bin.RecordDecide(time.Since(p.start))
+		bs.front.gate.Controller().ObserveService(time.Since(p.admitted))
+		sojourn := time.Since(p.start)
+		bs.front.recordServedSLO(p.stream, p.spec.Deadline, sojourn)
+		bs.bin.RecordDecide(sojourn)
 		bs.front.release()
 	default:
 		rs := (*reqs)[:0]
@@ -403,7 +445,9 @@ func (bs *BinaryServer) flush(batch []pendingDecide, reqs *[]alert.BatchRequest,
 			rs = append(rs, alert.BatchRequest{Stream: p.stream, Spec: p.spec})
 		}
 		*reqs = rs
+		bs.front.sleepServiceDelay()
 		results := bs.front.alert.DecideBatch(rs)
+		ctrl := bs.front.gate.Controller()
 		for i, p := range batch {
 			if !p.c.fdirty {
 				p.c.fdirty = true
@@ -411,7 +455,10 @@ func (bs *BinaryServer) flush(batch []pendingDecide, reqs *[]alert.BatchRequest,
 			}
 			p.c.fwbuf = binwire.AppendDecideResp(p.c.fwbuf, p.id, results[i].Decision, results[i].Estimate, bs.front.nodeID)
 			bs.bin.RecordFrameOut()
-			bs.bin.RecordDecide(time.Since(p.start))
+			ctrl.ObserveService(time.Since(p.admitted))
+			sojourn := time.Since(p.start)
+			bs.front.recordServedSLO(p.stream, p.spec.Deadline, sojourn)
+			bs.bin.RecordDecide(sojourn)
 			bs.front.release()
 		}
 		for _, c := range *dirty {
@@ -440,7 +487,7 @@ func (bs *BinaryServer) handleObserve(c *binConn, f binwire.Frame) {
 		return
 	}
 	if st := bs.admit(0, false); st != admitOK {
-		bs.rejectAdmit(c, f.ID, st)
+		bs.rejectAdmit(c, f.ID, st, 0)
 		return
 	}
 	defer bs.front.release()
@@ -468,12 +515,33 @@ func (bs *BinaryServer) handleBatch(c *binConn, f binwire.Frame, buf []alert.Bat
 			minDeadline = r.Spec.Deadline
 		}
 	}
+	// The SLO shedder judges the batch's tightest deadline, shedding whole
+	// like the HTTP twin.
+	if len(reqs) > 0 && bs.front.gate.ShouldShed(minDeadline) {
+		bs.bin.RecordRejectHopeless()
+		bs.front.gate.Controller().RecordShed(overload.ShedHopeless)
+		for _, r := range reqs {
+			bs.front.slo.RecordShed(r.Stream)
+		}
+		c.sendError(f.ID, binwire.CodeOverloaded, hintMs(bs.front.gate.RetryAfter()), "deadline cannot be met at current load")
+		return reqs
+	}
 	if st := bs.admit(minDeadline, false); st != admitOK {
-		bs.rejectAdmit(c, f.ID, st)
+		bs.rejectAdmit(c, f.ID, st, minDeadline)
+		for _, r := range reqs {
+			bs.front.slo.RecordShed(r.Stream)
+		}
 		return reqs
 	}
 	defer bs.front.release()
+	start := time.Now()
+	bs.front.sleepServiceDelay()
 	results := bs.front.alert.DecideBatch(reqs)
+	bs.front.gate.Controller().ObserveService(time.Since(start))
+	sojourn := time.Since(start)
+	for _, r := range reqs {
+		bs.front.recordServedSLO(r.Stream, r.Spec.Deadline, sojourn)
+	}
 	bs.bin.RecordBatch(len(results))
 	c.sendBatchResp(f.ID, results)
 	return reqs
@@ -493,7 +561,7 @@ func (bs *BinaryServer) handleStreamOp(c *binConn, f binwire.Frame) {
 	switch f.Type {
 	case binwire.MsgExport:
 		if st := bs.admit(0, true); st != admitOK {
-			bs.rejectAdmit(c, f.ID, st)
+			bs.rejectAdmit(c, f.ID, st, 0)
 			return
 		}
 		defer bs.front.release()
@@ -524,7 +592,7 @@ func (bs *BinaryServer) handleStreamOp(c *binConn, f binwire.Frame) {
 		c.sendSnapshot(binwire.MsgSnapshotResp, f.ID, stream, blob)
 	case binwire.MsgEvict:
 		if st := bs.admit(0, false); st != admitOK {
-			bs.rejectAdmit(c, f.ID, st)
+			bs.rejectAdmit(c, f.ID, st, 0)
 			return
 		}
 		defer bs.front.release()
@@ -551,7 +619,7 @@ func (bs *BinaryServer) handleImport(c *binConn, f binwire.Frame) {
 		return
 	}
 	if st := bs.admit(0, false); st != admitOK {
-		bs.rejectAdmit(c, f.ID, st)
+		bs.rejectAdmit(c, f.ID, st, 0)
 		return
 	}
 	defer bs.front.release()

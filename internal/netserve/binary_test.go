@@ -211,9 +211,7 @@ func TestBinaryOverloadRetryAfter(t *testing.T) {
 	// before probing, or the probe could win the slot instead.
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		front.mu.Lock()
-		depth := front.queued
-		front.mu.Unlock()
+		_, depth := front.gate.Occupancy()
 		if depth == 1 {
 			break
 		}

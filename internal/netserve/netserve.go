@@ -75,6 +75,7 @@ import (
 	"github.com/alert-project/alert"
 	"github.com/alert-project/alert/internal/membership"
 	"github.com/alert-project/alert/internal/metrics"
+	"github.com/alert-project/alert/internal/overload"
 )
 
 // Config sizes the front end. The zero value selects sensible defaults.
@@ -110,6 +111,25 @@ type Config struct {
 	// — and the restoring hold: decides/observes for a stream mid-restore
 	// are shed with 503 + Retry-After instead of forking a fresh session.
 	Recovery Recovery
+	// Adaptive lets the measured-delay controller (internal/overload) move
+	// the effective inflight/queue limits around the static
+	// MaxInflight/MaxQueue configuration. Off (the default), the limits
+	// stay pinned and the gate behaves exactly like the static one; the
+	// controller still measures, so the overload observability is live
+	// either way.
+	Adaptive bool
+	// SLOShed enables hopeless-deadline shedding: at admission, a request
+	// whose Spec deadline is predicted unmeetable (current queue-delay p95
+	// plus expected decide latency already exceeds it) is shed first, with
+	// a drain-estimate Retry-After, so every shed request is one that
+	// would have missed anyway.
+	SLOShed bool
+	// ServiceDelay, when positive, adds an artificial per-decide service
+	// latency. It exists for overload rehearsal — cmd/alertload's
+	// gate-compare mode and the CI overload smoke use it to drive real
+	// queueing at the gate with wall-clock-meaningful deadlines. Zero (the
+	// default) in production.
+	ServiceDelay time.Duration
 }
 
 func (c Config) maxInflight() int {
@@ -145,13 +165,15 @@ type Server struct {
 	agent      *membership.Agent
 	recovery   Recovery
 
-	// tokens is the admission gate: a request must deposit a token to run
-	// and withdraws it when done. queued counts requests waiting at the
-	// gate; beyond maxQueue they are rejected, which is what bounds this
-	// server's total exposure to MaxInflight + MaxQueue requests.
-	tokens   chan struct{}
-	maxQueue int64
-	queued   int64 // guarded by mu
+	// gate is the admission gate shared by both transports: a resizable
+	// FIFO semaphore whose effective limits the overload controller owns.
+	// A request must acquire a slot to run and releases it when done;
+	// beyond the queue limit it is rejected, which is what bounds this
+	// server's total exposure. slo records per-stream deadline attainment.
+	gate         *overload.Gate
+	slo          *overload.SLOTracker
+	adaptive     bool
+	serviceDelay time.Duration
 
 	// Drain bookkeeping: draining refuses new admissions; inflight counts
 	// admitted-but-unfinished requests; drained closes when draining is on
@@ -177,11 +199,22 @@ func New(srv *alert.Server, cfg Config) *Server {
 		peers:      cfg.Peers,
 		agent:      cfg.Membership,
 		recovery:   cfg.Recovery,
-		tokens:     make(chan struct{}, cfg.maxInflight()),
-		maxQueue:   int64(cfg.maxQueue()),
-		drained:    make(chan struct{}),
+		gate: overload.NewGate(overload.NewController(overload.Config{
+			Inflight:   cfg.maxInflight(),
+			Queue:      cfg.maxQueue(),
+			Adaptive:   cfg.Adaptive,
+			SLOShed:    cfg.SLOShed,
+			RetryAfter: cfg.retryAfter(),
+		})),
+		slo:          overload.NewSLOTracker(0),
+		adaptive:     cfg.Adaptive,
+		serviceDelay: cfg.ServiceDelay,
+		drained:      make(chan struct{}),
 	}
 }
+
+// OverloadStats snapshots the admission gate's live state.
+func (s *Server) OverloadStats() metrics.OverloadSnapshot { return s.gate.Snapshot() }
 
 // NetStats snapshots the front end's request/latency/overload counters.
 func (s *Server) NetStats() metrics.NetSnapshot { return s.net.Snapshot() }
@@ -219,78 +252,75 @@ const (
 // call s.release() when done — from that point the request is "accepted"
 // and will be served no matter what. ctx carries the request's admission
 // deadline (the Spec deadline for decides, the connection's lifetime
-// otherwise). drainExempt requests are still token-gated but admitted
-// while the server drains: stream export is the mechanism for moving
-// sessions OFF a draining node, so refusing it would deadlock a graceful
-// hand-off (imports stay refused — a draining node must shed state, not
-// accept it).
-func (s *Server) admit(ctx context.Context, drainExempt bool) admitStatus {
-	st, settled := s.tryAdmit(drainExempt)
-	if settled {
+// otherwise); deadlineS is that same Spec deadline in seconds (0 = none),
+// which feeds the controller's headroom estimate. drainExempt requests are
+// still slot-gated but admitted while the server drains: stream export is
+// the mechanism for moving sessions OFF a draining node, so refusing it
+// would deadlock a graceful hand-off (imports stay refused — a draining
+// node must shed state, not accept it).
+func (s *Server) admit(ctx context.Context, deadlineS float64, drainExempt bool) admitStatus {
+	st, w := s.tryAdmit(deadlineS, drainExempt)
+	if w == nil {
 		return st
 	}
-	return s.admitQueued(ctx, drainExempt)
+	return s.admitQueued(ctx, w, drainExempt)
 }
 
 // tryAdmit is admission's no-wait half: drain refusal, free-slot
-// admission, or queue-full rejection, all settled under the lock. When it
-// returns settled=false the request has been counted into the queue and
-// the caller MUST finish with admitQueued — the split exists so the
-// binary listener can keep its hot path free of context plumbing and only
-// build a deadline context when a request actually has to wait.
-func (s *Server) tryAdmit(drainExempt bool) (admitStatus, bool) {
-	s.mu.Lock()
-	if s.draining && !drainExempt {
-		s.mu.Unlock()
-		return admitDraining, true
+// admission, or queue-full rejection. When it returns a non-nil Waiter the
+// request has been counted into the queue and the caller MUST finish with
+// admitQueued — the split exists so the binary listener can keep its hot
+// path free of context plumbing and only build a deadline context when a
+// request actually has to wait.
+func (s *Server) tryAdmit(deadlineS float64, drainExempt bool) (admitStatus, *overload.Waiter) {
+	// Cheap pre-check so a draining server refuses without queueing; the
+	// authoritative check is settleAdmit's, after the slot is held.
+	if !drainExempt && s.isDraining() {
+		return admitDraining, nil
 	}
-	// Fast path: a free slot admits without queueing.
-	select {
-	case s.tokens <- struct{}{}:
-		s.inflight++
-		s.mu.Unlock()
-		return admitOK, true
-	default:
+	switch v, w := s.gate.TryAcquire(deadlineS); v {
+	case overload.GateFull:
+		return admitOverload, nil
+	case overload.GateQueued:
+		return admitOK, w
 	}
-	// Slow path: wait at the gate if the queue has room.
-	if s.queued >= s.maxQueue {
-		s.mu.Unlock()
-		return admitOverload, true
-	}
-	s.queued++
-	s.mu.Unlock()
-	return admitOK, false
+	return s.settleAdmit(drainExempt), nil
 }
 
 // admitQueued waits at the gate after tryAdmit queued the request.
-func (s *Server) admitQueued(ctx context.Context, drainExempt bool) admitStatus {
-	select {
-	case s.tokens <- struct{}{}:
-		s.mu.Lock()
-		s.queued--
-		// A drain that started while this request queued wins: give the
-		// token back and refuse, so Drain's "no new work after the flip"
-		// promise holds even for requests that were already waiting.
-		if s.draining && !drainExempt {
-			s.mu.Unlock()
-			<-s.tokens
-			return admitDraining
-		}
-		s.inflight++
-		s.mu.Unlock()
-		return admitOK
-	case <-ctx.Done():
-		s.mu.Lock()
-		s.queued--
-		s.mu.Unlock()
+func (s *Server) admitQueued(ctx context.Context, w *overload.Waiter, drainExempt bool) admitStatus {
+	if !s.gate.Wait(ctx, w) {
 		return admitDeadline
 	}
+	return s.settleAdmit(drainExempt)
 }
 
-// release returns an admitted request's token and settles the drain
+// settleAdmit finishes an admission that holds a gate slot: the drain
+// recheck and the inflight bookkeeping run under one lock, so Drain's "no
+// new work after the flip" promise holds even for requests that acquired
+// their slot while the flip happened — they give it back and refuse.
+func (s *Server) settleAdmit(drainExempt bool) admitStatus {
+	s.mu.Lock()
+	if s.draining && !drainExempt {
+		s.mu.Unlock()
+		s.gate.Release()
+		return admitDraining
+	}
+	s.inflight++
+	s.mu.Unlock()
+	return admitOK
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// release returns an admitted request's gate slot and settles the drain
 // bookkeeping.
 func (s *Server) release() {
-	<-s.tokens
+	s.gate.Release()
 	s.mu.Lock()
 	s.inflight--
 	if s.draining && s.inflight == 0 {
@@ -303,8 +333,8 @@ func (s *Server) release() {
 // and ReleaseTokenForTest frees one. They exist so tests in other packages
 // (client, cmd/alertload) can saturate the gate deterministically instead
 // of racing real traffic against it; production code must never call them.
-func (s *Server) HoldTokenForTest()    { s.tokens <- struct{}{} }
-func (s *Server) ReleaseTokenForTest() { <-s.tokens }
+func (s *Server) HoldTokenForTest()    { s.gate.ForceAcquire() }
+func (s *Server) ReleaseTokenForTest() { s.gate.Release() }
 
 // maxBody bounds request bodies; a decide-batch of tens of thousands of
 // requests fits comfortably.
@@ -380,6 +410,9 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 	if s.rejectIfRestoring(w, req.Stream) {
 		return
 	}
+	if s.shedIfHopeless(w, req.Stream, spec.Deadline) {
+		return
+	}
 	ctx := r.Context()
 	// The Spec deadline propagates to admission: a decision still queued
 	// when the input's deadline has passed serves nobody.
@@ -388,18 +421,56 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, d)
 		defer cancel()
 	}
-	if !s.admitOrReject(w, ctx) {
+	if !s.admitOrRejectDeadline(w, ctx, spec.Deadline) {
+		s.slo.RecordShed(req.Stream)
 		return
 	}
 	defer s.release()
 
+	admitted := time.Now()
+	s.sleepServiceDelay()
 	d, est := s.alert.Decide(req.Stream, spec)
-	s.net.RecordDecide(time.Since(start))
+	s.gate.Controller().ObserveService(time.Since(admitted))
+	sojourn := time.Since(start)
+	s.recordServedSLO(req.Stream, spec.Deadline, sojourn)
+	s.net.RecordDecide(sojourn)
 	s.writeJSON(w, http.StatusOK, DecideResponse{
 		Decision: FromDecision(d),
 		Estimate: FromEstimate(est),
 		NodeID:   s.nodeID,
 	})
+}
+
+// sleepServiceDelay applies the configured artificial service latency
+// (overload rehearsal only; see Config.ServiceDelay).
+func (s *Server) sleepServiceDelay() {
+	if s.serviceDelay > 0 {
+		time.Sleep(s.serviceDelay)
+	}
+}
+
+// recordServedSLO folds a served decide into the per-stream SLO tracker:
+// met when the request had no deadline or its end-to-end sojourn fit it.
+func (s *Server) recordServedSLO(stream int, deadlineS float64, sojourn time.Duration) {
+	s.slo.RecordServed(stream, deadlineS <= 0 || sojourn.Seconds() <= deadlineS)
+}
+
+// shedIfHopeless is the SLO shedder: when the gate is saturated and the
+// request's deadline is predicted unmeetable, shed it before it joins the
+// queue — 429 with the controller's drain estimate as the Retry-After, so
+// the client knows when capacity is expected back. Deliberately not
+// clamped to the request's headroom: this deadline is already lost, the
+// hint is for the next one.
+func (s *Server) shedIfHopeless(w http.ResponseWriter, stream int, deadlineS float64) bool {
+	if !s.gate.ShouldShed(deadlineS) {
+		return false
+	}
+	s.net.RecordRejectHopeless()
+	s.gate.Controller().RecordShed(overload.ShedHopeless)
+	s.slo.RecordShed(stream)
+	s.writeErrorHint(w, http.StatusTooManyRequests,
+		"deadline cannot be met at current load", s.gate.RetryAfter())
+	return true
 }
 
 func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
@@ -415,7 +486,8 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.release()
 
-	// The enqueue happens before the 202 is written, so a client that
+	// Observes are deadline-free, so they are never SLO-shed; the enqueue
+	// below happens before the 202 is written, so a client that
 	// round-trips observe → decide on one stream is FIFO-ordered exactly
 	// like the in-process path.
 	s.alert.Observe(req.Stream, req.Feedback.ToFeedback())
@@ -454,29 +526,48 @@ func (s *Server) handleDecideBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	ctx := r.Context()
 	// The batch's admission deadline is its tightest member's: if that
-	// one can no longer be served in time, the batch is late.
+	// one can no longer be served in time, the batch is late. The SLO
+	// shedder judges the same tightest deadline — a batch sheds whole.
+	if s.gate.ShouldShed(minDeadline) {
+		s.net.RecordRejectHopeless()
+		s.gate.Controller().RecordShed(overload.ShedHopeless)
+		for _, br := range req.Requests {
+			s.slo.RecordShed(br.Stream)
+		}
+		s.writeErrorHint(w, http.StatusTooManyRequests,
+			"deadline cannot be met at current load", s.gate.RetryAfter())
+		return
+	}
+	ctx := r.Context()
 	if d, ok := admissionTimeout(minDeadline); ok {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, d)
 		defer cancel()
 	}
-	if !s.admitOrReject(w, ctx) {
+	if !s.admitOrRejectDeadline(w, ctx, minDeadline) {
+		for _, br := range req.Requests {
+			s.slo.RecordShed(br.Stream)
+		}
 		return
 	}
 	defer s.release()
 
+	admitted := time.Now()
+	s.sleepServiceDelay()
 	results := s.alert.DecideBatch(inner)
+	s.gate.Controller().ObserveService(time.Since(admitted))
+	sojourn := time.Since(start)
 	out := BatchResponse{Results: make([]BatchResult, len(results))}
 	for i, res := range results {
+		s.recordServedSLO(res.Stream, inner[i].Spec.Deadline, sojourn)
 		out.Results[i] = BatchResult{
 			Stream:   res.Stream,
 			Decision: FromDecision(res.Decision),
 			Estimate: FromEstimate(res.Estimate),
 		}
 	}
-	s.net.RecordBatch(len(results), time.Since(start))
+	s.net.RecordBatch(len(results), sojourn)
 	s.writeJSON(w, http.StatusOK, out)
 }
 
@@ -492,6 +583,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		NodeID:   s.nodeID,
 		Peers:    s.peers,
 	}
+	ov := s.gate.Snapshot()
+	resp.Overload = &ov
+	resp.SLO = s.slo.Snapshot()
 	if bs := s.binaryServer(); bs != nil {
 		resp.BinaryAddr = bs.Addr()
 		snap := bs.bin.Snapshot()
@@ -517,9 +611,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		snap := bs.bin.Snapshot()
 		bin = &snap
 	}
+	ov := s.gate.Snapshot()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
-	metrics.WritePrometheus(w, s.alert.Stats(), s.net.Snapshot(), bin)
+	metrics.WritePrometheus(w, s.alert.Stats(), s.net.Snapshot(), bin, &ov)
 }
 
 func (s *Server) handleStreams(w http.ResponseWriter, r *http.Request) {
@@ -837,7 +932,9 @@ func admissionTimeout(seconds float64) (time.Duration, bool) {
 		return 0, false
 	}
 	ns := seconds * float64(time.Second)
-	if ns >= float64(math.MaxInt64) {
+	// Inverted comparison so NaN (all comparisons false) lands in the
+	// no-bound branch instead of an implementation-defined conversion.
+	if !(ns < float64(math.MaxInt64)) {
 		return 0, false
 	}
 	return time.Duration(ns), true
@@ -846,26 +943,64 @@ func admissionTimeout(seconds float64) (time.Duration, bool) {
 // admitOrReject runs the admission gate and writes the rejection response
 // itself; the caller proceeds (and later releases) only on true.
 func (s *Server) admitOrReject(w http.ResponseWriter, ctx context.Context) bool {
-	return s.admitOrRejectExempt(w, ctx, false)
+	return s.admitOrRejectFull(w, ctx, 0, false)
+}
+
+// admitOrRejectDeadline is admitOrReject for deadline-carrying requests:
+// the deadline feeds the controller's headroom estimate and clamps the
+// rejection's Retry-After hint.
+func (s *Server) admitOrRejectDeadline(w http.ResponseWriter, ctx context.Context, deadlineS float64) bool {
+	return s.admitOrRejectFull(w, ctx, deadlineS, false)
 }
 
 // admitOrRejectExempt is admitOrReject with control over the drain
 // exemption (see admit).
 func (s *Server) admitOrRejectExempt(w http.ResponseWriter, ctx context.Context, drainExempt bool) bool {
-	switch s.admit(ctx, drainExempt) {
+	return s.admitOrRejectFull(w, ctx, 0, drainExempt)
+}
+
+func (s *Server) admitOrRejectFull(w http.ResponseWriter, ctx context.Context, deadlineS float64, drainExempt bool) bool {
+	ctrl := s.gate.Controller()
+	switch s.admit(ctx, deadlineS, drainExempt) {
 	case admitOK:
 		return true
 	case admitOverload:
 		s.net.RecordRejectOverload()
-		s.writeError(w, http.StatusTooManyRequests, "admission queue full", true)
+		ctrl.RecordShed(overload.ShedOverload)
+		s.writeErrorHint(w, http.StatusTooManyRequests, "admission queue full",
+			s.retryHint(deadlineS))
 	case admitDeadline:
 		s.net.RecordRejectDeadline()
-		s.writeError(w, http.StatusTooManyRequests, "deadline expired before admission", true)
+		ctrl.RecordShed(overload.ShedDeadline)
+		// The deadline is spent, so there is nothing to clamp to: hint the
+		// plain drain estimate for the caller's next request.
+		s.writeErrorHint(w, http.StatusTooManyRequests, "deadline expired before admission",
+			s.retryHint(0))
 	case admitDraining:
 		s.net.RecordRejectDraining()
+		ctrl.RecordShed(overload.ShedDraining)
 		s.writeError(w, http.StatusServiceUnavailable, "server draining", true)
 	}
 	return false
+}
+
+// retryHint resolves the Retry-After a rejection carries: the controller's
+// live drain estimate when the gate is adaptive, the configured static
+// hint otherwise — clamped in both cases to the request's remaining
+// deadline headroom when it has one, because hinting a retry after the
+// deadline has passed is useless. Floor 1ms so the hint stays a hint.
+func (s *Server) retryHint(deadlineS float64) time.Duration {
+	hint := s.retryAfter
+	if s.adaptive {
+		hint = s.gate.RetryAfter()
+	}
+	if d, ok := admissionTimeout(deadlineS); ok && d < hint {
+		hint = d
+		if hint < time.Millisecond {
+			hint = time.Millisecond
+		}
+	}
+	return hint
 }
 
 // decodeBody parses a JSON request body, writing the 400 itself on
@@ -888,17 +1023,28 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // writeError sends the JSON error body; retryable responses carry the
-// Retry-After hint both as a header (in whole seconds, per RFC 9110,
-// rounded up) and in the body in milliseconds for precision.
+// configured static Retry-After hint.
 func (s *Server) writeError(w http.ResponseWriter, status int, msg string, retryable bool) {
-	body := ErrorResponse{Error: msg}
-	if retryable {
-		secs := int64((s.retryAfter + time.Second - 1) / time.Second)
-		if secs < 1 {
-			secs = 1
-		}
-		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
-		body.RetryAfterMs = int64(s.retryAfter / time.Millisecond)
+	if !retryable {
+		s.writeJSON(w, status, ErrorResponse{Error: msg})
+		return
 	}
-	s.writeJSON(w, status, body)
+	s.writeErrorHint(w, status, msg, s.retryAfter)
+}
+
+// writeErrorHint sends a retryable JSON error carrying the given
+// Retry-After hint, both as a header (in whole seconds, per RFC 9110,
+// rounded up) and in the body in milliseconds for precision (floor 1ms —
+// 0 would read as "no hint").
+func (s *Server) writeErrorHint(w http.ResponseWriter, status int, msg string, hint time.Duration) {
+	secs := int64((hint + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	ms := int64(hint / time.Millisecond)
+	if ms < 1 {
+		ms = 1
+	}
+	s.writeJSON(w, status, ErrorResponse{Error: msg, RetryAfterMs: ms})
 }

@@ -199,7 +199,7 @@ func TestOverload(t *testing.T) {
 	// Saturate the admission gate from outside the HTTP path: deposit all
 	// tokens so real requests must queue, overflow, or wait for release.
 	for i := 0; i < 2; i++ {
-		s.tokens <- struct{}{}
+		s.HoldTokenForTest()
 	}
 
 	const n = 30
@@ -251,7 +251,7 @@ func TestOverload(t *testing.T) {
 	// open the gate.
 	time.Sleep(100 * time.Millisecond)
 	for i := 0; i < 2; i++ {
-		<-s.tokens
+		s.ReleaseTokenForTest()
 	}
 	wg.Wait()
 
@@ -291,7 +291,7 @@ func TestDeadlineExpiresInQueue(t *testing.T) {
 	ts := httptest.NewServer(s)
 	defer ts.Close()
 
-	s.tokens <- struct{}{} // hold the only slot for the whole test
+	s.HoldTokenForTest() // hold the only slot for the whole test
 
 	body, _ := json.Marshal(DecideRequest{Stream: 1, Spec: Spec{
 		Objective: ObjectiveMinEnergy, DeadlineS: 0.05, AccuracyGoal: 0.9,
@@ -311,7 +311,7 @@ func TestDeadlineExpiresInQueue(t *testing.T) {
 	if snap := s.NetStats(); snap.RejectedDeadline != 1 {
 		t.Errorf("rejected_deadline counter = %d, want 1", snap.RejectedDeadline)
 	}
-	<-s.tokens
+	s.ReleaseTokenForTest()
 }
 
 // TestHugeDeadlineAdmits: a Spec deadline too large to represent as a
@@ -321,11 +321,11 @@ func TestDeadlineExpiresInQueue(t *testing.T) {
 // queued).
 func TestHugeDeadlineAdmits(t *testing.T) {
 	s := New(testAlertServer(t, 1), Config{MaxInflight: 1, MaxQueue: 4})
-	s.tokens <- struct{}{} // force the request through the queue path
+	s.HoldTokenForTest() // force the request through the queue path
 	release := make(chan struct{})
 	go func() {
 		time.Sleep(20 * time.Millisecond)
-		<-s.tokens
+		s.ReleaseTokenForTest()
 		close(release)
 	}()
 
@@ -364,7 +364,7 @@ func TestDrain(t *testing.T) {
 	s.mu.Lock()
 	s.inflight++
 	s.mu.Unlock()
-	s.tokens <- struct{}{}
+	s.HoldTokenForTest()
 
 	drainErr := make(chan error, 1)
 	go func() {

@@ -244,6 +244,9 @@ func (p *Pool) work(s *shard) {
 	for t := range s.ch {
 		switch t.kind {
 		case taskDecide:
+			// Queue delay — submit to pickup — is the pool's share of the
+			// decide latency; the admission controller reads it off stats.
+			p.counters.RecordQueueWait(time.Since(t.start))
 			d, est := s.session(t.stream, t.start, p.counters).Decide(t.spec)
 			// Counters record before the reply unblocks the client, so a
 			// Stats read that follows a completed Decide always sees it.
@@ -251,6 +254,7 @@ func (p *Pool) work(s *shard) {
 			t.reply <- decideReply{d: d, est: est}
 		case taskDecideGroup:
 			g := t.group
+			p.counters.RecordQueueWait(time.Since(g.start))
 			for j, spec := range g.specs {
 				d, est := s.session(g.streams[j], g.start, p.counters).Decide(spec)
 				p.counters.RecordDecide(time.Since(g.start))
